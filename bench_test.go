@@ -1,0 +1,192 @@
+package f3m_test
+
+// One benchmark per table and figure of the paper's evaluation (the
+// experiment registry runs at Tiny scale so `go test -bench=.`
+// completes in minutes), plus headline micro-benchmarks for the
+// mechanisms the paper's speedups come from: exhaustive vs LSH ranking,
+// MinHash generation, and the merge operation itself.
+
+import (
+	"fmt"
+	"testing"
+
+	"f3m/internal/core"
+	"f3m/internal/experiments"
+	"f3m/internal/fingerprint"
+	"f3m/internal/irgen"
+	"f3m/internal/lsh"
+	"f3m/internal/merge"
+)
+
+func benchOptions() experiments.Options {
+	return experiments.Options{Seed: 20220402, Tiny: true, Repeats: 1}
+}
+
+// benchExperiment runs a registered experiment as a benchmark body.
+func benchExperiment(b *testing.B, id string) {
+	run, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	o := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab := run(o)
+		if len(tab.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+// --- one bench per paper table/figure ---
+
+func BenchmarkTable1SuiteGen(b *testing.B)               { benchExperiment(b, "table1") }
+func BenchmarkFig3HyFMBreakdown(b *testing.B)            { benchExperiment(b, "fig3") }
+func BenchmarkFig4FreqCorrelation(b *testing.B)          { benchExperiment(b, "fig4") }
+func BenchmarkFig6SelectedPairHistogram(b *testing.B)    { benchExperiment(b, "fig6") }
+func BenchmarkFig9ContributionBySimilarity(b *testing.B) { benchExperiment(b, "fig9") }
+func BenchmarkFig10MinHashCorrelation(b *testing.B)      { benchExperiment(b, "fig10") }
+func BenchmarkFig11SizeReduction(b *testing.B)           { benchExperiment(b, "fig11") }
+func BenchmarkFig12CompileTime(b *testing.B)             { benchExperiment(b, "fig12") }
+func BenchmarkFig13StageBreakdown(b *testing.B)          { benchExperiment(b, "fig13") }
+func BenchmarkFig14ThresholdSweep(b *testing.B)          { benchExperiment(b, "fig14") }
+func BenchmarkFig15KRSweep(b *testing.B)                 { benchExperiment(b, "fig15") }
+func BenchmarkFig16BucketCap(b *testing.B)               { benchExperiment(b, "fig16") }
+func BenchmarkFig17RuntimeImpact(b *testing.B)           { benchExperiment(b, "fig17") }
+func BenchmarkExtProfile(b *testing.B)                   { benchExperiment(b, "ext-profile") }
+
+// BenchmarkMinBlockRatio ablates the block-pair acceptance threshold:
+// lower values merge more partial blocks (more guarded diamonds),
+// higher values only merge nearly identical blocks.
+func BenchmarkMinBlockRatio(b *testing.B) {
+	spec := irgen.SuiteSpec{Name: "ablate", Funcs: 400, AvgInstrs: 22, CloneFraction: 0.45}
+	for _, ratio := range []float64{0.25, 0.5, 0.75, 1.0} {
+		b.Run(fmt.Sprintf("ratio=%.2f", ratio), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m := irgen.Generate(spec.Config(9)).Module
+				cfg := core.DefaultConfig(core.F3MStatic)
+				cfg.MergeOpts.MinBlockRatio = ratio
+				b.StartTimer()
+				rep, err := core.Run(m, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*rep.Reduction(), "size-reduction-%")
+			}
+		})
+	}
+}
+
+// --- headline mechanism benchmarks ---
+
+// BenchmarkRanking compares the cost of pairing every function with a
+// candidate under exhaustive opcode-frequency search (HyFM) vs MinHash
+// + LSH (F3M), across population sizes. This is the paper's Figure 3 /
+// Figure 13 phenomenon reduced to its core.
+func BenchmarkRanking(b *testing.B) {
+	for _, n := range []int{1000, 4000, 16000} {
+		pop := irgen.GenerateEncoded(7, n, 25, 0.4)
+
+		b.Run(fmt.Sprintf("HyFM-exhaustive/n=%d", n), func(b *testing.B) {
+			type freq [64]int32
+			fps := make([]freq, len(pop.Seqs))
+			for i, seq := range pop.Seqs {
+				for _, e := range seq {
+					fps[i][uint32(e)&63]++
+				}
+			}
+			b.ResetTimer()
+			for it := 0; it < b.N; it++ {
+				for i := range fps {
+					best, bestD := -1, int32(1<<30)
+					for j := range fps {
+						if i == j {
+							continue
+						}
+						var d int32
+						for k := 0; k < 64; k++ {
+							x := fps[i][k] - fps[j][k]
+							if x < 0 {
+								x = -x
+							}
+							d += x
+						}
+						if d < bestD {
+							best, bestD = j, d
+						}
+					}
+					_ = best
+				}
+			}
+		})
+
+		b.Run(fmt.Sprintf("F3M-LSH/n=%d", n), func(b *testing.B) {
+			cfg := &fingerprint.Config{K: 200, ShingleSize: 2, Seed: 0xF3}
+			for it := 0; it < b.N; it++ {
+				ix := lsh.NewIndex(lsh.DefaultParams())
+				sigs := make([]fingerprint.MinHash, len(pop.Seqs))
+				for i, seq := range pop.Seqs {
+					sigs[i] = cfg.New(seq)
+					ix.Insert(i, sigs[i])
+				}
+				for i := range sigs {
+					ix.Best(i, sigs[i], 0)
+				}
+			}
+		})
+
+		b.Run(fmt.Sprintf("F3M-adaptive/n=%d", n), func(b *testing.B) {
+			t, params, k := lsh.AdaptiveParams(n)
+			cfg := &fingerprint.Config{K: k, ShingleSize: 2, Seed: 0xF3}
+			for it := 0; it < b.N; it++ {
+				ix := lsh.NewIndex(params)
+				sigs := make([]fingerprint.MinHash, len(pop.Seqs))
+				for i, seq := range pop.Seqs {
+					sigs[i] = cfg.New(seq)
+					ix.Insert(i, sigs[i])
+				}
+				for i := range sigs {
+					ix.Best(i, sigs[i], t)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMergePair measures one align+codegen+cleanup merge attempt.
+func BenchmarkMergePair(b *testing.B) {
+	cfg := irgen.DefaultConfig(5)
+	cfg.Callers = 0
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := irgen.Generate(cfg).Module
+		fa, fb := m.Func("fam0_v0"), m.Func("fam0_v1")
+		b.StartTimer()
+		res, err := merge.Pair(m, fa, fb, merge.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		merge.Discard(m, res)
+		b.StartTimer()
+	}
+}
+
+// BenchmarkPipeline measures whole-module merging per strategy on a
+// mid-size module.
+func BenchmarkPipeline(b *testing.B) {
+	spec := irgen.SuiteSpec{Name: "bench", Funcs: 800, AvgInstrs: 22, CloneFraction: 0.45}
+	for _, strat := range []core.Strategy{core.HyFM, core.F3MStatic, core.F3MAdaptive} {
+		b.Run(strat.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m := irgen.Generate(spec.Config(3)).Module
+				b.StartTimer()
+				if _, err := core.Run(m, core.DefaultConfig(strat)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

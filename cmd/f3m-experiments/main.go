@@ -1,0 +1,50 @@
+// Command f3m-experiments regenerates the tables and figures of the
+// F3M paper's evaluation on synthetic workloads.
+//
+// Usage:
+//
+//	f3m-experiments [-exp table1|fig3|...|all] [-quick] [-seed S]
+//
+// Each experiment prints an aligned text table (heatmaps render as
+// ASCII density plots). EXPERIMENTS.md records how the outputs compare
+// to the paper's numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"f3m/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1, fig3, fig4, ... or all)")
+	quick := flag.Bool("quick", false, "scaled-down workloads (seconds per experiment)")
+	seed := flag.Int64("seed", 20220402, "workload generation seed")
+	repeats := flag.Int("repeats", 0, "timed-run repeats (0 = default)")
+	flag.Parse()
+
+	o := experiments.DefaultOptions()
+	o.Seed = *seed
+	o.Quick = *quick
+	if *repeats > 0 {
+		o.Repeats = *repeats
+	}
+
+	if *exp != "all" {
+		run, ok := experiments.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "f3m-experiments: unknown experiment %q\n", *exp)
+			os.Exit(1)
+		}
+		fmt.Print(run(o).Render())
+		return
+	}
+	for _, e := range experiments.Registry {
+		start := time.Now()
+		fmt.Print(e.Run(o).Render())
+		fmt.Printf("(%s took %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

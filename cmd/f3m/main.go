@@ -1,0 +1,148 @@
+// Command f3m applies function merging to a module and reports the
+// result. Input is either a textual IR file (see internal/ir), one or
+// more mini-C source files, or a generated synthetic workload.
+//
+// Usage:
+//
+//	f3m [flags] [file.ir | file.c ...]
+//
+//	-strategy hyfm|f3m|f3m-adapt   ranking strategy (default f3m)
+//	-gen N                         generate a synthetic module with ~N functions
+//	-seed S                        generation seed
+//	-threshold T                   similarity threshold (-1 = strategy default)
+//	-k K                           MinHash fingerprint size (0 = default)
+//	-emit                          print the optimized module to stdout
+//	-v                             per-pair merge log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"f3m/internal/core"
+	"f3m/internal/ir"
+	"f3m/internal/irgen"
+	"f3m/internal/minic"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "f3m:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	strategy := flag.String("strategy", "f3m", "ranking strategy: hyfm, f3m or f3m-adapt")
+	gen := flag.Int("gen", 0, "generate a synthetic module with ~N functions instead of reading files")
+	seed := flag.Int64("seed", 1, "synthetic generation seed")
+	threshold := flag.Float64("threshold", -1, "similarity threshold (-1 = strategy default)")
+	k := flag.Int("k", 0, "MinHash fingerprint size (0 = default)")
+	emit := flag.Bool("emit", false, "print the optimized module")
+	verbose := flag.Bool("v", false, "log every selected pair")
+	flag.Parse()
+
+	var strat core.Strategy
+	switch *strategy {
+	case "hyfm":
+		strat = core.HyFM
+	case "f3m":
+		strat = core.F3MStatic
+	case "f3m-adapt":
+		strat = core.F3MAdaptive
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+
+	mod, err := loadModule(flag.Args(), *gen, *seed)
+	if err != nil {
+		return err
+	}
+
+	cfg := core.DefaultConfig(strat)
+	cfg.Threshold = *threshold
+	cfg.K = *k
+	rep, err := core.Run(mod, cfg)
+	if err != nil {
+		return err
+	}
+	if err := ir.VerifyModule(mod); err != nil {
+		return fmt.Errorf("internal error: module invalid after merging: %w", err)
+	}
+
+	fmt.Printf("strategy:      %s (t=%.3f, k=%d, b=%d)\n", rep.Strategy, rep.Threshold, rep.K, rep.Bands)
+	fmt.Printf("functions:     %d\n", rep.NumFuncs)
+	fmt.Printf("attempts:      %d ranked pairs, %d merged\n", rep.Attempts, rep.Merges)
+	fmt.Printf("size:          %d -> %d (%.2f%% reduction)\n", rep.SizeBefore, rep.SizeAfter, 100*rep.Reduction())
+	tt := rep.Times
+	fmt.Printf("pass time:     %v (preprocess %v, ranking %v, align %v, codegen %v)\n",
+		tt.Total(), tt.Preprocess, tt.RankSuccess+tt.RankFail,
+		tt.AlignSuccess+tt.AlignFail, tt.CodegenSuccess+tt.CodegenFail)
+	if *verbose {
+		for _, p := range rep.Pairs {
+			if !p.Attempted {
+				continue
+			}
+			status := "rejected"
+			if p.Profitable {
+				status = fmt.Sprintf("merged, saved %d", p.Saving)
+			}
+			fmt.Printf("  %-30s + %-30s sim=%.3f %s\n", p.A, p.B, p.Similarity, status)
+		}
+	}
+	if *emit {
+		if err := ir.WriteModule(os.Stdout, mod); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadModule assembles the input module from files or the generator.
+func loadModule(files []string, gen int, seed int64) (*ir.Module, error) {
+	if gen > 0 {
+		spec := irgen.SuiteSpec{Name: "generated", Funcs: gen, AvgInstrs: 25, CloneFraction: 0.4}
+		return irgen.Generate(spec.Config(seed)).Module, nil
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no input files (or use -gen N)")
+	}
+	// Mini-C inputs are concatenated into one translation unit; IR
+	// input must be a single file.
+	if strings.HasSuffix(files[0], ".c") {
+		var src strings.Builder
+		for _, f := range files {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				return nil, err
+			}
+			src.Write(data)
+			src.WriteByte('\n')
+		}
+		return minic.Compile(filepath.Base(files[0]), src.String())
+	}
+	// Multiple IR files are linked LTO-style into one module, matching
+	// the paper's monolithic-bitcode setup.
+	var units []*ir.Module
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		mod, err := ir.ParseModule(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+		if err := ir.VerifyModule(mod); err != nil {
+			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+		units = append(units, mod)
+	}
+	if len(units) == 1 {
+		return units[0], nil
+	}
+	return ir.LinkModules(filepath.Base(files[0])+"+", units...)
+}

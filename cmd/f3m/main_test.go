@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadModuleGenerated(t *testing.T) {
+	m, err := loadModule(nil, 150, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Funcs) < 100 {
+		t.Errorf("generated %d functions, want ≈150", len(m.Funcs))
+	}
+}
+
+func TestLoadModuleIRFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.ir")
+	src := `
+define i32 @f(i32 %x) {
+entry:
+  %r = add i32 %x, 1
+  ret i32 %r
+}`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := loadModule([]string{path}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Func("f") == nil {
+		t.Error("missing @f")
+	}
+}
+
+func TestLoadModuleMiniC(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.c")
+	b := filepath.Join(dir, "b.c")
+	if err := os.WriteFile(a, []byte("int one(int x) { return x + 1; }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, []byte("int two(int x) { return one(x) + 1; }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := loadModule([]string{a, b}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Func("one") == nil || m.Func("two") == nil {
+		t.Error("missing functions from concatenated unit")
+	}
+}
+
+func TestLoadModuleErrors(t *testing.T) {
+	if _, err := loadModule(nil, 0, 0); err == nil {
+		t.Error("expected error with no inputs")
+	}
+	if _, err := loadModule([]string{"nosuch.ir"}, 0, 0); err == nil {
+		t.Error("expected error for missing file")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.ir")
+	os.WriteFile(bad, []byte("define bogus"), 0o644)
+	if _, err := loadModule([]string{bad}, 0, 0); err == nil {
+		t.Error("expected parse error")
+	}
+}

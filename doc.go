@@ -1,0 +1,15 @@
+// Package f3m is a from-scratch Go reproduction of "F3M: Fast Focused
+// Function Merging" (CGO 2022): function merging by sequence alignment
+// with MinHash fingerprints and locality-sensitive-hashing candidate
+// search, together with every substrate the paper depends on — a typed
+// SSA IR with parser, printer, verifier and interpreter; the scalar
+// passes the merger needs (RegToMem, Mem2Reg, SimplifyCFG, DCE); the
+// HyFM baseline; a mini-C frontend; synthetic workload generation; and
+// a harness that regenerates each table and figure of the paper's
+// evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// substitutions, and EXPERIMENTS.md for paper-vs-measured results. The
+// library lives under internal/; cmd/f3m and cmd/f3m-experiments are
+// the executables, and examples/ holds runnable walkthroughs.
+package f3m

@@ -1,0 +1,38 @@
+// adaptive prints how F3M's adaptive policy (Equations 3 and 4 of the
+// paper) scales the similarity threshold, band count and fingerprint
+// size with program size, then contrasts static and adaptive runs on a
+// generated module.
+package main
+
+import (
+	"fmt"
+
+	"f3m/internal/core"
+	"f3m/internal/irgen"
+	"f3m/internal/lsh"
+)
+
+func main() {
+	fmt.Println("adaptive parameters vs program size (Equations 3 and 4):")
+	fmt.Printf("%12s  %9s  %6s  %4s  %28s\n", "functions", "threshold", "bands", "k", "discovery P at s=t+0.1")
+	for _, n := range []int{500, 1837, 5000, 10000, 45000, 100000, 1200000, 20000000} {
+		t, params, k := lsh.AdaptiveParams(n)
+		p := params.MatchProbability(t + 0.1)
+		fmt.Printf("%12d  %9.3f  %6d  %4d  %27.1f%%\n", n, t, params.Bands, k, 100*p)
+	}
+
+	fmt.Println("\nstatic vs adaptive on a generated module:")
+	spec := irgen.SuiteSpec{Name: "demo", Funcs: 3000, AvgInstrs: 22, CloneFraction: 0.45}
+	for _, strat := range []core.Strategy{core.F3MStatic, core.F3MAdaptive} {
+		m := irgen.Generate(spec.Config(11)).Module
+		rep, err := core.Run(m, core.DefaultConfig(strat))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %-10s t=%.3f k=%-3d b=%-3d  merges=%-4d reduction=%.2f%%  pass=%v\n",
+			rep.Strategy, rep.Threshold, rep.K, rep.Bands, rep.Merges,
+			100*rep.Reduction(), rep.Times.Total().Round(1000000))
+	}
+	fmt.Println("\n(paper: the adaptive policy matches static code-size reduction while")
+	fmt.Println(" cutting ranking cost; on Chrome it raises the merge speedup from 94x to 597x)")
+}

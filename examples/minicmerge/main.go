@@ -1,0 +1,122 @@
+// minicmerge compiles a mini-C translation unit full of copy-pasted
+// handler functions — the redundancy pattern that motivates function
+// merging — merges it with F3M, and verifies with the interpreter that
+// behaviour is preserved.
+package main
+
+import (
+	"fmt"
+
+	"f3m/internal/core"
+	"f3m/internal/interp"
+	"f3m/internal/ir"
+	"f3m/internal/minic"
+)
+
+// The unit models a little protocol dispatcher: the per-message
+// handlers are structurally identical up to constants and one or two
+// statements, exactly the near-duplicates sequence-alignment merging
+// thrives on.
+const src = `
+int stats[8];
+
+int checksum(int *p, int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    acc = acc ^ p[i] * 31;
+  }
+  return acc;
+}
+
+int handle_ping(int token, int len) {
+  int buf[4];
+  for (int i = 0; i < 4; i = i + 1) { buf[i] = token + i * 3; }
+  stats[0] = stats[0] + 1;
+  if (len > 64) { return -1; }
+  return checksum(buf, 4) & 65535;
+}
+
+int handle_pong(int token, int len) {
+  int buf[4];
+  for (int i = 0; i < 4; i = i + 1) { buf[i] = token + i * 5; }
+  stats[1] = stats[1] + 1;
+  if (len > 128) { return -2; }
+  return checksum(buf, 4) & 65535;
+}
+
+int handle_data(int token, int len) {
+  int buf[4];
+  for (int i = 0; i < 4; i = i + 1) { buf[i] = token + i * 7; }
+  stats[2] = stats[2] + 1;
+  if (len > 4096) { return -3; }
+  return checksum(buf, 4) & 65535;
+}
+
+int dispatch(int kind, int token, int len) {
+  if (kind == 0) { return handle_ping(token, len); }
+  if (kind == 1) { return handle_pong(token, len); }
+  return handle_data(token, len);
+}
+`
+
+func main() {
+	build := func() *ir.Module { return minic.MustCompile("proto", src) }
+
+	// Reference outputs before merging.
+	ref := build()
+	type key struct{ kind, token, len int64 }
+	var inputs []key
+	for kind := int64(0); kind < 3; kind++ {
+		for _, tok := range []int64{1, 42, 999} {
+			for _, ln := range []int64{10, 100, 10000} {
+				inputs = append(inputs, key{kind, tok, ln})
+			}
+		}
+	}
+	want := map[key]int64{}
+	for _, in := range inputs {
+		want[in] = callDispatch(ref, in.kind, in.token, in.len)
+	}
+
+	// Merge.
+	m := build()
+	before := core.ModuleCost(m)
+	rep, err := core.Run(m, core.DefaultConfig(core.F3MStatic))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("functions merged: %d of %d candidates\n", rep.Merges*2, rep.NumFuncs)
+	fmt.Printf("size: %d -> %d (%.1f%% reduction)\n", before, core.ModuleCost(m), 100*rep.Reduction())
+
+	// Show what the merger produced.
+	for _, f := range m.Funcs {
+		if len(f.Name()) > 6 && f.Name()[:6] == "merged" {
+			fmt.Printf("\nmerged function:\n%s", ir.FuncString(f))
+		}
+	}
+
+	// Differential check through the surviving dispatcher.
+	bad := 0
+	for _, in := range inputs {
+		if got := callDispatch(m, in.kind, in.token, in.len); got != want[in] {
+			fmt.Printf("MISMATCH dispatch(%d,%d,%d) = %d, want %d\n", in.kind, in.token, in.len, got, want[in])
+			bad++
+		}
+	}
+	if bad == 0 {
+		fmt.Printf("\nverified: %d dispatch calls behave identically after merging\n", len(inputs))
+	}
+}
+
+func callDispatch(m *ir.Module, kind, token, ln int64) int64 {
+	f := m.Func("dispatch")
+	mach := interp.NewMachine(m)
+	out, err := mach.Call(f,
+		interp.IntVal(m.Ctx.I32, kind),
+		interp.IntVal(m.Ctx.I32, token),
+		interp.IntVal(m.Ctx.I32, ln))
+	if err != nil {
+		panic(err)
+	}
+	return out.I
+}

@@ -1,0 +1,69 @@
+// Quickstart: build two similar functions with the IR builder API,
+// merge them with F3M, and inspect the result.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"f3m/internal/core"
+	"f3m/internal/ir"
+)
+
+// buildScaledSat creates
+//
+//	i32 name(i32 %x, i32 %y) {
+//	    r = x + y*scale
+//	    return r > cap ? cap : r
+//	}
+//
+// — a family of near-identical functions differing only in constants,
+// the bread-and-butter input of function merging (think template
+// instantiations or copy-pasted handlers).
+func buildScaledSat(m *ir.Module, name string, scale, cap int64) *ir.Function {
+	c := m.Ctx
+	f := m.NewFunc(name, c.Func(c.I32, c.I32, c.I32), "x", "y")
+	entry := f.NewBlock("entry")
+	sat := f.NewBlock("sat")
+	done := f.NewBlock("done")
+
+	bd := ir.NewBuilder(entry)
+	scaled := bd.Mul(f.Params[1], ir.ConstInt(c.I32, scale))
+	r := bd.Add(f.Params[0], scaled)
+	over := bd.ICmp(ir.PredSGT, r, ir.ConstInt(c.I32, cap))
+	bd.CondBr(over, sat, done)
+
+	bd.SetBlock(sat)
+	bd.Br(done)
+
+	bd.SetBlock(done)
+	phi := bd.Phi(c.I32)
+	phi.AddIncoming(r, entry)
+	phi.AddIncoming(ir.ConstInt(c.I32, cap), sat)
+	bd.Ret(phi)
+	return f
+}
+
+func main() {
+	m := ir.NewModule("quickstart")
+	buildScaledSat(m, "sat_volume", 3, 1000)
+	buildScaledSat(m, "sat_bright", 7, 4096)
+	buildScaledSat(m, "sat_gain", 2, 512)
+	if err := ir.VerifyModule(m); err != nil {
+		panic(err)
+	}
+
+	fmt.Println("--- before merging ---")
+	_ = ir.WriteModule(os.Stdout, m)
+	before := core.ModuleCost(m)
+
+	rep, err := core.Run(m, core.DefaultConfig(core.F3MStatic))
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("\n--- after merging ---")
+	_ = ir.WriteModule(os.Stdout, m)
+	fmt.Printf("\nmerged %d pairs; size %d -> %d (%.1f%% reduction)\n",
+		rep.Merges, before, core.ModuleCost(m), 100*rep.Reduction())
+}

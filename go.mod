@@ -1,0 +1,3 @@
+module f3m
+
+go 1.22

@@ -1,0 +1,230 @@
+// Package align implements the sequence-alignment machinery that
+// function merging by sequence alignment is built on: Needleman–Wunsch
+// global alignment over encoded instruction sequences, and HyFM-style
+// basic-block pairing that restricts alignment to pairs of similar
+// blocks.
+//
+// The alignment quality metric (Ratio) is the y-axis of the paper's
+// Figures 4 and 10: the fraction of instructions that land in matched
+// alignment slots.
+package align
+
+import (
+	"sort"
+
+	"f3m/internal/fingerprint"
+	"f3m/internal/ir"
+)
+
+// Entry is one column of an alignment: indices into the two sequences,
+// with -1 marking a gap on that side.
+type Entry struct {
+	A, B int
+}
+
+// Matched reports whether the entry aligns an element from each side.
+func (e Entry) Matched() bool { return e.A >= 0 && e.B >= 0 }
+
+// Scores for Needleman–Wunsch. Matches are strongly rewarded,
+// mismatch columns are never produced (a mismatch is represented as two
+// gaps, matching how the merger emits guarded copies).
+const (
+	matchScore = 2
+	gapScore   = -1
+)
+
+// NeedlemanWunsch computes a global alignment of two encoded
+// instruction sequences. Only identical encodings may occupy a matched
+// column. The result covers every index of both inputs in order.
+func NeedlemanWunsch(a, b []fingerprint.Encoded) []Entry {
+	n, m := len(a), len(b)
+	// score[i][j] = best score aligning a[:i] with b[:j].
+	score := make([][]int32, n+1)
+	for i := range score {
+		score[i] = make([]int32, m+1)
+	}
+	for i := 1; i <= n; i++ {
+		score[i][0] = int32(i) * gapScore
+	}
+	for j := 1; j <= m; j++ {
+		score[0][j] = int32(j) * gapScore
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			best := score[i-1][j] + gapScore
+			if s := score[i][j-1] + gapScore; s > best {
+				best = s
+			}
+			if a[i-1] == b[j-1] {
+				if s := score[i-1][j-1] + matchScore; s > best {
+					best = s
+				}
+			}
+			score[i][j] = best
+		}
+	}
+	// Traceback.
+	var rev []Entry
+	i, j := n, m
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && a[i-1] == b[j-1] && score[i][j] == score[i-1][j-1]+matchScore:
+			rev = append(rev, Entry{A: i - 1, B: j - 1})
+			i--
+			j--
+		case i > 0 && score[i][j] == score[i-1][j]+gapScore:
+			rev = append(rev, Entry{A: i - 1, B: -1})
+			i--
+		default:
+			rev = append(rev, Entry{A: -1, B: j - 1})
+			j--
+		}
+	}
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	return rev
+}
+
+// Matches counts matched columns.
+func Matches(entries []Entry) int {
+	n := 0
+	for _, e := range entries {
+		if e.Matched() {
+			n++
+		}
+	}
+	return n
+}
+
+// Ratio is the alignment-quality metric of Figures 4 and 10: matched
+// instructions (counted on both sides) over total instructions.
+func Ratio(entries []Entry, lenA, lenB int) float64 {
+	if lenA+lenB == 0 {
+		return 1
+	}
+	return float64(2*Matches(entries)) / float64(lenA+lenB)
+}
+
+// FuncRatio aligns two whole functions and returns the alignment ratio;
+// it is the ground-truth "how well would these merge" signal that the
+// fingerprint similarity metrics are judged against.
+func FuncRatio(f1, f2 *ir.Function) float64 {
+	a := fingerprint.EncodeFunc(f1)
+	b := fingerprint.EncodeFunc(f2)
+	return Ratio(NeedlemanWunsch(a, b), len(a), len(b))
+}
+
+// Segment is a run of alignment columns that are either all matched or
+// all gaps; the merger turns matched segments into shared code and gap
+// segments into guarded copies.
+type Segment struct {
+	Matched bool
+	// A and B list the instruction indices covered on each side;
+	// one may be empty in a gap segment.
+	A, B []int
+}
+
+// Segments groups alignment columns into maximal matched/unmatched
+// runs.
+func Segments(entries []Entry) []Segment {
+	var segs []Segment
+	for _, e := range entries {
+		m := e.Matched()
+		if len(segs) == 0 || segs[len(segs)-1].Matched != m {
+			segs = append(segs, Segment{Matched: m})
+		}
+		s := &segs[len(segs)-1]
+		if e.A >= 0 {
+			s.A = append(s.A, e.A)
+		}
+		if e.B >= 0 {
+			s.B = append(s.B, e.B)
+		}
+	}
+	return segs
+}
+
+// BlockPair is a pairing of basic blocks across the two functions,
+// scored by alignment ratio of the block bodies.
+type BlockPair struct {
+	A, B  *ir.Block
+	Ratio float64
+}
+
+// MatchBlocks greedily pairs similar blocks of f1 and f2, HyFM-style:
+// candidate pairs are ranked by block fingerprint distance, verified by
+// block-level alignment, and accepted when the match ratio reaches
+// minRatio. Unpaired blocks are returned separately.
+func MatchBlocks(f1, f2 *ir.Function, minRatio float64) (pairs []BlockPair, unA, unB []*ir.Block) {
+	type cand struct {
+		a, b *ir.Block
+		dist int
+	}
+	fpA := make(map[*ir.Block]*fingerprint.FreqVector, len(f1.Blocks))
+	for _, b := range f1.Blocks {
+		fpA[b] = fingerprint.FreqBlock(b)
+	}
+	fpB := make(map[*ir.Block]*fingerprint.FreqVector, len(f2.Blocks))
+	for _, b := range f2.Blocks {
+		fpB[b] = fingerprint.FreqBlock(b)
+	}
+	var cands []cand
+	for _, a := range f1.Blocks {
+		for _, b := range f2.Blocks {
+			cands = append(cands, cand{a, b, fpA[a].Distance(fpB[b])})
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+
+	takenA := make(map[*ir.Block]bool)
+	takenB := make(map[*ir.Block]bool)
+	for _, c := range cands {
+		if takenA[c.a] || takenB[c.b] {
+			continue
+		}
+		ea, eb := fingerprint.EncodeBlock(c.a), fingerprint.EncodeBlock(c.b)
+		r := Ratio(NeedlemanWunsch(ea, eb), len(ea), len(eb))
+		if r < minRatio {
+			continue
+		}
+		takenA[c.a], takenB[c.b] = true, true
+		pairs = append(pairs, BlockPair{A: c.a, B: c.b, Ratio: r})
+	}
+	for _, b := range f1.Blocks {
+		if !takenA[b] {
+			unA = append(unA, b)
+		}
+	}
+	for _, b := range f2.Blocks {
+		if !takenB[b] {
+			unB = append(unB, b)
+		}
+	}
+	return pairs, unA, unB
+}
+
+// BlockAlign aligns the bodies of two blocks and returns the segments.
+func BlockAlign(a, b *ir.Block) []Segment {
+	return Segments(NeedlemanWunsch(fingerprint.EncodeBlock(a), fingerprint.EncodeBlock(b)))
+}
+
+// MergeRatio is the block-level alignment-quality metric the paper's
+// Figures 4 and 10 plot: pair the functions' blocks HyFM-style, then
+// count instructions landing in matched alignment columns of accepted
+// block pairs, over all instructions of both functions. Unrelated
+// functions, whose blocks fail to pair, score near zero even when a
+// whole-function alignment would find coincidental matches.
+func MergeRatio(f1, f2 *ir.Function, minRatio float64) float64 {
+	pairs, _, _ := MatchBlocks(f1, f2, minRatio)
+	matched := 0
+	for _, p := range pairs {
+		ea, eb := fingerprint.EncodeBlock(p.A), fingerprint.EncodeBlock(p.B)
+		matched += Matches(NeedlemanWunsch(ea, eb))
+	}
+	total := f1.NumInstrs() + f2.NumInstrs()
+	if total == 0 {
+		return 1
+	}
+	return float64(2*matched) / float64(total)
+}

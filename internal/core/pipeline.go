@@ -1,0 +1,420 @@
+// Package core assembles the paper's systems into whole-module
+// function-merging passes:
+//
+//   - HyFM, the state-of-the-art baseline (Section II): opcode-frequency
+//     fingerprints ranked by exhaustive nearest-neighbour search;
+//   - F3M static (Section III): MinHash fingerprints ranked through an
+//     LSH index with fixed k=200, r=2, b=100;
+//   - F3M adaptive (Section III-D): threshold and band count derived
+//     from the function count via Equations 3 and 4.
+//
+// A Run reports the same stage breakdown the paper's Figures 3 and 13
+// plot (preprocessing, ranking, alignment and code generation, each
+// split by whether the attempted merge succeeded) plus the pair log the
+// distribution figures are built from.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"f3m/internal/fingerprint"
+	"f3m/internal/ir"
+	"f3m/internal/lsh"
+	"f3m/internal/merge"
+)
+
+// Strategy selects the ranking mechanism.
+type Strategy int
+
+// Available strategies.
+const (
+	// HyFM: opcode-frequency fingerprints, exhaustive O(n^2) ranking.
+	HyFM Strategy = iota
+	// F3MStatic: MinHash + LSH with the paper's fixed defaults.
+	F3MStatic
+	// F3MAdaptive: MinHash + LSH with Equations 3 and 4 choosing the
+	// threshold, band count and fingerprint size.
+	F3MAdaptive
+)
+
+// String names the strategy as in the paper's legends.
+func (s Strategy) String() string {
+	switch s {
+	case HyFM:
+		return "HyFM"
+	case F3MStatic:
+		return "F3M"
+	case F3MAdaptive:
+		return "F3M-adapt"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// Config parameterizes a pass run.
+type Config struct {
+	Strategy Strategy
+
+	// K is the MinHash fingerprint size (F3M only). Zero means the
+	// static default 200, or the adaptive choice under F3MAdaptive.
+	K int
+
+	// Rows and Bands are the LSH shape (F3M only). Zero means r=2 and
+	// b=K/r.
+	Rows, Bands int
+
+	// Threshold is the minimum MinHash similarity for a candidate to
+	// be attempted (F3M only). Under F3MAdaptive it is derived from
+	// the function count unless explicitly set non-negative here.
+	// Use a negative value to request the default.
+	Threshold float64
+
+	// BucketCap caps per-bucket comparisons (F3M only); 0 = paper
+	// default 100; negative = unlimited.
+	BucketCap int
+
+	// Seed selects the MinHash hash family.
+	Seed uint64
+
+	// Hotness, when set, enables the profile-guided extension the
+	// paper sketches as future work (Section IV-F): among candidates
+	// of nearly equal similarity, the ranking prefers the least
+	// frequently executed one, steering merge overhead away from hot
+	// code. The value is a per-function execution weight (e.g. call
+	// counts from the interpreter).
+	Hotness func(name string) float64
+
+	// HotnessSlack is the similarity band treated as "equally good"
+	// when Hotness is set (default 0.05).
+	HotnessSlack float64
+
+	// HotSkip, when positive and Hotness is set, excludes functions
+	// with hotness >= HotSkip from merging altogether: guard and
+	// select overhead never lands on the hot set, trading a little
+	// code-size reduction for (nearly) zero runtime overhead — the
+	// full version of the paper's Section IV-F conjecture.
+	HotSkip float64
+
+	// MergeOpts tune code generation and profitability.
+	MergeOpts merge.Options
+}
+
+// DefaultConfig returns the configuration for a strategy with the
+// paper's defaults.
+func DefaultConfig(s Strategy) Config {
+	return Config{
+		Strategy:  s,
+		Threshold: -1,
+		Seed:      0xF3F3F3F3,
+		MergeOpts: merge.DefaultOptions(),
+	}
+}
+
+// StageTimes is the cost breakdown of one run, mirroring the stage
+// split of Figures 3 and 13. Ranking time is attributed to Success or
+// Fail according to the outcome of the merge attempt it led to (no
+// candidate counts as Fail).
+type StageTimes struct {
+	Preprocess     time.Duration
+	RankSuccess    time.Duration
+	RankFail       time.Duration
+	AlignSuccess   time.Duration
+	AlignFail      time.Duration
+	CodegenSuccess time.Duration
+	CodegenFail    time.Duration
+}
+
+// Total sums all stages.
+func (t StageTimes) Total() time.Duration {
+	return t.Preprocess + t.RankSuccess + t.RankFail +
+		t.AlignSuccess + t.AlignFail + t.CodegenSuccess + t.CodegenFail
+}
+
+// PairOutcome logs one ranking decision and its merge outcome; the
+// distribution figures (6 and 9) are drawn from these.
+type PairOutcome struct {
+	A, B string
+
+	// Similarity is the fingerprint similarity under the strategy's
+	// metric (normalized frequency similarity for HyFM, MinHash
+	// Jaccard estimate for F3M).
+	Similarity float64
+
+	// Attempted is false when ranking produced no candidate.
+	Attempted bool
+
+	// Profitable reports whether the merge was committed.
+	Profitable bool
+
+	// Saving is the size-model reduction achieved (0 when not
+	// committed).
+	Saving int
+
+	// MergeDur is the align+codegen time spent on the attempt.
+	MergeDur time.Duration
+}
+
+// Report summarizes a pass run.
+type Report struct {
+	Strategy              Strategy
+	NumFuncs              int
+	Attempts              int
+	Merges                int
+	SizeBefore, SizeAfter int
+	Times                 StageTimes
+	Pairs                 []PairOutcome
+
+	// Threshold/Bands/K record the effective parameters (interesting
+	// under F3MAdaptive).
+	Threshold float64
+	Bands, K  int
+
+	// LSHStats carries bucket counters (F3M only).
+	LSHStats lsh.IndexStats
+}
+
+// Reduction is the fractional code-size reduction achieved.
+func (r *Report) Reduction() float64 {
+	if r.SizeBefore == 0 {
+		return 0
+	}
+	return 1 - float64(r.SizeAfter)/float64(r.SizeBefore)
+}
+
+// ModuleCost is the size model applied to a whole module.
+func ModuleCost(m *ir.Module) int {
+	c := 0
+	for _, f := range m.Funcs {
+		c += merge.Cost(f)
+	}
+	return c
+}
+
+// Run applies the configured function-merging pass to the module,
+// mutating it in place, and returns the report.
+func Run(m *ir.Module, cfg Config) (*Report, error) {
+	switch cfg.Strategy {
+	case HyFM:
+		return runHyFM(m, cfg)
+	case F3MStatic, F3MAdaptive:
+		return runF3M(m, cfg)
+	}
+	return nil, fmt.Errorf("core: unknown strategy %d", cfg.Strategy)
+}
+
+// withCallIndex builds the live call-site index the merger uses for
+// profitability and for rewriting call sites without whole-module
+// walks (one walk here instead of two per commit).
+func withCallIndex(m *ir.Module, cfg Config) Config {
+	if cfg.MergeOpts.Index == nil && cfg.MergeOpts.CallSiteCount == nil {
+		cfg.MergeOpts.Index = merge.NewCallIndex(m)
+	}
+	return cfg
+}
+
+// candidates snapshots the mergeable function definitions.
+func candidates(m *ir.Module) []*ir.Function {
+	var out []*ir.Function
+	for _, f := range m.Funcs {
+		if !f.IsDecl() && !f.Sig.Variadic {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// attemptMerge runs align+codegen+profitability for one ranked pair and
+// commits on success, updating the report stages.
+func attemptMerge(m *ir.Module, fa, fb *ir.Function, cfg Config, rep *Report, rankDur time.Duration, sim float64) bool {
+	res, err := merge.Pair(m, fa, fb, cfg.MergeOpts)
+	outcome := PairOutcome{A: fa.Name(), B: fb.Name(), Similarity: sim, Attempted: true}
+	if err != nil {
+		// Incompatible pairs cost ranking plus a trivial align check.
+		if !errors.Is(err, merge.ErrIncompatible) {
+			panic(fmt.Sprintf("core: merge failed: %v", err))
+		}
+		rep.Times.RankFail += rankDur
+		rep.Pairs = append(rep.Pairs, outcome)
+		rep.Attempts++
+		return false
+	}
+	rep.Attempts++
+	outcome.MergeDur = res.AlignDur + res.CodegenDur
+	if res.Profitable {
+		merge.Commit(m, res)
+		rep.Merges++
+		rep.Times.RankSuccess += rankDur
+		rep.Times.AlignSuccess += res.AlignDur
+		rep.Times.CodegenSuccess += res.CodegenDur
+		outcome.Profitable = true
+		outcome.Saving = res.SizeSaving()
+		rep.Pairs = append(rep.Pairs, outcome)
+		return true
+	}
+	merge.Discard(m, res)
+	rep.Times.RankFail += rankDur
+	rep.Times.AlignFail += res.AlignDur
+	rep.Times.CodegenFail += res.CodegenDur
+	rep.Pairs = append(rep.Pairs, outcome)
+	return false
+}
+
+// runHyFM is the baseline: exhaustive nearest-neighbour ranking over
+// opcode-frequency fingerprints.
+func runHyFM(m *ir.Module, cfg Config) (*Report, error) {
+	rep := &Report{Strategy: HyFM}
+	rep.SizeBefore = ModuleCost(m)
+	cfg = withCallIndex(m, cfg)
+
+	start := time.Now()
+	funcs := candidates(m)
+	rep.NumFuncs = len(funcs)
+	fps := make([]*fingerprint.FreqVector, len(funcs))
+	for i, f := range funcs {
+		fps[i] = fingerprint.FreqFunc(f)
+	}
+	rep.Times.Preprocess = time.Since(start)
+
+	merged := make([]bool, len(funcs))
+	for i := range funcs {
+		if merged[i] {
+			continue
+		}
+		rankStart := time.Now()
+		best, bestDist := -1, int(^uint(0)>>1)
+		for j := range funcs {
+			if j == i || merged[j] {
+				continue
+			}
+			if d := fps[i].Distance(fps[j]); d < bestDist {
+				best, bestDist = j, d
+			}
+		}
+		rankDur := time.Since(rankStart)
+		if best < 0 {
+			rep.Times.RankFail += rankDur
+			rep.Pairs = append(rep.Pairs, PairOutcome{A: funcs[i].Name()})
+			continue
+		}
+		sim := fps[i].Similarity(fps[best])
+		if attemptMerge(m, funcs[i], funcs[best], cfg, rep, rankDur, sim) {
+			merged[i], merged[best] = true, true
+		}
+	}
+	rep.SizeAfter = ModuleCost(m)
+	return rep, nil
+}
+
+// runF3M ranks with MinHash + LSH, with static or adaptive parameters.
+func runF3M(m *ir.Module, cfg Config) (*Report, error) {
+	rep := &Report{Strategy: cfg.Strategy}
+	rep.SizeBefore = ModuleCost(m)
+	cfg = withCallIndex(m, cfg)
+
+	start := time.Now()
+	funcs := candidates(m)
+	rep.NumFuncs = len(funcs)
+
+	// Resolve parameters.
+	k, rows, bands := cfg.K, cfg.Rows, cfg.Bands
+	threshold := cfg.Threshold
+	if cfg.Strategy == F3MAdaptive {
+		at, params, ak := lsh.AdaptiveParams(len(funcs))
+		if threshold < 0 {
+			threshold = at
+		}
+		if k == 0 {
+			k = ak
+		}
+		if rows == 0 {
+			rows = params.Rows
+		}
+		if bands == 0 {
+			bands = params.Bands
+		}
+	} else {
+		if threshold < 0 {
+			threshold = 0
+		}
+		if k == 0 {
+			k = 200
+		}
+		if rows == 0 {
+			rows = 2
+		}
+		if bands == 0 {
+			bands = k / rows
+		}
+	}
+	rep.Threshold, rep.Bands, rep.K = threshold, bands, k
+
+	mhCfg := &fingerprint.Config{K: k, ShingleSize: 2, Seed: cfg.Seed}
+	sigs := make([]fingerprint.MinHash, len(funcs))
+	ix := lsh.NewIndex(lsh.Params{Rows: rows, Bands: bands, BucketCap: cfg.BucketCap})
+	for i, f := range funcs {
+		sigs[i] = mhCfg.New(fingerprint.EncodeFunc(f))
+		ix.Insert(i, sigs[i])
+	}
+	rep.Times.Preprocess = time.Since(start)
+
+	hotSkip := func(i int) bool {
+		return cfg.Hotness != nil && cfg.HotSkip > 0 && cfg.Hotness(funcs[i].Name()) >= cfg.HotSkip
+	}
+
+	merged := make([]bool, len(funcs))
+	for i := range funcs {
+		if merged[i] || hotSkip(i) {
+			continue
+		}
+		rankStart := time.Now()
+		accept := func(id int) bool { return !merged[id] && !hotSkip(id) }
+		var best lsh.Candidate
+		var found bool
+		if cfg.Hotness == nil {
+			best, found = ix.BestWhere(i, sigs[i], threshold, accept)
+		} else {
+			// Profile-guided selection needs the candidate list: among
+			// candidates within the similarity slack of the best, pick
+			// the coldest.
+			cands := ix.Query(i, sigs[i], threshold)
+			for _, c := range cands {
+				if accept(c.ID) {
+					best = c
+					found = true
+					break
+				}
+			}
+			if found {
+				slack := cfg.HotnessSlack
+				if slack == 0 {
+					slack = 0.05
+				}
+				coldest := cfg.Hotness(funcs[best.ID].Name())
+				for _, c := range cands {
+					if !accept(c.ID) || c.Similarity < best.Similarity-slack {
+						continue
+					}
+					if h := cfg.Hotness(funcs[c.ID].Name()); h < coldest {
+						coldest = h
+						best = c
+					}
+				}
+			}
+		}
+		rankDur := time.Since(rankStart)
+		if !found {
+			rep.Times.RankFail += rankDur
+			rep.Pairs = append(rep.Pairs, PairOutcome{A: funcs[i].Name()})
+			continue
+		}
+		if attemptMerge(m, funcs[i], funcs[best.ID], cfg, rep, rankDur, best.Similarity) {
+			merged[i], merged[best.ID] = true, true
+			ix.Remove(i, sigs[i])
+			ix.Remove(best.ID, sigs[best.ID])
+		}
+	}
+	rep.LSHStats = ix.Stats()
+	rep.SizeAfter = ModuleCost(m)
+	return rep, nil
+}

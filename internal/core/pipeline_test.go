@@ -1,0 +1,374 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"f3m/internal/interp"
+	"f3m/internal/ir"
+	"f3m/internal/irgen"
+)
+
+// addDrivers appends one variadic driver per mergeable function; each
+// driver calls its target with two fixed argument tuples and folds the
+// results. Variadic functions are never merge candidates, so drivers
+// survive the pass while their call sites get rewritten — giving the
+// tests stable entry points for before/after differential checks.
+func addDrivers(m *ir.Module) []string {
+	c := m.Ctx
+	var names []string
+	for _, f := range candidates(m) {
+		dn := "drv_" + f.Name()
+		d := m.NewFunc(dn, c.VariadicFunc(c.I32))
+		entry := d.NewBlock("entry")
+		bd := ir.NewBuilder(entry)
+		mk := func(salt int64) ir.Value {
+			args := make([]ir.Value, len(f.Params))
+			for i, p := range f.Params {
+				if p.Ty.IsFloat() {
+					args[i] = ir.ConstFloat(p.Ty, float64(salt)+0.5)
+				} else {
+					args[i] = ir.ConstInt(p.Ty, salt+int64(i))
+				}
+			}
+			r := ir.Value(bd.Call(f, args...))
+			switch rt := f.ReturnType(); {
+			case rt == c.I32:
+			case rt.IsFloat():
+				r = bd.Cast(ir.OpFPToSI, r, c.I32)
+			case rt.IsInt() && rt.Bits > 32:
+				r = bd.Cast(ir.OpTrunc, r, c.I32)
+			case rt.IsInt():
+				r = bd.Cast(ir.OpSExt, r, c.I32)
+			default:
+				r = ir.ConstInt(c.I32, 0)
+			}
+			return r
+		}
+		r1 := mk(3)
+		r2 := mk(11)
+		sum := bd.Binary(ir.OpXor, r1, r2)
+		bd.Ret(sum)
+		names = append(names, dn)
+	}
+	return names
+}
+
+func runDriver(t *testing.T, m *ir.Module, name string) int64 {
+	t.Helper()
+	mach := interp.NewMachine(m)
+	mach.StepLimit = 20_000_000
+	out, err := mach.Call(m.Func(name))
+	if err != nil {
+		t.Fatalf("driver %s: %v", name, err)
+	}
+	return out.I
+}
+
+// checkStrategy generates a module, snapshots behavior, runs the
+// strategy, and verifies semantics and structural invariants.
+func checkStrategy(t *testing.T, strat Strategy, seed int64) *Report {
+	t.Helper()
+	cfg := irgen.DefaultConfig(seed)
+	cfg.Callers = 0
+	gen := irgen.Generate(cfg)
+	work := gen.Module
+	drivers := addDrivers(work)
+
+	// Reference behaviour from an identical module.
+	ref := irgen.Generate(cfg).Module
+	addDrivers(ref)
+
+	want := make(map[string]int64, len(drivers))
+	for _, d := range drivers {
+		want[d] = runDriver(t, ref, d)
+	}
+
+	rep, err := Run(work, DefaultConfig(strat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.VerifyModule(work); err != nil {
+		t.Fatalf("%v: module invalid after pass: %v", strat, err)
+	}
+	for _, d := range drivers {
+		if got := runDriver(t, work, d); got != want[d] {
+			t.Errorf("%v: %s = %d, want %d", strat, d, got, want[d])
+		}
+	}
+	if rep.SizeAfter != ModuleCost(work) {
+		t.Errorf("SizeAfter = %d, module cost = %d", rep.SizeAfter, ModuleCost(work))
+	}
+	return rep
+}
+
+func TestHyFMPreservesSemantics(t *testing.T) {
+	rep := checkStrategy(t, HyFM, 101)
+	if rep.Merges == 0 {
+		t.Error("HyFM merged nothing on a family-rich module")
+	}
+	if rep.Reduction() <= 0 {
+		t.Errorf("HyFM reduction = %v, want > 0", rep.Reduction())
+	}
+}
+
+func TestF3MStaticPreservesSemantics(t *testing.T) {
+	rep := checkStrategy(t, F3MStatic, 102)
+	if rep.Merges == 0 {
+		t.Error("F3M merged nothing on a family-rich module")
+	}
+	if rep.Reduction() <= 0 {
+		t.Errorf("F3M reduction = %v, want > 0", rep.Reduction())
+	}
+	if rep.K != 200 || rep.Bands != 100 {
+		t.Errorf("static params k=%d b=%d, want 200/100", rep.K, rep.Bands)
+	}
+}
+
+func TestF3MAdaptivePreservesSemantics(t *testing.T) {
+	rep := checkStrategy(t, F3MAdaptive, 103)
+	if rep.Merges == 0 {
+		t.Error("F3M-adapt merged nothing on a family-rich module")
+	}
+	// Small module: adaptive should pick the conservative threshold.
+	if rep.Threshold != 0.05 {
+		t.Errorf("adaptive threshold = %v, want 0.05", rep.Threshold)
+	}
+	if rep.Bands != 100 {
+		t.Errorf("adaptive bands = %d, want 100 for small programs", rep.Bands)
+	}
+}
+
+// TestF3MFindsPlantedClones: functions from the same family should
+// dominate the committed pairs.
+func TestF3MFindsPlantedClones(t *testing.T) {
+	cfg := irgen.DefaultConfig(55)
+	cfg.Families = 15
+	cfg.FamilySizeMin, cfg.FamilySizeMax = 2, 2
+	cfg.MutationMin, cfg.MutationMax = 0, 0.1 // near-identical clones
+	cfg.Singletons = 30
+	cfg.Callers = 0
+	gen := irgen.Generate(cfg)
+
+	rep, err := Run(gen.Module, DefaultConfig(F3MStatic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Merges < 10 {
+		t.Errorf("merged %d pairs, want >= 10 of 15 planted", rep.Merges)
+	}
+	fam := func(name string) string {
+		for i := 0; i < len(name); i++ {
+			if name[i] == '_' {
+				return name[:i]
+			}
+		}
+		return name
+	}
+	sameFamily := 0
+	for _, p := range rep.Pairs {
+		if p.Profitable && fam(p.A) == fam(p.B) && fam(p.A) != p.A {
+			sameFamily++
+		}
+	}
+	// Cross-family merges can be legitimately profitable (singletons
+	// that happen to match), so require a clear majority rather than
+	// exclusivity.
+	if sameFamily*5 < rep.Merges*3 {
+		t.Errorf("only %d/%d committed pairs were intra-family", sameFamily, rep.Merges)
+	}
+}
+
+// TestRankingCostScaling: F3M's LSH must perform far fewer fingerprint
+// comparisons than HyFM's exhaustive scan on the same population.
+func TestRankingComparisonsScale(t *testing.T) {
+	cfg := irgen.DefaultConfig(77)
+	cfg.Families = 200
+	cfg.Singletons = 500
+	cfg.Callers = 0
+	gen := irgen.Generate(cfg)
+	n := len(candidates(gen.Module))
+
+	rep, err := Run(gen.Module, DefaultConfig(F3MStatic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HyFM's ranking scans all other functions for every query, so the
+	// exhaustive baseline is n(n-1) fingerprint comparisons.
+	exhaustive := int64(n) * int64(n-1)
+	if rep.LSHStats.Comparisons >= exhaustive/3 {
+		t.Errorf("LSH comparisons %d not clearly below exhaustive %d (n=%d)", rep.LSHStats.Comparisons, exhaustive, n)
+	}
+}
+
+func TestReportBookkeeping(t *testing.T) {
+	cfg := irgen.DefaultConfig(9)
+	cfg.Callers = 0
+	gen := irgen.Generate(cfg)
+	rep, err := Run(gen.Module, DefaultConfig(F3MStatic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumFuncs == 0 || len(rep.Pairs) == 0 {
+		t.Fatal("empty report")
+	}
+	if rep.Attempts < rep.Merges {
+		t.Errorf("attempts %d < merges %d", rep.Attempts, rep.Merges)
+	}
+	if rep.Times.Total() <= 0 {
+		t.Error("no time recorded")
+	}
+	commits := 0
+	for _, p := range rep.Pairs {
+		if p.Profitable {
+			commits++
+		}
+	}
+	if commits != rep.Merges {
+		t.Errorf("pair log commits %d != merges %d", commits, rep.Merges)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for s, want := range map[Strategy]string{HyFM: "HyFM", F3MStatic: "F3M", F3MAdaptive: "F3M-adapt"} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestHyFMvsF3MQuality(t *testing.T) {
+	// On the same module, F3M's committed merges should achieve at
+	// least comparable total saving to HyFM (the paper's Fig. 11 shows
+	// F3M matching or beating HyFM).
+	mkModule := func() *ir.Module {
+		cfg := irgen.DefaultConfig(31)
+		cfg.Families = 30
+		cfg.Singletons = 40
+		cfg.Callers = 0
+		return irgen.Generate(cfg).Module
+	}
+	repH, err := Run(mkModule(), DefaultConfig(HyFM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repF, err := Run(mkModule(), DefaultConfig(F3MStatic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("HyFM: merges=%d reduction=%.3f; F3M: merges=%d reduction=%.3f",
+		repH.Merges, repH.Reduction(), repF.Merges, repF.Reduction())
+	if repF.Reduction() < repH.Reduction()*0.7 {
+		t.Errorf("F3M reduction %.3f far below HyFM %.3f", repF.Reduction(), repH.Reduction())
+	}
+}
+
+// TestRunIsIdempotent: a second pass over an already-merged module
+// must keep the module valid and never increase its size.
+func TestRunIsIdempotent(t *testing.T) {
+	cfg := irgen.DefaultConfig(21)
+	cfg.Callers = 0
+	m := irgen.Generate(cfg).Module
+	rep1, err := Run(m, DefaultConfig(F3MStatic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Run(m, DefaultConfig(F3MStatic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+	if rep2.SizeAfter > rep2.SizeBefore {
+		t.Errorf("second pass grew the module: %d -> %d", rep2.SizeBefore, rep2.SizeAfter)
+	}
+	if rep2.Merges > rep1.Merges {
+		t.Errorf("second pass merged more (%d) than the first (%d)", rep2.Merges, rep1.Merges)
+	}
+}
+
+// TestSeedsSweep runs the full pipeline over several seeds as a
+// robustness net for generator corner cases.
+func TestSeedsSweep(t *testing.T) {
+	for seed := int64(200); seed < 205; seed++ {
+		cfg := irgen.DefaultConfig(seed)
+		cfg.Families, cfg.Singletons, cfg.Callers = 10, 10, 5
+		m := irgen.Generate(cfg).Module
+		rep, err := Run(m, DefaultConfig(F3MAdaptive))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := ir.VerifyModule(m); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.SizeAfter > rep.SizeBefore {
+			t.Errorf("seed %d: module grew", seed)
+		}
+	}
+}
+
+// TestProfileGuidedSelection: with a hotness profile, an identical
+// triplet must merge its two cold members and leave the hot one alone.
+func TestProfileGuidedSelection(t *testing.T) {
+	src := `
+define i32 @cold1(i32 %x) {
+entry:
+  %a = add i32 %x, 3
+  %b = mul i32 %a, 7
+  %c = xor i32 %b, 11
+  ret i32 %c
+}
+define i32 @hot(i32 %x) {
+entry:
+  %a = add i32 %x, 3
+  %b = mul i32 %a, 7
+  %c = xor i32 %b, 11
+  ret i32 %c
+}
+define i32 @cold2(i32 %x) {
+entry:
+  %a = add i32 %x, 3
+  %b = mul i32 %a, 7
+  %c = xor i32 %b, 11
+  ret i32 %c
+}`
+	m, err := ir.ParseModule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(F3MStatic)
+	cfg.Hotness = func(name string) float64 {
+		if name == "hot" {
+			return 1000
+		}
+		return 1
+	}
+	cfg.HotSkip = 100
+	rep, err := Run(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Merges != 1 {
+		t.Fatalf("merges = %d, want 1", rep.Merges)
+	}
+	if m.Func("hot") == nil {
+		t.Error("hot function was merged away despite HotSkip")
+	}
+	for _, p := range rep.Pairs {
+		if p.Profitable && (p.A == "hot" || p.B == "hot") {
+			t.Errorf("hot function participated in pair %s+%s", p.A, p.B)
+		}
+	}
+}
+
+func ExampleRun() {
+	gen := irgen.Generate(irgen.Config{
+		Seed: 1, Families: 5, FamilySizeMin: 2, FamilySizeMax: 3,
+		Singletons: 5, BlocksMin: 2, BlocksMax: 4, InstrsMin: 3, InstrsMax: 8,
+		MutationMin: 0, MutationMax: 0.2,
+	})
+	rep, _ := Run(gen.Module, DefaultConfig(F3MStatic))
+	fmt.Println(rep.Merges > 0, rep.Reduction() > 0)
+	// Output: true true
+}

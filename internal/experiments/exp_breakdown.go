@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"f3m/internal/core"
+	"f3m/internal/irgen"
+)
+
+// breakdownSuites picks the three program sizes Figure 3 plots
+// (perlbench-, linux- and chrome-shaped).
+func breakdownSuites(o Options) []irgen.SuiteSpec {
+	var out []irgen.SuiteSpec
+	for _, s := range suitesFor(o) {
+		switch s.Name {
+		case "400.perlbench", "linux-shaped", "chrome-shaped":
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Fig3 reproduces the HyFM stage breakdown across program sizes: for
+// small programs ranking is a minor cost, while for large ones the
+// quadratic ranking dominates everything (the paper's 46-hour Chrome
+// run is 99%+ ranking).
+func Fig3(o Options) *Table {
+	t := &Table{
+		ID:     "fig3",
+		Title:  "HyFM compilation-stage breakdown by program size",
+		Header: []string{"workload", "funcs", "total", "preprocess", "rank-succ", "rank-fail", "align-succ", "align-fail", "codegen-succ", "codegen-fail", "rank share"},
+	}
+	for _, s := range breakdownSuites(o) {
+		rep := runStrategyOnSuite(s, o.Seed, core.DefaultConfig(core.HyFM))
+		tt := rep.Times
+		total := tt.Total()
+		rankShare := float64(tt.RankSuccess+tt.RankFail) / float64(total)
+		t.AddRow(s.Name, fmt.Sprintf("%d", rep.NumFuncs), secs(total),
+			ms(tt.Preprocess), ms(tt.RankSuccess), ms(tt.RankFail),
+			ms(tt.AlignSuccess), ms(tt.AlignFail), ms(tt.CodegenSuccess), ms(tt.CodegenFail),
+			fmt.Sprintf("%.1f%%", 100*rankShare))
+	}
+	t.Notef("paper: ranking is small for 400.perlbench, 80%% of HyFM time on Linux, ~100%% on Chrome")
+	return t
+}
+
+// Fig13 reproduces the merge-pass stage breakdown per strategy,
+// normalized to HyFM's total on the same workload: F3M eliminates most
+// of the ranking cost on large programs; on small ones the MinHash
+// preprocessing costs slightly more.
+func Fig13(o Options) *Table {
+	t := &Table{
+		ID:     "fig13",
+		Title:  "Merge-pass stage breakdown, normalized to HyFM total per workload",
+		Header: []string{"workload", "strategy", "preprocess", "ranking", "align", "codegen", "total"},
+	}
+	suites := smallSuitesFor(o, 15000)
+	for _, s := range suites {
+		var hyfmTotal time.Duration
+		for _, strat := range []core.Strategy{core.HyFM, core.F3MStatic, core.F3MAdaptive} {
+			rep := runStrategyOnSuite(s, o.Seed, core.DefaultConfig(strat))
+			tt := rep.Times
+			if strat == core.HyFM {
+				hyfmTotal = tt.Total()
+			}
+			norm := func(d time.Duration) string {
+				if hyfmTotal == 0 {
+					return "-"
+				}
+				return fmt.Sprintf("%.1f%%", 100*float64(d)/float64(hyfmTotal))
+			}
+			t.AddRow(s.Name, strat.String(),
+				norm(tt.Preprocess),
+				norm(tt.RankSuccess+tt.RankFail),
+				norm(tt.AlignSuccess+tt.AlignFail),
+				norm(tt.CodegenSuccess+tt.CodegenFail),
+				norm(tt.Total()))
+		}
+	}
+	t.Notef("paper: for larger programs the HyFM bar is dominated by ranking, which the F3M bars eliminate")
+	return t
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"f3m/internal/core"
+	"f3m/internal/interp"
+	"f3m/internal/irgen"
+	"f3m/internal/stats"
+)
+
+// ExtProfile evaluates the profile-guided extension the paper proposes
+// as future work (Section IV-F): "a more performance-aware
+// implementation of function merging would use profiling information
+// to influence candidate selection towards infrequently used
+// functions. This would eliminate all or almost all performance
+// overhead." We profile each workload with the interpreter, feed call
+// counts into the ranking's candidate selection, and compare the
+// dynamic-instruction overhead of plain F3M against profile-guided
+// F3M, plus the code-size cost of the steering.
+func ExtProfile(o Options) *Table {
+	t := &Table{
+		ID:     "ext-profile",
+		Title:  "Profile-guided candidate selection (paper Sec. IV-F future work)",
+		Header: []string{"workload", "F3M overhead", "F3M+profile overhead", "F3M reduction", "F3M+profile reduction"},
+	}
+	suites := smallSuitesFor(o, 3000)
+	if o.Quick && len(suites) > 5 {
+		suites = suites[:5]
+	}
+	var plainOv, profOv, plainRed, profRed []float64
+	for _, s := range suites {
+		base, counts := profiledRun(s, o.Seed, nil)
+
+		plainCfg := core.DefaultConfig(core.F3MStatic)
+		plain, _ := profiledRun(s, o.Seed, &plainCfg)
+
+		profCfg := core.DefaultConfig(core.F3MStatic)
+		profCfg.Hotness = func(name string) float64 { return float64(counts[name]) }
+		// Skip the hot set: functions called more than 8x the median.
+		profCfg.HotSkip = 8 * medianCount(counts)
+		prof, _ := profiledRun(s, o.Seed, &profCfg)
+
+		po := float64(plain.steps-base.steps) / float64(base.steps)
+		fo := float64(prof.steps-base.steps) / float64(base.steps)
+		plainOv = append(plainOv, po)
+		profOv = append(profOv, fo)
+		plainRed = append(plainRed, plain.reduction)
+		profRed = append(profRed, prof.reduction)
+		t.AddRow(s.Name, pct(po), pct(fo),
+			fmt.Sprintf("%.2f%%", 100*plain.reduction),
+			fmt.Sprintf("%.2f%%", 100*prof.reduction))
+	}
+	t.AddRow("AVERAGE", pct(stats.Mean(plainOv)), pct(stats.Mean(profOv)),
+		fmt.Sprintf("%.2f%%", 100*stats.Mean(plainRed)),
+		fmt.Sprintf("%.2f%%", 100*stats.Mean(profRed)))
+	t.Notef("paper's conjecture: steering selection to cold candidates should remove most runtime overhead at little size cost")
+	return t
+}
+
+// medianCount returns the median positive call count.
+func medianCount(counts map[string]int64) float64 {
+	var vals []float64
+	for _, c := range counts {
+		if c > 0 {
+			vals = append(vals, float64(c))
+		}
+	}
+	return stats.Median(vals)
+}
+
+type profiledResult struct {
+	steps     int64
+	reduction float64
+}
+
+// profiledRun generates the suite with drivers, optionally merges with
+// cfg, interprets all drivers, and returns dynamic instructions plus
+// (when merged) the size reduction. It also returns the call-count
+// profile of the run.
+func profiledRun(s irgen.SuiteSpec, seed int64, cfg *core.Config) (profiledResult, map[string]int64) {
+	m := genSuite(s, seed)
+	drivers := irgen.AddDrivers(m)
+	// Real programs concentrate runtime in a small hot set; plant that
+	// skew so the profile carries a signal (1 in 8 functions runs 64x
+	// hotter).
+	drivers = append(drivers, irgen.AddHotDrivers(m, 8, 64)...)
+	var res profiledResult
+	if cfg != nil {
+		rep, err := core.Run(m, *cfg)
+		if err != nil {
+			panic(err)
+		}
+		res.reduction = rep.Reduction()
+	}
+	mach := interp.NewMachine(m)
+	mach.StepLimit = 1 << 62
+	for _, d := range drivers {
+		if _, err := mach.Call(m.Func(d)); err != nil {
+			panic(fmt.Sprintf("experiments: driver %s: %v", d, err))
+		}
+	}
+	res.steps = mach.Steps
+	return res, mach.CallCounts
+}

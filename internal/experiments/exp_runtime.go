@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"f3m/internal/core"
+	"f3m/internal/interp"
+	"f3m/internal/ir"
+	"f3m/internal/irgen"
+	"f3m/internal/stats"
+)
+
+// Fig17 reproduces the program-performance impact of merged code.
+// Merging inserts guards and selects on the function-identifier path,
+// so merged functions execute extra dynamic instructions. The paper
+// measures SPEC runtimes; here the interpreter counts dynamic
+// instructions over a fixed driver workload before and after merging.
+func Fig17(o Options) *Table {
+	t := &Table{
+		ID:     "fig17",
+		Title:  "Runtime impact: dynamic-instruction overhead of merged code",
+		Header: []string{"workload", "baseline instrs", "HyFM", "F3M", "F3M-adapt"},
+	}
+	suites := smallSuitesFor(o, 3000)
+	if o.Quick && len(suites) > 5 {
+		suites = suites[:5]
+	}
+	var over [3][]float64
+	for _, s := range suites {
+		base := dynInstrs(s, o.Seed, nil)
+		row := []string{s.Name, fmt.Sprintf("%d", base), "", "", ""}
+		for si, strat := range sizeStrategies {
+			cfg := core.DefaultConfig(strat)
+			merged := dynInstrs(s, o.Seed, &cfg)
+			ov := float64(merged-base) / float64(base)
+			over[si] = append(over[si], ov)
+			row[2+si] = pct(ov)
+		}
+		t.AddRow(row...)
+	}
+	t.AddRow("AVERAGE", "",
+		pct(stats.Mean(over[0])), pct(stats.Mean(over[1])), pct(stats.Mean(over[2])))
+	t.Notef("paper: average slowdown 3.9-5%% across affected SPEC benchmarks, mostly below 5%% per benchmark")
+	return t
+}
+
+// dynInstrs generates the suite, optionally merges it, then interprets
+// every driver and returns the total dynamic instruction count.
+func dynInstrs(s irgen.SuiteSpec, seed int64, cfg *core.Config) int64 {
+	m := genSuite(s, seed)
+	drivers := irgen.AddDrivers(m)
+	if cfg != nil {
+		if _, err := core.Run(m, *cfg); err != nil {
+			panic(err)
+		}
+	}
+	mach := interp.NewMachine(m)
+	mach.StepLimit = 1 << 62
+	for _, d := range drivers {
+		if _, err := mach.Call(m.Func(d)); err != nil {
+			panic(fmt.Sprintf("experiments: driver %s: %v\n%s", d, err, ir.FuncString(m.Func(d))))
+		}
+	}
+	return mach.Steps
+}

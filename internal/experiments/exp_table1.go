@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"fmt"
+
+	"f3m/internal/core"
+	"f3m/internal/irgen"
+)
+
+// Table1 reproduces the paper's workload table: every evaluated
+// program with its function count and size. The synthetic suites are
+// shaped after the paper's rows (SPEC-sized suites use the paper's
+// reported function counts; the linux/chrome rows are scaled down, see
+// DESIGN.md).
+func Table1(o Options) *Table {
+	t := &Table{
+		ID:     "table1",
+		Title:  "Workloads (synthetic analogues of the paper's Table I)",
+		Header: []string{"workload", "functions", "instructions", "size-model cost", "family functions"},
+	}
+	for _, s := range suitesFor(o) {
+		res := irgen.Generate(s.Config(o.Seed))
+		m := res.Module
+		fam := 0
+		for _, inf := range res.Info {
+			if inf.Family >= 0 {
+				fam++
+			}
+		}
+		t.AddRow(s.Name,
+			fmt.Sprintf("%d", len(m.Funcs)),
+			fmt.Sprintf("%d", m.NumInstrs()),
+			fmt.Sprintf("%d", core.ModuleCost(m)),
+			fmt.Sprintf("%d", fam),
+		)
+	}
+	t.Notef("seed %d; quick=%v. Function counts follow Table I; linux/chrome rows scaled (DESIGN.md).", o.Seed, o.Quick)
+	return t
+}

@@ -1,0 +1,254 @@
+// Package experiments regenerates every table and figure of the F3M
+// paper's evaluation on the synthetic workload suites. Each experiment
+// is a function from Options to a renderable Table; the registry maps
+// the paper's table/figure numbers to runners, and cmd/f3m-experiments
+// prints them.
+//
+// Absolute numbers differ from the paper (the substrate is a synthetic
+// IR population and an instruction-count cost model, not LLVM on SPEC
+// and Chrome), but each experiment reproduces the paper's *shape*: who
+// wins, by roughly what factor, and where the trends cross. Paper-vs-
+// measured numbers are recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"f3m/internal/core"
+	"f3m/internal/ir"
+	"f3m/internal/irgen"
+)
+
+// Options tune experiment scale.
+type Options struct {
+	// Seed drives workload generation.
+	Seed int64
+
+	// Quick shrinks the workloads so the whole registry runs in a few
+	// minutes; the full configuration takes tens of minutes (dominated
+	// by HyFM's quadratic ranking, which is the point).
+	Quick bool
+
+	// Tiny shrinks harder still, for testing.B benchmark iterations.
+	Tiny bool
+
+	// Repeats is how many times timed experiments re-run (the paper
+	// uses 10 or a three-hour cap); quick mode uses 1.
+	Repeats int
+}
+
+// DefaultOptions is the full-scale configuration.
+func DefaultOptions() Options { return Options{Seed: 20220402, Repeats: 3} }
+
+// QuickOptions is the test/bench configuration.
+func QuickOptions() Options { return Options{Seed: 20220402, Quick: true, Repeats: 1} }
+
+func (o Options) repeats() int {
+	if o.Repeats <= 0 {
+		return 1
+	}
+	return o.Repeats
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string // "table1", "fig11", ...
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Notef appends a formatted note line.
+func (t *Table) Notef(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render draws the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Runner executes one experiment.
+type Runner func(Options) *Table
+
+// Registry maps experiment ids to runners, in paper order.
+var Registry = []struct {
+	ID  string
+	Run Runner
+}{
+	{"table1", Table1},
+	{"fig3", Fig3},
+	{"fig4", Fig4},
+	{"fig6", Fig6},
+	{"fig9", Fig9},
+	{"fig10", Fig10},
+	{"fig11", Fig11},
+	{"fig12", Fig12},
+	{"fig13", Fig13},
+	{"fig14", Fig14},
+	{"fig15", Fig15},
+	{"fig16", Fig16},
+	{"fig17", Fig17},
+	{"ext-profile", ExtProfile},
+}
+
+// Lookup finds a runner by id.
+func Lookup(id string) (Runner, bool) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e.Run, true
+		}
+	}
+	return nil, false
+}
+
+// --- shared workload helpers ---
+
+// suitesFor returns the benchmark suites sized for the options.
+func suitesFor(o Options) []irgen.SuiteSpec {
+	if !o.Quick && !o.Tiny {
+		return irgen.Suites
+	}
+	div, cap_ := 8, 1500
+	if o.Tiny {
+		div, cap_ = 24, 300
+	}
+	var out []irgen.SuiteSpec
+	for _, s := range irgen.Suites {
+		s.Funcs /= div
+		if s.Funcs < 60 {
+			s.Funcs = 60
+		}
+		if s.Funcs > cap_ {
+			s.Funcs = cap_
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// smallSuitesFor filters to pipeline-friendly sizes.
+func smallSuitesFor(o Options, maxFuncs int) []irgen.SuiteSpec {
+	var out []irgen.SuiteSpec
+	for _, s := range suitesFor(o) {
+		if s.Funcs <= maxFuncs {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// moduleCache holds pristine generated modules so the sweeps clone
+// instead of regenerating (generation dominates quick-mode runtime).
+var moduleCache = map[string]*ir.Module{}
+
+// genSuite returns a fresh (mutable) module for a suite, cloning from
+// the cache of pristine generations.
+func genSuite(s irgen.SuiteSpec, seed int64) *ir.Module {
+	key := fmt.Sprintf("%s/%d/%d", s.Name, s.Funcs, seed)
+	pristine, ok := moduleCache[key]
+	if !ok {
+		pristine = irgen.Generate(s.Config(seed)).Module
+		moduleCache[key] = pristine
+	}
+	return ir.CloneModule(pristine)
+}
+
+// linuxShaped returns the mid-size suite used by the Linux-kernel
+// figures (4, 6, 9, 10, 16).
+func linuxShaped(o Options) irgen.SuiteSpec {
+	for _, s := range suitesFor(o) {
+		if s.Name == "linux-shaped" {
+			return s
+		}
+	}
+	return suitesFor(o)[0]
+}
+
+// BackendNsPerCost converts the size model into modelled backend
+// compilation time: the paper's compile-time results include all
+// post-merge optimization, code generation and linking, whose cost is
+// roughly proportional to surviving code size. 100µs per size unit
+// models a full -Os backend pipeline (~10k instructions/second through
+// optimization + codegen + linking), putting the merge pass and the
+// backend in the same proportion as the paper's Figure 12.
+const BackendNsPerCost = 100_000
+
+// compileTime models total compilation: the merging pass plus a
+// size-proportional backend.
+func compileTime(rep *core.Report) time.Duration {
+	return rep.Times.Total() + time.Duration(rep.SizeAfter)*BackendNsPerCost
+}
+
+// baselineCompileTime models compilation without any merging.
+func baselineCompileTime(rep *core.Report) time.Duration {
+	return time.Duration(rep.SizeBefore) * BackendNsPerCost
+}
+
+// pct formats a ratio as a signed percentage.
+func pct(x float64) string { return fmt.Sprintf("%+.1f%%", 100*x) }
+
+// runStrategyOnSuite regenerates the suite module (same seed) and runs
+// one strategy, so every strategy sees an identical population.
+func runStrategyOnSuite(s irgen.SuiteSpec, seed int64, cfg core.Config) *core.Report {
+	m := genSuite(s, seed)
+	rep, err := core.Run(m, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s on %s: %v", cfg.Strategy, s.Name, err))
+	}
+	return rep
+}
+
+// sortedCopy returns a sorted copy of durations in ms.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+}
+
+func secs(d time.Duration) string {
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}
+
+var _ = sort.Ints // sort is used by several experiment files

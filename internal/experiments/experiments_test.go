@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every registered experiment at quick
+// scale and sanity-checks the rendered output. This is the smoke test
+// that the whole evaluation pipeline holds together.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	o := QuickOptions()
+	for _, e := range Registry {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab := e.Run(o)
+			if tab.ID != e.ID {
+				t.Errorf("table id %q, want %q", tab.ID, e.ID)
+			}
+			out := tab.Render()
+			if !strings.Contains(out, tab.Title) {
+				t.Error("render missing title")
+			}
+			if len(tab.Rows) == 0 {
+				t.Error("no rows")
+			}
+			t.Log("\n" + out)
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("fig11"); !ok {
+		t.Error("fig11 missing from registry")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("bogus id found")
+	}
+}
+
+func TestSuiteScaling(t *testing.T) {
+	full := suitesFor(Options{})
+	quick := suitesFor(Options{Quick: true})
+	tiny := suitesFor(Options{Tiny: true})
+	if len(full) != len(quick) || len(full) != len(tiny) {
+		t.Fatal("suite lists differ in length across scales")
+	}
+	for i := range full {
+		if quick[i].Funcs > full[i].Funcs {
+			t.Errorf("%s: quick larger than full", full[i].Name)
+		}
+		if tiny[i].Funcs > 300 {
+			t.Errorf("%s: tiny suite has %d functions, cap is 300", tiny[i].Name, tiny[i].Funcs)
+		}
+		if quick[i].Funcs < 60 || tiny[i].Funcs < 60 {
+			t.Errorf("%s: scaled below the 60-function floor", full[i].Name)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{ID: "x", Title: "T", Header: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.Notef("n=%d", 3)
+	out := tab.Render()
+	for _, want := range []string{"== x: T ==", "a", "bb", "note: n=3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package fingerprint implements the two function summaries compared in
+// the F3M paper:
+//
+//   - the opcode-frequency fingerprint used by HyFM and its
+//     predecessors: a vector of instruction opcode counts compared with
+//     Manhattan distance, and
+//   - the MinHash fingerprint introduced by F3M: instructions are
+//     encoded into 32-bit integers capturing opcode, result type,
+//     operand count and operand types; consecutive pairs (shingles of
+//     size K=2) are hashed with FNV-1a under k xor-derived seeds and
+//     the per-seed minima form the fingerprint. Fingerprint equality
+//     rate estimates the Jaccard similarity of the functions' shingle
+//     sets.
+package fingerprint
+
+import "f3m/internal/ir"
+
+// Encoded is the 32-bit instruction encoding fed to shingling. Two
+// instructions receive the same encoding exactly when the merger could
+// fold them into one instruction without guards: same opcode, same
+// result type, same operand count and same operand types. Operand
+// *values* are deliberately excluded — they are reconciled by operand
+// select/phi insertion during code generation.
+type Encoded uint32
+
+// Encoding layout, low to high bits.
+const (
+	opcodeBits  = 6
+	noperBits   = 4
+	resTypeBits = 8
+	argTypeBits = 32 - opcodeBits - noperBits - resTypeBits // 14
+
+	noperShift   = opcodeBits
+	resTypeShift = opcodeBits + noperBits
+	argTypeShift = opcodeBits + noperBits + resTypeBits
+)
+
+// operandKind classifies an operand's provenance (2 bits).
+func operandKind(v ir.Value) uint32 {
+	switch v.(type) {
+	case *ir.Const:
+		return 0
+	case *ir.Param:
+		return 1
+	case *ir.GlobalVar, *ir.Function:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// typeCode maps an interned type to a small non-zero integer. The IR
+// context assigns dense ids in interning order; adding one keeps zero
+// free as "no type" so void results do not collide with type id 0.
+func typeCode(t *ir.Type) uint32 {
+	if t == nil || t.IsVoid() {
+		return 0
+	}
+	return uint32(t.ID()) + 1
+}
+
+// EncodeInstr packs the merge-relevant properties of an instruction
+// into 32 bits: opcode, operand count, result type, and the product of
+// the operand type codes (the paper's scheme for combining all operand
+// types into the remaining bits). Comparison predicates are folded into
+// the operand-type field so `icmp slt` and `icmp eq` do not alias.
+func EncodeInstr(in *ir.Instr) Encoded {
+	op := uint32(in.Op) & (1<<opcodeBits - 1)
+	nops := uint32(len(in.Operands))
+	if nops > 1<<noperBits-1 {
+		nops = 1<<noperBits - 1
+	}
+	res := typeCode(in.Ty) & (1<<resTypeBits - 1)
+
+	// Multiply operand type codes together, as the paper does. The
+	// product is commutative, which is harmless: operand counts and
+	// opcodes break most of the would-be collisions, and identical
+	// multisets of operand types are usually mergeable anyway. Each
+	// operand's provenance kind (constant / parameter / instruction /
+	// global) folds in as well: real IR distinguishes `add %a, 1` from
+	// `add %a, %b` through its much richer type system, which our
+	// compact substrate approximates with these two extra bits per
+	// operand (see DESIGN.md).
+	prod := uint32(1)
+	for _, v := range in.Operands {
+		if _, isBlock := v.(*ir.Block); isBlock {
+			continue // successor labels are structure, not data operands
+		}
+		code := typeCode(v.Type())*4 + operandKind(v)
+		prod *= code*2654435761 | 1
+	}
+	if in.Op == ir.OpICmp || in.Op == ir.OpFCmp {
+		prod *= uint32(in.Predicate)*40503 | 1
+	}
+	if in.Op == ir.OpAlloca {
+		prod *= typeCode(in.AllocTy)*2654435761 | 1
+	}
+	arg := prod & (1<<argTypeBits - 1)
+
+	return Encoded(op | nops<<noperShift | res<<resTypeShift | arg<<argTypeShift)
+}
+
+// EncodeFunc encodes every instruction of f in block order.
+func EncodeFunc(f *ir.Function) []Encoded {
+	out := make([]Encoded, 0, f.NumInstrs())
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			out = append(out, EncodeInstr(in))
+		}
+	}
+	return out
+}
+
+// EncodeBlock encodes the instructions of a single basic block.
+func EncodeBlock(b *ir.Block) []Encoded {
+	out := make([]Encoded, len(b.Instrs))
+	for i, in := range b.Instrs {
+		out[i] = EncodeInstr(in)
+	}
+	return out
+}

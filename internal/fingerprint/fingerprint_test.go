@@ -1,0 +1,423 @@
+package fingerprint
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"f3m/internal/ir"
+)
+
+func parseFns(t testing.TB, src string) *ir.Module {
+	t.Helper()
+	m, err := ir.ParseModule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+const twoSimilarFns = `
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %x = add i32 %a, %b
+  %y = mul i32 %x, %a
+  %z = sub i32 %y, %b
+  %c = icmp sgt i32 %z, 0
+  br i1 %c, label %pos, label %neg
+pos:
+  ret i32 %z
+neg:
+  %n = sub i32 0, %z
+  ret i32 %n
+}
+define i32 @g(i32 %a, i32 %b) {
+entry:
+  %x = add i32 %a, %b
+  %y = mul i32 %x, %a
+  %z = sub i32 %y, %b
+  %c = icmp sgt i32 %z, 0
+  br i1 %c, label %pos, label %neg
+pos:
+  ret i32 %z
+neg:
+  %n = sub i32 1, %z
+  ret i32 %n
+}
+define double @h(double %a) {
+entry:
+  %x = fmul double %a, %a
+  %y = fadd double %x, 1.0
+  ret double %y
+}
+`
+
+func TestEncodeDistinguishesTypesAndOpcodes(t *testing.T) {
+	m := parseFns(t, `
+define i32 @a(i32 %x) {
+entry:
+  %r = add i32 %x, %x
+  ret i32 %r
+}
+define i64 @b(i64 %x) {
+entry:
+  %r = add i64 %x, %x
+  ret i64 %r
+}
+define i32 @c(i32 %x) {
+entry:
+  %r = sub i32 %x, %x
+  ret i32 %r
+}`)
+	ea := EncodeFunc(m.Func("a"))
+	eb := EncodeFunc(m.Func("b"))
+	ec := EncodeFunc(m.Func("c"))
+	if ea[0] == eb[0] {
+		t.Error("add i32 and add i64 should encode differently")
+	}
+	if ea[0] == ec[0] {
+		t.Error("add and sub should encode differently")
+	}
+	// ret i32 %r vs ret i64 %r differ in operand type.
+	if ea[1] == eb[1] {
+		t.Error("ret i32 and ret i64 should encode differently")
+	}
+}
+
+func TestEncodeIdenticalForMergeableInstrs(t *testing.T) {
+	m := parseFns(t, `
+define i32 @a(i32 %x, i32 %y) {
+entry:
+  %r = add i32 %x, %y
+  %s = add i32 %r, 7
+  ret i32 %s
+}
+define i32 @b(i32 %p, i32 %q) {
+entry:
+  %r = add i32 %q, %p
+  %s = add i32 %r, 450
+  ret i32 %s
+}`)
+	ea := EncodeFunc(m.Func("a"))
+	eb := EncodeFunc(m.Func("b"))
+	// Same opcode/types/operand kinds but different operand *values*
+	// (different params, different constants): must encode equal.
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Errorf("instruction %d: operand values leaked into encoding", i)
+		}
+	}
+	// Operand provenance is part of the encoding: param+param vs
+	// param+const differ (see DESIGN.md on the operand-kind bits).
+	if ea[0] == ea[1] {
+		t.Error("param+param and instr+const adds should encode differently")
+	}
+}
+
+func TestEncodePredicates(t *testing.T) {
+	m := parseFns(t, `
+define i1 @a(i32 %x) {
+entry:
+  %r = icmp slt i32 %x, 0
+  ret i1 %r
+}
+define i1 @b(i32 %x) {
+entry:
+  %r = icmp eq i32 %x, 0
+  ret i1 %r
+}`)
+	if EncodeFunc(m.Func("a"))[0] == EncodeFunc(m.Func("b"))[0] {
+		t.Error("different predicates should encode differently")
+	}
+}
+
+func TestFreqVector(t *testing.T) {
+	m := parseFns(t, twoSimilarFns)
+	vf := FreqFunc(m.Func("f"))
+	vg := FreqFunc(m.Func("g"))
+	vh := FreqFunc(m.Func("h"))
+	if vf.Distance(vg) != 0 {
+		t.Errorf("f and g have identical opcode mix; distance = %d", vf.Distance(vg))
+	}
+	if vf.Similarity(vg) != 1 {
+		t.Errorf("similarity = %v, want 1", vf.Similarity(vg))
+	}
+	if s := vf.Similarity(vh); s > 0.5 {
+		t.Errorf("dissimilar functions have similarity %v", s)
+	}
+	if vf.Distance(vh) != vh.Distance(vf) {
+		t.Error("distance not symmetric")
+	}
+}
+
+func TestMinHashBasics(t *testing.T) {
+	m := parseFns(t, twoSimilarFns)
+	cfg := DefaultConfig()
+	mf := cfg.New(EncodeFunc(m.Func("f")))
+	mg := cfg.New(EncodeFunc(m.Func("g")))
+	mh := cfg.New(EncodeFunc(m.Func("h")))
+
+	if len(mf) != cfg.K {
+		t.Fatalf("fingerprint size %d, want %d", len(mf), cfg.K)
+	}
+	if s := mf.Jaccard(mf); s != 1 {
+		t.Errorf("self similarity = %v, want 1", s)
+	}
+	sfg := mf.Jaccard(mg)
+	sfh := mf.Jaccard(mh)
+	if sfg <= sfh {
+		t.Errorf("near-clone similarity %v should beat unrelated %v", sfg, sfh)
+	}
+	if sfg < 0.5 {
+		t.Errorf("near-clone similarity %v unexpectedly low", sfg)
+	}
+}
+
+func TestMinHashDeterminism(t *testing.T) {
+	m := parseFns(t, twoSimilarFns)
+	seq := EncodeFunc(m.Func("f"))
+	a := DefaultConfig().New(seq)
+	b := DefaultConfig().New(seq)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("MinHash not deterministic across configs with same seed")
+		}
+	}
+	other := &Config{K: 200, ShingleSize: 2, Seed: 1}
+	c := other.New(seq)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fingerprints")
+	}
+}
+
+func TestMinHashTinyFunction(t *testing.T) {
+	m := parseFns(t, `
+define void @empty() {
+entry:
+  ret void
+}
+define i32 @one(i32 %x) {
+entry:
+  ret i32 %x
+}`)
+	cfg := DefaultConfig()
+	me := cfg.New(EncodeFunc(m.Func("empty")))
+	mo := cfg.New(EncodeFunc(m.Func("one")))
+	if me.Jaccard(mo) == 1 {
+		t.Error("ret void and ret i32 should differ")
+	}
+	if me.Jaccard(me) != 1 {
+		t.Error("tiny function not self-similar")
+	}
+}
+
+// TestMinHashEstimatesJaccard is the core statistical property: the
+// lane-match rate approximates the exact shingle-set Jaccard index
+// within O(1/sqrt(k)).
+func TestMinHashEstimatesJaccard(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cfg := &Config{K: 400, ShingleSize: 2, Seed: 7}
+	for trial := 0; trial < 30; trial++ {
+		n := 50 + rng.Intn(200)
+		a := make([]Encoded, n)
+		for i := range a {
+			a[i] = Encoded(rng.Intn(40)) // small alphabet => some repeats
+		}
+		// Derive b by mutating a fraction of a.
+		b := append([]Encoded(nil), a...)
+		mut := rng.Intn(n)
+		for j := 0; j < mut; j++ {
+			b[rng.Intn(n)] = Encoded(rng.Intn(40))
+		}
+		exact := ExactJaccard(a, b, 2)
+		est := cfg.New(a).Jaccard(cfg.New(b))
+		if math.Abs(est-exact) > 4/math.Sqrt(float64(cfg.K)) {
+			t.Errorf("trial %d: estimate %.3f vs exact %.3f (tolerance %.3f)",
+				trial, est, exact, 4/math.Sqrt(float64(cfg.K)))
+		}
+	}
+}
+
+func TestMinHashProperties(t *testing.T) {
+	cfg := &Config{K: 100, ShingleSize: 2, Seed: 3}
+	// Jaccard symmetric and within [0,1] for arbitrary sequences.
+	prop := func(xa, xb []uint16) bool {
+		a := make([]Encoded, len(xa))
+		for i, v := range xa {
+			a[i] = Encoded(v)
+		}
+		b := make([]Encoded, len(xb))
+		for i, v := range xb {
+			b[i] = Encoded(v)
+		}
+		ma, mb := cfg.New(a), cfg.New(b)
+		s1, s2 := ma.Jaccard(mb), mb.Jaccard(ma)
+		return s1 == s2 && s1 >= 0 && s1 <= 1 && ma.Jaccard(ma) == 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFreqProperties(t *testing.T) {
+	m := parseFns(t, twoSimilarFns)
+	fns := m.Funcs
+	for _, a := range fns {
+		for _, b := range fns {
+			va, vb := FreqFunc(a), FreqFunc(b)
+			s := va.Similarity(vb)
+			if s < 0 || s > 1 {
+				t.Errorf("similarity out of range: %v", s)
+			}
+			if va.Distance(vb) != vb.Distance(va) {
+				t.Error("distance not symmetric")
+			}
+		}
+	}
+}
+
+func TestSeedsDeterministic(t *testing.T) {
+	a := Seeds(16, 99)
+	b := Seeds(16, 99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Seeds not deterministic")
+		}
+	}
+	c := Seeds(16, 100)
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different master seeds gave identical streams")
+	}
+}
+
+func TestExactJaccardEdgeCases(t *testing.T) {
+	if got := ExactJaccard(nil, nil, 2); got != 1 {
+		t.Errorf("empty/empty = %v, want 1", got)
+	}
+	a := []Encoded{1, 2, 3}
+	if got := ExactJaccard(a, a, 2); got != 1 {
+		t.Errorf("identical = %v, want 1", got)
+	}
+	b := []Encoded{9, 8, 7}
+	if got := ExactJaccard(a, b, 2); got != 0 {
+		t.Errorf("disjoint = %v, want 0", got)
+	}
+}
+
+func TestEncodeManyOperands(t *testing.T) {
+	// Operand counts beyond the 4-bit field must clamp, not wrap.
+	m := ir.NewModule("t")
+	c := m.Ctx
+	params := make([]*ir.Type, 20)
+	for i := range params {
+		params[i] = c.I32
+	}
+	callee := m.NewFunc("many", c.Func(c.I32, params...))
+	f := m.NewFunc("f", c.Func(c.I32))
+	entry := f.NewBlock("entry")
+	bd := ir.NewBuilder(entry)
+	args := make([]ir.Value, 20)
+	for i := range args {
+		args[i] = ir.ConstInt(c.I32, int64(i))
+	}
+	call := bd.Call(callee, args...)
+	bd.Ret(call)
+
+	e := EncodeInstr(call)
+	if e == 0 {
+		t.Error("zero encoding for call")
+	}
+	// A call with fewer args must encode differently through the count
+	// field as long as the count is under the clamp.
+	f2 := m.NewFunc("f2", c.Func(c.I32))
+	e2b := f2.NewBlock("entry")
+	bd2 := ir.NewBuilder(e2b)
+	small := m.NewFunc("small", c.Func(c.I32, c.I32))
+	c2 := bd2.Call(small, ir.ConstInt(c.I32, 1))
+	bd2.Ret(c2)
+	if EncodeInstr(c2) == e {
+		t.Error("1-arg and 20-arg calls encode identically")
+	}
+}
+
+func TestEncodeAllocaTypes(t *testing.T) {
+	m := ir.NewModule("t")
+	c := m.Ctx
+	f := m.NewFunc("f", c.Func(c.Void))
+	entry := f.NewBlock("entry")
+	bd := ir.NewBuilder(entry)
+	a1 := bd.Alloca(c.Array(4, c.I32))
+	a2 := bd.Alloca(c.Array(8, c.I32))
+	a3 := bd.Alloca(c.Array(4, c.I32))
+	bd.Ret(nil)
+	if EncodeInstr(a1) == EncodeInstr(a2) {
+		t.Error("different alloca shapes encode identically")
+	}
+	if EncodeInstr(a1) != EncodeInstr(a3) {
+		t.Error("same alloca shapes encode differently")
+	}
+}
+
+func BenchmarkMinHash200(b *testing.B) {
+	seq := make([]Encoded, 500)
+	rng := rand.New(rand.NewSource(1))
+	for i := range seq {
+		seq[i] = Encoded(rng.Uint32())
+	}
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.New(seq)
+	}
+}
+
+// BenchmarkMinHashXorSeeds quantifies the paper's claim that a single
+// FNV-1a pass xor-ed with k seeds is far cheaper than k independent
+// full hashes (ablation for the Sec. III-B design choice).
+func BenchmarkMinHashXorSeeds(b *testing.B) {
+	seq := make([]Encoded, 500)
+	rng := rand.New(rand.NewSource(1))
+	for i := range seq {
+		seq[i] = Encoded(rng.Uint32())
+	}
+	cfg := DefaultConfig()
+	seeds := Seeds(cfg.K, cfg.Seed)
+
+	b.Run("xor-seeds", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg.New(seq)
+		}
+	})
+	b.Run("k-independent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mh := make(MinHash, cfg.K)
+			for j := range mh {
+				mh[j] = ^uint32(0)
+			}
+			for at := 0; at+2 <= len(seq); at++ {
+				for j, s := range seeds {
+					// Simulate an independent hash per lane by folding
+					// the seed into the FNV stream.
+					h := Hash32([]uint32{s, uint32(seq[at]), uint32(seq[at+1])})
+					if h < mh[j] {
+						mh[j] = h
+					}
+				}
+			}
+		}
+	})
+}

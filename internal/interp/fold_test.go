@@ -1,0 +1,130 @@
+package interp
+
+import (
+	"math/rand"
+	"testing"
+
+	"f3m/internal/ir"
+)
+
+// TestFoldMatchesExecution: for every foldable binary op and random
+// constant operands, FoldBinary must produce exactly what executing the
+// instruction produces.
+func TestFoldMatchesExecution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ctx := ir.NewTypeContext()
+	intOps := []ir.Opcode{
+		ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpSDiv, ir.OpUDiv, ir.OpSRem, ir.OpURem,
+		ir.OpShl, ir.OpLShr, ir.OpAShr, ir.OpAnd, ir.OpOr, ir.OpXor,
+	}
+	intTys := []*ir.Type{ctx.I8, ctx.I16, ctx.I32, ctx.I64}
+	for trial := 0; trial < 2000; trial++ {
+		ty := intTys[rng.Intn(len(intTys))]
+		op := intOps[rng.Intn(len(intOps))]
+		a := ir.ConstInt(ty, rng.Int63()-rng.Int63())
+		b := ir.ConstInt(ty, int64(rng.Intn(64))-8)
+
+		folded, ok := FoldBinary(op, ty, a, b)
+		got, err := binary(op, ty, constVal(a), constVal(b))
+		if (err == nil) != ok {
+			t.Fatalf("%s %s: fold ok=%v but exec err=%v", op, ty, ok, err)
+		}
+		if ok && folded.IntVal != got.I {
+			t.Fatalf("%s %s %d,%d: fold %d exec %d", op, ty, a.IntVal, b.IntVal, folded.IntVal, got.I)
+		}
+	}
+
+	fltOps := []ir.Opcode{ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv, ir.OpFRem}
+	for trial := 0; trial < 500; trial++ {
+		ty := ctx.F64
+		if rng.Intn(2) == 0 {
+			ty = ctx.F32
+		}
+		op := fltOps[rng.Intn(len(fltOps))]
+		a := ir.ConstFloat(ty, rng.NormFloat64()*100)
+		b := ir.ConstFloat(ty, rng.NormFloat64()*10)
+		folded, ok := FoldBinary(op, ty, a, b)
+		got, err := binary(op, ty, constVal(a), constVal(b))
+		if (err == nil) != ok {
+			t.Fatalf("%s: fold ok=%v exec err=%v", op, ok, err)
+		}
+		if ok && folded.FloatVal != got.F && !(folded.FloatVal != folded.FloatVal && got.F != got.F) {
+			t.Fatalf("%s %g,%g: fold %g exec %g", op, a.FloatVal, b.FloatVal, folded.FloatVal, got.F)
+		}
+	}
+}
+
+func TestFoldCastMatchesExecution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ctx := ir.NewTypeContext()
+	cases := []struct {
+		op       ir.Opcode
+		from, to *ir.Type
+	}{
+		{ir.OpTrunc, ctx.I64, ctx.I16},
+		{ir.OpZExt, ctx.I8, ctx.I32},
+		{ir.OpSExt, ctx.I8, ctx.I64},
+		{ir.OpSIToFP, ctx.I32, ctx.F64},
+		{ir.OpFPToSI, ctx.F64, ctx.I32},
+		{ir.OpFPTrunc, ctx.F64, ctx.F32},
+		{ir.OpFPExt, ctx.F32, ctx.F64},
+	}
+	for trial := 0; trial < 1000; trial++ {
+		tc := cases[rng.Intn(len(cases))]
+		var c *ir.Const
+		if tc.from.IsFloat() {
+			c = ir.ConstFloat(tc.from, rng.NormFloat64()*1000)
+		} else {
+			c = ir.ConstInt(tc.from, rng.Int63()-rng.Int63())
+		}
+		folded, ok := FoldCast(tc.op, tc.to, c)
+		got, err := cast(tc.op, tc.to, constVal(c))
+		if (err == nil) != ok {
+			t.Fatalf("%s: fold ok=%v exec err=%v", tc.op, ok, err)
+		}
+		if !ok {
+			continue
+		}
+		if tc.to.IsFloat() {
+			if folded.FloatVal != got.F {
+				t.Fatalf("%s: fold %g exec %g", tc.op, folded.FloatVal, got.F)
+			}
+		} else if folded.IntVal != got.I {
+			t.Fatalf("%s: fold %d exec %d", tc.op, folded.IntVal, got.I)
+		}
+	}
+}
+
+func TestFoldCmpMatchesExecution(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ctx := ir.NewTypeContext()
+	ipreds := []ir.Pred{ir.PredEQ, ir.PredNE, ir.PredSLT, ir.PredSLE, ir.PredSGT, ir.PredSGE, ir.PredULT, ir.PredUGE}
+	for trial := 0; trial < 1000; trial++ {
+		p := ipreds[rng.Intn(len(ipreds))]
+		a := ir.ConstInt(ctx.I32, int64(rng.Intn(20)-10))
+		b := ir.ConstInt(ctx.I32, int64(rng.Intn(20)-10))
+		folded, ok := FoldCmp(ctx, ir.OpICmp, p, a, b)
+		got, err := icmp(ctx, p, constVal(a), constVal(b))
+		if err != nil || !ok {
+			t.Fatalf("icmp %s: fold ok=%v err=%v", p, ok, err)
+		}
+		if folded.IntVal != got.I {
+			t.Fatalf("icmp %s %d,%d: fold %d exec %d", p, a.IntVal, b.IntVal, folded.IntVal, got.I)
+		}
+	}
+}
+
+func TestFoldRefusesUnsafe(t *testing.T) {
+	ctx := ir.NewTypeContext()
+	zero := ir.ConstInt(ctx.I32, 0)
+	one := ir.ConstInt(ctx.I32, 1)
+	for _, op := range []ir.Opcode{ir.OpSDiv, ir.OpUDiv, ir.OpSRem, ir.OpURem} {
+		if _, ok := FoldBinary(op, ctx.I32, one, zero); ok {
+			t.Errorf("%s by zero folded", op)
+		}
+	}
+	undef := ir.ConstUndef(ctx.I32)
+	if _, ok := FoldBinary(ir.OpAdd, ctx.I32, undef, one); ok {
+		t.Error("undef operand folded")
+	}
+}

@@ -1,0 +1,446 @@
+package interp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"f3m/internal/ir"
+)
+
+func mustParse(t testing.TB, src string) *ir.Module {
+	t.Helper()
+	m, err := ir.ParseModule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func callInt(t *testing.T, m *ir.Module, fn string, args ...int64) int64 {
+	t.Helper()
+	f := m.Func(fn)
+	if f == nil {
+		t.Fatalf("no function @%s", fn)
+	}
+	mach := NewMachine(m)
+	vals := make([]Val, len(args))
+	for i, a := range args {
+		vals[i] = IntVal(f.Params[i].Ty, a)
+	}
+	out, err := mach.Call(f, vals...)
+	if err != nil {
+		t.Fatalf("@%s: %v", fn, err)
+	}
+	return out.I
+}
+
+func TestArithmetic(t *testing.T) {
+	m := mustParse(t, `
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %s = add i32 %a, %b
+  %d = sub i32 %s, 3
+  %p = mul i32 %d, %b
+  %q = sdiv i32 %p, 2
+  %r = srem i32 %q, 100
+  ret i32 %r
+}`)
+	// ((7+5-3)*5)/2 % 100 = (9*5)/2 % 100 = 22 % 100 = 22
+	if got := callInt(t, m, "f", 7, 5); got != 22 {
+		t.Errorf("f(7,5) = %d, want 22", got)
+	}
+}
+
+func TestUnsignedOps(t *testing.T) {
+	m := mustParse(t, `
+define i8 @f(i8 %a, i8 %b) {
+entry:
+  %q = udiv i8 %a, %b
+  ret i8 %q
+}`)
+	// 200/3 unsigned in i8 = 66
+	if got := callInt(t, m, "f", 200, 3); got != 66 {
+		t.Errorf("udiv(200,3) = %d, want 66", got)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	m := mustParse(t, `
+define i32 @f(i32 %a, i32 %n) {
+entry:
+  %l = shl i32 %a, %n
+  %r = lshr i32 %l, %n
+  %s = ashr i32 %a, %n
+  %x = add i32 %r, %s
+  ret i32 %x
+}`)
+	// a=-16,n=2: shl=-64, lshr(-64,2)=0x3FFFFFF0=1073741808, ashr=-4 -> 1073741804
+	if got := callInt(t, m, "f", -16, 2); got != 1073741804 {
+		t.Errorf("f(-16,2) = %d", got)
+	}
+}
+
+func TestControlFlowLoop(t *testing.T) {
+	m := mustParse(t, `
+define i32 @sumto(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [0, %entry], [%i2, %body]
+  %acc = phi i32 [0, %entry], [%acc2, %body]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %acc2 = add i32 %acc, %i
+  %i2 = add i32 %i, 1
+  br label %head
+exit:
+  ret i32 %acc
+}`)
+	if got := callInt(t, m, "sumto", 10); got != 45 {
+		t.Errorf("sumto(10) = %d, want 45", got)
+	}
+	if got := callInt(t, m, "sumto", 0); got != 0 {
+		t.Errorf("sumto(0) = %d, want 0", got)
+	}
+}
+
+func TestMemoryAndGEP(t *testing.T) {
+	m := mustParse(t, `
+define i32 @f(i32 %n) {
+entry:
+  %buf = alloca [8 x i32]
+  %p0 = getelementptr [8 x i32]* %buf, i64 0, i64 3
+  store i32 %n, i32* %p0
+  %v = load i32, i32* %p0
+  %p1 = getelementptr [8 x i32]* %buf, i64 0, i64 4
+  %w = load i32, i32* %p1
+  %r = add i32 %v, %w
+  ret i32 %r
+}`)
+	if got := callInt(t, m, "f", 41); got != 41 {
+		t.Errorf("f(41) = %d, want 41 (uninitialized slot reads 0)", got)
+	}
+}
+
+func TestStructGEP(t *testing.T) {
+	m := mustParse(t, `
+define i64 @f(i64 %x) {
+entry:
+  %s = alloca {i32, i64, i32}
+  %p = getelementptr {i32, i64, i32}* %s, i64 0, i32 1
+  store i64 %x, i64* %p
+  %v = load i64, i64* %p
+  ret i64 %v
+}`)
+	if got := callInt(t, m, "f", 123456789); got != 123456789 {
+		t.Errorf("f = %d", got)
+	}
+}
+
+func TestGlobals(t *testing.T) {
+	m := mustParse(t, `
+global @g i64 = 7
+define i64 @bump(i64 %d) {
+entry:
+  %v = load i64, i64* @g
+  %v2 = add i64 %v, %d
+  store i64 %v2, i64* @g
+  ret i64 %v2
+}`)
+	f := m.Func("bump")
+	mach := NewMachine(m)
+	for want := int64(8); want <= 10; want++ {
+		out, err := mach.Call(f, IntVal(m.Ctx.I64, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.I != want {
+			t.Fatalf("bump = %d, want %d", out.I, want)
+		}
+	}
+}
+
+func TestCalls(t *testing.T) {
+	m := mustParse(t, `
+define i32 @double(i32 %x) {
+entry:
+  %r = add i32 %x, %x
+  ret i32 %r
+}
+define i32 @quad(i32 %x) {
+entry:
+  %a = call i32 @double(i32 %x)
+  %b = call i32 @double(i32 %a)
+  ret i32 %b
+}`)
+	if got := callInt(t, m, "quad", 3); got != 12 {
+		t.Errorf("quad(3) = %d, want 12", got)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	m := mustParse(t, `
+define i64 @fact(i64 %n) {
+entry:
+  %c = icmp sle i64 %n, 1
+  br i1 %c, label %base, label %rec
+base:
+  ret i64 1
+rec:
+  %n1 = sub i64 %n, 1
+  %f = call i64 @fact(i64 %n1)
+  %r = mul i64 %n, %f
+  ret i64 %r
+}`)
+	if got := callInt(t, m, "fact", 10); got != 3628800 {
+		t.Errorf("fact(10) = %d", got)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	m := mustParse(t, `
+declare i32 @host(i32)
+define i32 @f(i32 %x) {
+entry:
+  %r = call i32 @host(i32 %x)
+  ret i32 %r
+}`)
+	mach := NewMachine(m)
+	mach.Builtins["host"] = func(_ *Machine, args []Val) (Val, error) {
+		return IntVal(args[0].Ty, args[0].I*100), nil
+	}
+	out, err := mach.Call(m.Func("f"), IntVal(m.Ctx.I32, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.I != 700 {
+		t.Errorf("f(7) = %d, want 700", out.I)
+	}
+}
+
+func TestIndirectCall(t *testing.T) {
+	m := mustParse(t, `
+define i32 @inc(i32 %x) {
+entry:
+  %r = add i32 %x, 1
+  ret i32 %r
+}
+define i32 @apply(i32(i32)* %fp, i32 %x) {
+entry:
+  %r = call i32 %fp(i32 %x)
+  ret i32 %r
+}
+define i32 @main(i32 %x) {
+entry:
+  %r = call i32 @apply(i32(i32)* @inc, i32 %x)
+  ret i32 %r
+}`)
+	if got := callInt(t, m, "main", 41); got != 42 {
+		t.Errorf("main(41) = %d, want 42", got)
+	}
+}
+
+func TestSwitchExec(t *testing.T) {
+	m := mustParse(t, `
+define i32 @f(i32 %x) {
+entry:
+  switch i32 %x, label %def [0: label %zero, 9: label %nine]
+zero:
+  ret i32 100
+nine:
+  ret i32 900
+def:
+  ret i32 -1
+}`)
+	for _, tc := range []struct{ in, want int64 }{{0, 100}, {9, 900}, {5, -1}} {
+		if got := callInt(t, m, "f", tc.in); got != tc.want {
+			t.Errorf("f(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestInvokeTakesNormalPath(t *testing.T) {
+	m := mustParse(t, `
+define i32 @inner(i32 %x) {
+entry:
+  ret i32 %x
+}
+define i32 @f(i32 %x) {
+entry:
+  %r = invoke i32 @inner(i32 %x) to label %ok unwind label %bad
+ok:
+  ret i32 %r
+bad:
+  ret i32 -999
+}`)
+	if got := callInt(t, m, "f", 5); got != 5 {
+		t.Errorf("f(5) = %d, want 5", got)
+	}
+}
+
+func TestCasts(t *testing.T) {
+	m := mustParse(t, `
+define i64 @f(i8 %x) {
+entry:
+  %z = zext i8 %x to i64
+  %s = sext i8 %x to i64
+  %r = add i64 %z, %s
+  ret i64 %r
+}`)
+	// x = -1 (0xFF): zext=255, sext=-1 => 254
+	if got := callInt(t, m, "f", -1); got != 254 {
+		t.Errorf("f(-1) = %d, want 254", got)
+	}
+}
+
+func TestFloat(t *testing.T) {
+	m := mustParse(t, `
+define double @f(double %a, double %b) {
+entry:
+  %m = fmul double %a, %b
+  %s = fadd double %m, 1.5
+  ret double %s
+}`)
+	mach := NewMachine(m)
+	out, err := mach.Call(m.Func("f"), FloatVal(m.Ctx.F64, 2.0), FloatVal(m.Ctx.F64, 3.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.F != 7.5 {
+		t.Errorf("f = %g, want 7.5", out.F)
+	}
+}
+
+func TestFCmpAndSelect(t *testing.T) {
+	m := mustParse(t, `
+define double @max(double %a, double %b) {
+entry:
+  %c = fcmp ogt double %a, %b
+  %r = select i1 %c, double %a, double %b
+  ret double %r
+}`)
+	mach := NewMachine(m)
+	out, err := mach.Call(m.Func("max"), FloatVal(m.Ctx.F64, 2.5), FloatVal(m.Ctx.F64, 3.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.F != 3.5 {
+		t.Errorf("max = %g", out.F)
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	m := mustParse(t, `
+define i32 @f(i32 %a) {
+entry:
+  %q = sdiv i32 %a, 0
+  ret i32 %q
+}`)
+	mach := NewMachine(m)
+	_, err := mach.Call(m.Func("f"), IntVal(m.Ctx.I32, 1))
+	if err == nil || !strings.Contains(err.Error(), "zero") {
+		t.Errorf("want div-by-zero error, got %v", err)
+	}
+}
+
+func TestNullDeref(t *testing.T) {
+	m := mustParse(t, `
+define i32 @f() {
+entry:
+  %v = load i32, i32* null
+  ret i32 %v
+}`)
+	mach := NewMachine(m)
+	_, err := mach.Call(m.Func("f"))
+	if err == nil || !strings.Contains(err.Error(), "null") {
+		t.Errorf("want null-deref error, got %v", err)
+	}
+}
+
+func TestOutOfBounds(t *testing.T) {
+	m := mustParse(t, `
+define i32 @f() {
+entry:
+  %buf = alloca [2 x i32]
+  %p = getelementptr [2 x i32]* %buf, i64 0, i64 5
+  %v = load i32, i32* %p
+  ret i32 %v
+}`)
+	mach := NewMachine(m)
+	_, err := mach.Call(m.Func("f"))
+	if err == nil || !strings.Contains(err.Error(), "out of bounds") {
+		t.Errorf("want bounds error, got %v", err)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	m := mustParse(t, `
+define void @spin() {
+entry:
+  br label %loop
+loop:
+  br label %loop
+}`)
+	mach := NewMachine(m)
+	mach.StepLimit = 1000
+	_, err := mach.Call(m.Func("spin"))
+	if !errors.Is(err, ErrStepLimit) {
+		t.Errorf("want ErrStepLimit, got %v", err)
+	}
+}
+
+func TestStepCounting(t *testing.T) {
+	m := mustParse(t, `
+define i32 @f(i32 %a) {
+entry:
+  %x = add i32 %a, 1
+  %y = mul i32 %x, 2
+  ret i32 %y
+}`)
+	mach := NewMachine(m)
+	if _, err := mach.Call(m.Func("f"), IntVal(m.Ctx.I32, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if mach.Steps != 3 {
+		t.Errorf("Steps = %d, want 3", mach.Steps)
+	}
+	if mach.OpCounts[ir.OpAdd] != 1 || mach.OpCounts[ir.OpMul] != 1 || mach.OpCounts[ir.OpRet] != 1 {
+		t.Errorf("OpCounts wrong: add=%d mul=%d ret=%d",
+			mach.OpCounts[ir.OpAdd], mach.OpCounts[ir.OpMul], mach.OpCounts[ir.OpRet])
+	}
+}
+
+func TestPhiParallelEvaluation(t *testing.T) {
+	// Swapping phis: %a and %b exchange values each iteration; a
+	// sequential (non-parallel) phi evaluation would corrupt them.
+	m := mustParse(t, `
+define i32 @f(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [0, %entry], [%i2, %body]
+  %a = phi i32 [1, %entry], [%b, %body]
+  %b = phi i32 [2, %entry], [%a, %body]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %i2 = add i32 %i, 1
+  br label %head
+exit:
+  %r = mul i32 %a, 10
+  %r2 = add i32 %r, %b
+  ret i32 %r2
+}`)
+	// After 1 iteration: a=2,b=1 => 21. After 2: a=1,b=2 => 12.
+	if got := callInt(t, m, "f", 1); got != 21 {
+		t.Errorf("f(1) = %d, want 21", got)
+	}
+	if got := callInt(t, m, "f", 2); got != 12 {
+		t.Errorf("f(2) = %d, want 12", got)
+	}
+}

@@ -1,0 +1,223 @@
+package ir
+
+import "fmt"
+
+// Builder constructs instructions at the end of a current block,
+// auto-naming results and checking operand types as it goes. It is the
+// intended way to build IR programmatically; the parser uses the same
+// constructors so both paths validate identically.
+type Builder struct {
+	Func *Function
+	Cur  *Block
+}
+
+// NewBuilder returns a builder positioned at the end of block b.
+func NewBuilder(b *Block) *Builder {
+	return &Builder{Func: b.Parent, Cur: b}
+}
+
+// SetBlock repositions the builder at the end of block b.
+func (bd *Builder) SetBlock(b *Block) {
+	bd.Func = b.Parent
+	bd.Cur = b
+}
+
+func (bd *Builder) emit(in *Instr) *Instr {
+	if in.Nam == "" && !in.Ty.IsVoid() {
+		in.Nam = bd.Func.nextName()
+	}
+	bd.Cur.Append(in)
+	return in
+}
+
+func (bd *Builder) ctx() *TypeContext { return bd.Func.Parent.Ctx }
+
+// Binary emits a two-operand arithmetic or bitwise instruction.
+func (bd *Builder) Binary(op Opcode, lhs, rhs Value) *Instr {
+	if !op.IsBinary() {
+		panic("ir: Binary with opcode " + op.String())
+	}
+	if lhs.Type() != rhs.Type() {
+		panic(fmt.Sprintf("ir: %s operand types differ: %s vs %s", op, lhs.Type(), rhs.Type()))
+	}
+	return bd.emit(&Instr{Op: op, Ty: lhs.Type(), Operands: []Value{lhs, rhs}})
+}
+
+// Add emits an integer add.
+func (bd *Builder) Add(l, r Value) *Instr { return bd.Binary(OpAdd, l, r) }
+
+// Sub emits an integer sub.
+func (bd *Builder) Sub(l, r Value) *Instr { return bd.Binary(OpSub, l, r) }
+
+// Mul emits an integer mul.
+func (bd *Builder) Mul(l, r Value) *Instr { return bd.Binary(OpMul, l, r) }
+
+// Alloca emits a stack allocation of elem, yielding elem*.
+func (bd *Builder) Alloca(elem *Type) *Instr {
+	return bd.emit(&Instr{Op: OpAlloca, Ty: bd.ctx().Pointer(elem), AllocTy: elem})
+}
+
+// Load emits a load through ptr.
+func (bd *Builder) Load(ptr Value) *Instr {
+	pt := ptr.Type()
+	if !pt.IsPointer() {
+		panic("ir: load of non-pointer " + pt.String())
+	}
+	return bd.emit(&Instr{Op: OpLoad, Ty: pt.Elem, Operands: []Value{ptr}})
+}
+
+// Store emits a store of v through ptr.
+func (bd *Builder) Store(v, ptr Value) *Instr {
+	pt := ptr.Type()
+	if !pt.IsPointer() || pt.Elem != v.Type() {
+		panic(fmt.Sprintf("ir: store %s through %s", v.Type(), pt))
+	}
+	return bd.emit(&Instr{Op: OpStore, Ty: bd.ctx().Void, Operands: []Value{v, ptr}})
+}
+
+// GEP emits a getelementptr with the given base pointer and indices and
+// computes the result pointer type by walking the indexed types.
+func (bd *Builder) GEP(ptr Value, indices ...Value) *Instr {
+	t := ptr.Type()
+	if !t.IsPointer() {
+		panic("ir: gep of non-pointer " + t.String())
+	}
+	cur := t.Elem
+	for i, idx := range indices {
+		if i == 0 {
+			continue // first index steps over the pointee itself
+		}
+		switch cur.Kind {
+		case ArrayKind:
+			cur = cur.Elem
+		case StructKind:
+			c, ok := idx.(*Const)
+			if !ok {
+				panic("ir: gep struct index must be constant")
+			}
+			cur = cur.Fields[c.IntVal]
+		default:
+			panic("ir: gep through non-aggregate " + cur.String())
+		}
+	}
+	ops := append([]Value{ptr}, indices...)
+	return bd.emit(&Instr{Op: OpGEP, Ty: bd.ctx().Pointer(cur), Operands: ops})
+}
+
+// Cast emits a conversion to the destination type.
+func (bd *Builder) Cast(op Opcode, v Value, to *Type) *Instr {
+	if !op.IsCast() {
+		panic("ir: Cast with opcode " + op.String())
+	}
+	return bd.emit(&Instr{Op: op, Ty: to, Operands: []Value{v}})
+}
+
+// ICmp emits an integer comparison yielding i1.
+func (bd *Builder) ICmp(p Pred, l, r Value) *Instr {
+	if l.Type() != r.Type() {
+		panic(fmt.Sprintf("ir: icmp operand types differ: %s vs %s", l.Type(), r.Type()))
+	}
+	return bd.emit(&Instr{Op: OpICmp, Ty: bd.ctx().I1, Predicate: p, Operands: []Value{l, r}})
+}
+
+// FCmp emits a floating-point comparison yielding i1.
+func (bd *Builder) FCmp(p Pred, l, r Value) *Instr {
+	if l.Type() != r.Type() {
+		panic(fmt.Sprintf("ir: fcmp operand types differ: %s vs %s", l.Type(), r.Type()))
+	}
+	return bd.emit(&Instr{Op: OpFCmp, Ty: bd.ctx().I1, Predicate: p, Operands: []Value{l, r}})
+}
+
+// Select emits select cond, ifTrue, ifFalse.
+func (bd *Builder) Select(cond, t, f Value) *Instr {
+	if t.Type() != f.Type() {
+		panic("ir: select arm types differ")
+	}
+	return bd.emit(&Instr{Op: OpSelect, Ty: t.Type(), Operands: []Value{cond, t, f}})
+}
+
+// Phi emits an empty phi of type ty; add edges with AddIncoming.
+func (bd *Builder) Phi(ty *Type) *Instr {
+	in := &Instr{Op: OpPhi, Ty: ty}
+	if in.Nam == "" {
+		in.Nam = bd.Func.nextName()
+	}
+	// Phis go before any non-phi instruction already in the block.
+	bd.Cur.InsertAt(bd.Cur.FirstNonPhi(), in)
+	return in
+}
+
+// Call emits a direct or indirect call.
+func (bd *Builder) Call(callee Value, args ...Value) *Instr {
+	sig := calleeSig(callee)
+	checkArgs(sig, args)
+	ops := append([]Value{callee}, args...)
+	return bd.emit(&Instr{Op: OpCall, Ty: sig.Elem, Operands: ops})
+}
+
+// Invoke emits a call with explicit normal and unwind successors; it
+// terminates the current block.
+func (bd *Builder) Invoke(callee Value, args []Value, normal, unwind *Block) *Instr {
+	sig := calleeSig(callee)
+	checkArgs(sig, args)
+	ops := append([]Value{callee}, args...)
+	ops = append(ops, normal, unwind)
+	return bd.emit(&Instr{Op: OpInvoke, Ty: sig.Elem, Operands: ops})
+}
+
+// Ret emits a return. Pass nil for void returns.
+func (bd *Builder) Ret(v Value) *Instr {
+	in := &Instr{Op: OpRet, Ty: bd.ctx().Void}
+	if v != nil {
+		in.Operands = []Value{v}
+	}
+	return bd.emit(in)
+}
+
+// Br emits an unconditional branch.
+func (bd *Builder) Br(dst *Block) *Instr {
+	return bd.emit(&Instr{Op: OpBr, Ty: bd.ctx().Void, Operands: []Value{dst}})
+}
+
+// CondBr emits a conditional branch on an i1 condition.
+func (bd *Builder) CondBr(cond Value, t, f *Block) *Instr {
+	return bd.emit(&Instr{Op: OpCondBr, Ty: bd.ctx().Void, Operands: []Value{cond, t, f}})
+}
+
+// Switch emits a switch terminator. cases alternate constant values and
+// destination blocks.
+func (bd *Builder) Switch(v Value, def *Block, cases ...Value) *Instr {
+	if len(cases)%2 != 0 {
+		panic("ir: switch cases must be value/block pairs")
+	}
+	ops := append([]Value{v, def}, cases...)
+	return bd.emit(&Instr{Op: OpSwitch, Ty: bd.ctx().Void, Operands: ops})
+}
+
+// Unreachable emits an unreachable terminator.
+func (bd *Builder) Unreachable() *Instr {
+	return bd.emit(&Instr{Op: OpUnreachable, Ty: bd.ctx().Void})
+}
+
+// calleeSig extracts the function signature from a callee operand.
+func calleeSig(callee Value) *Type {
+	t := callee.Type()
+	if t.Kind == FuncKind {
+		return t
+	}
+	if t.IsPointer() && t.Elem.Kind == FuncKind {
+		return t.Elem
+	}
+	panic("ir: callee is not a function: " + t.String())
+}
+
+func checkArgs(sig *Type, args []Value) {
+	if !sig.Variadic && len(args) != len(sig.Fields) {
+		panic(fmt.Sprintf("ir: call arity %d, want %d", len(args), len(sig.Fields)))
+	}
+	for i, a := range args {
+		if i < len(sig.Fields) && a.Type() != sig.Fields[i] {
+			panic(fmt.Sprintf("ir: call arg %d has type %s, want %s", i, a.Type(), sig.Fields[i]))
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package ir
+
+// CloneModule deep-copies a module: globals, function definitions and
+// all cross-references (calls, global operands) are remapped into the
+// copy. The clone shares the TypeContext with the original, which is
+// safe because contexts only intern immutable types. Experiments use
+// this to run several strategies on identical populations without
+// regenerating them.
+func CloneModule(src *Module) *Module {
+	dst := &Module{
+		Name:       src.Name,
+		Ctx:        src.Ctx,
+		funcByName: make(map[string]*Function, len(src.Funcs)),
+		globByName: make(map[string]*GlobalVar, len(src.Globs)),
+	}
+	for _, g := range src.Globs {
+		dst.NewGlobal(g.Nam, g.Elem, g.Init)
+	}
+	// Create all functions first so call operands can remap.
+	clones := make(map[*Function]*Function, len(src.Funcs))
+	for _, f := range src.Funcs {
+		clones[f] = CloneFunc(dst, f, f.Nam)
+	}
+	// Remap cross-function and global references.
+	for _, f := range dst.Funcs {
+		f.Instructions(func(in *Instr) {
+			for i, op := range in.Operands {
+				switch v := op.(type) {
+				case *Function:
+					if nf, ok := clones[v]; ok {
+						in.Operands[i] = nf
+					}
+				case *GlobalVar:
+					in.Operands[i] = dst.Global(v.Nam)
+				}
+			}
+		})
+	}
+	return dst
+}
+
+// CloneFunc deep-copies function src into module dst under the given
+// name. Both modules must share the same TypeContext (cloning within one
+// module satisfies this trivially). References to other functions and
+// globals are preserved as-is, so cross-module cloning requires dst to
+// contain the same referents.
+func CloneFunc(dst *Module, src *Function, name string) *Function {
+	out := dst.NewFunc(name, src.Sig)
+	for i, p := range src.Params {
+		out.Params[i].Nam = p.Nam
+	}
+	if src.IsDecl() {
+		return out
+	}
+
+	vmap := make(map[Value]Value, src.NumInstrs()+len(src.Params))
+	for i, p := range src.Params {
+		vmap[p] = out.Params[i]
+	}
+	bmap := make(map[*Block]*Block, len(src.Blocks))
+	for _, b := range src.Blocks {
+		nb := out.NewBlock(b.Nam)
+		bmap[b] = nb
+		vmap[b] = nb
+	}
+
+	// First pass: copy instructions with operands still pointing at the
+	// source values.
+	for _, b := range src.Blocks {
+		nb := bmap[b]
+		for _, in := range b.Instrs {
+			ni := &Instr{
+				Op:        in.Op,
+				Ty:        in.Ty,
+				Nam:       in.Nam,
+				Predicate: in.Predicate,
+				AllocTy:   in.AllocTy,
+				Operands:  append([]Value(nil), in.Operands...),
+			}
+			if len(in.IncomingBlocks) > 0 {
+				ni.IncomingBlocks = make([]*Block, len(in.IncomingBlocks))
+				for i, ib := range in.IncomingBlocks {
+					ni.IncomingBlocks[i] = bmap[ib]
+				}
+			}
+			nb.Append(ni)
+			vmap[in] = ni
+		}
+	}
+
+	// Second pass: remap operands into the clone.
+	out.Instructions(func(in *Instr) {
+		for i, op := range in.Operands {
+			if nv, ok := vmap[op]; ok {
+				in.Operands[i] = nv
+			}
+		}
+	})
+	out.nextID = src.nextID
+	return out
+}

@@ -1,0 +1,186 @@
+package ir
+
+// DomTree is a dominator tree over a function's CFG, built with the
+// Cooper–Harvey–Kennedy iterative algorithm. Blocks unreachable from the
+// entry have no dominator information and Dominates reports false for
+// them.
+type DomTree struct {
+	fn    *Function
+	idom  map[*Block]*Block
+	order map[*Block]int // reverse postorder number
+
+	// num/last give each block an interval in a preorder walk of the
+	// dominator tree, making Dominates O(1).
+	num  map[*Block]int
+	last map[*Block]int
+}
+
+// NewDomTree computes the dominator tree of f.
+func NewDomTree(f *Function) *DomTree {
+	t := &DomTree{
+		fn:    f,
+		idom:  make(map[*Block]*Block),
+		order: make(map[*Block]int),
+		num:   make(map[*Block]int),
+		last:  make(map[*Block]int),
+	}
+	if len(f.Blocks) == 0 {
+		return t
+	}
+	entry := f.Entry()
+
+	// Reverse postorder over reachable blocks.
+	var rpo []*Block
+	seen := make(map[*Block]bool)
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		seen[b] = true
+		for _, s := range b.Succs() {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		rpo = append(rpo, b)
+	}
+	dfs(entry)
+	for i, j := 0, len(rpo)-1; i < j; i, j = i+1, j-1 {
+		rpo[i], rpo[j] = rpo[j], rpo[i]
+	}
+	for i, b := range rpo {
+		t.order[b] = i
+	}
+
+	preds := f.Preds()
+	t.idom[entry] = entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo[1:] {
+			var newIdom *Block
+			for _, p := range preds[b] {
+				if t.idom[p] == nil {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = t.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && t.idom[b] != newIdom {
+				t.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	// Number the dominator tree for O(1) queries.
+	children := make(map[*Block][]*Block)
+	for _, b := range rpo[1:] {
+		children[t.idom[b]] = append(children[t.idom[b]], b)
+	}
+	n := 0
+	var walk func(*Block)
+	walk = func(b *Block) {
+		t.num[b] = n
+		n++
+		for _, c := range children[b] {
+			walk(c)
+		}
+		t.last[b] = n
+	}
+	walk(entry)
+	return t
+}
+
+func (t *DomTree) intersect(a, b *Block) *Block {
+	for a != b {
+		for t.order[a] > t.order[b] {
+			a = t.idom[a]
+		}
+		for t.order[b] > t.order[a] {
+			b = t.idom[b]
+		}
+	}
+	return a
+}
+
+// IDom returns the immediate dominator of b (nil for the entry block or
+// unreachable blocks).
+func (t *DomTree) IDom(b *Block) *Block {
+	d := t.idom[b]
+	if d == b {
+		return nil
+	}
+	return d
+}
+
+// Reachable reports whether b is reachable from the entry.
+func (t *DomTree) Reachable(b *Block) bool {
+	_, ok := t.idom[b]
+	return ok
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (t *DomTree) Dominates(a, b *Block) bool {
+	na, oka := t.num[a]
+	nb, okb := t.num[b]
+	if !oka || !okb {
+		return false
+	}
+	return na <= nb && nb < t.last[a]
+}
+
+// Frontier computes the dominance frontier of every reachable block:
+// DF(b) is the set of blocks where b's dominance ends — exactly where
+// SSA construction must place phi nodes for definitions in b.
+func (t *DomTree) Frontier() map[*Block][]*Block {
+	df := make(map[*Block][]*Block)
+	preds := t.fn.Preds()
+	for _, b := range t.fn.Blocks {
+		if !t.Reachable(b) || len(preds[b]) < 2 {
+			continue
+		}
+		for _, p := range preds[b] {
+			if !t.Reachable(p) {
+				continue
+			}
+			for runner := p; runner != t.idom[b] && runner != nil; runner = t.IDom(runner) {
+				df[runner] = appendUnique(df[runner], b)
+			}
+		}
+	}
+	return df
+}
+
+func appendUnique(list []*Block, b *Block) []*Block {
+	for _, x := range list {
+		if x == b {
+			return list
+		}
+	}
+	return append(list, b)
+}
+
+// DominatesInstr reports whether the definition site of def dominates
+// the use at instruction user (operand index gives phi edges special
+// treatment: a phi use must be dominated at the end of the incoming
+// block, not at the phi itself).
+func (t *DomTree) DominatesInstr(def, user *Instr, operandIdx int) bool {
+	db, ub := def.Parent, user.Parent
+	if user.Op == OpPhi {
+		// The incoming value must dominate the terminator of the edge's
+		// predecessor block.
+		in := user.IncomingBlocks[operandIdx]
+		if db == in {
+			return true // defined somewhere in the predecessor block
+		}
+		return t.Dominates(db, in)
+	}
+	if db == ub {
+		return db.IndexOf(def) < ub.IndexOf(user)
+	}
+	// Invoke results are only usable in the normal destination, which
+	// the invoke's block dominates if the result is used legally; the
+	// block-level test below covers it.
+	return t.Dominates(db, ub)
+}

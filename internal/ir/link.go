@@ -1,0 +1,166 @@
+package ir
+
+import "fmt"
+
+// LinkModules combines translation units into one module, the setup the
+// paper's evaluation uses ("we compiled and linked all their source
+// files to a monolithic LLVM bitcode file", Section IV-A). Symbol
+// resolution follows the usual linker rules:
+//
+//   - a definition satisfies any number of declarations of the same
+//     signature;
+//   - duplicate definitions of one function are an error;
+//   - globals unify by name and type, keeping the initializer (two
+//     different initializers conflict).
+//
+// Inputs are not modified. Modules whose TypeContext differs from the
+// first input's are renormalized through the textual form so the
+// result has one coherent context.
+func LinkModules(name string, mods ...*Module) (*Module, error) {
+	if len(mods) == 0 {
+		return nil, fmt.Errorf("ir: link: no input modules")
+	}
+	ctx := mods[0].Ctx
+	var inputs []*Module
+	for _, m := range mods {
+		if m.Ctx == ctx {
+			inputs = append(inputs, m)
+			continue
+		}
+		re, err := reparseInto(ctx, m)
+		if err != nil {
+			return nil, err
+		}
+		inputs = append(inputs, re)
+	}
+
+	out := &Module{
+		Name:       name,
+		Ctx:        ctx,
+		funcByName: make(map[string]*Function),
+		globByName: make(map[string]*GlobalVar),
+	}
+
+	// Globals: unify by name.
+	for _, m := range inputs {
+		for _, g := range m.Globs {
+			prev := out.Global(g.Nam)
+			if prev == nil {
+				out.NewGlobal(g.Nam, g.Elem, g.Init)
+				continue
+			}
+			if prev.Elem != g.Elem {
+				return nil, fmt.Errorf("ir: link: global @%s has conflicting types %s and %s", g.Nam, prev.Elem, g.Elem)
+			}
+			if g.Init != nil {
+				if prev.Init != nil && !ConstEqual(prev.Init, g.Init) {
+					return nil, fmt.Errorf("ir: link: global @%s multiply initialized", g.Nam)
+				}
+				prev.Init = g.Init
+			}
+		}
+	}
+
+	// Function headers: declarations merge into definitions.
+	defined := make(map[string]bool)
+	var bodies []*Function
+	for _, m := range inputs {
+		for _, f := range m.Funcs {
+			prev := out.Func(f.Nam)
+			if prev == nil {
+				nf := out.NewFunc(f.Nam, f.Sig)
+				for i, p := range f.Params {
+					nf.Params[i].Nam = p.Nam
+				}
+			} else if prev.Sig != f.Sig {
+				return nil, fmt.Errorf("ir: link: function @%s has conflicting signatures %s and %s", f.Nam, prev.Sig, f.Sig)
+			}
+			if f.IsDecl() {
+				continue
+			}
+			if defined[f.Nam] {
+				return nil, fmt.Errorf("ir: link: function @%s multiply defined", f.Nam)
+			}
+			defined[f.Nam] = true
+			bodies = append(bodies, f)
+		}
+	}
+
+	// Copy bodies, remapping references into the output module.
+	for _, src := range bodies {
+		cloneBodyInto(out, out.Func(src.Nam), src)
+	}
+	return out, VerifyModule(out)
+}
+
+// reparseInto round-trips a module through its textual form into the
+// given type context.
+func reparseInto(ctx *TypeContext, m *Module) (*Module, error) {
+	text := ModuleString(m)
+	re := &Module{
+		Name:       m.Name,
+		Ctx:        ctx,
+		funcByName: make(map[string]*Function),
+		globByName: make(map[string]*GlobalVar),
+	}
+	p := &parser{lex: newLexer(text), mod: re, headerOnly: true}
+	if _, err := p.parseModule(); err != nil {
+		return nil, fmt.Errorf("ir: link: renormalize %s: %w", m.Name, err)
+	}
+	p2 := &parser{lex: newLexer(text), mod: re}
+	if _, err := p2.parseModule(); err != nil {
+		return nil, fmt.Errorf("ir: link: renormalize %s: %w", m.Name, err)
+	}
+	return re, nil
+}
+
+// cloneBodyInto copies src's body into dst (same signature, lives in
+// module out), remapping function and global references by name.
+func cloneBodyInto(out *Module, dst *Function, src *Function) {
+	vmap := make(map[Value]Value, src.NumInstrs()+len(src.Params))
+	for i, p := range src.Params {
+		dst.Params[i].Nam = p.Nam
+		vmap[p] = dst.Params[i]
+	}
+	bmap := make(map[*Block]*Block, len(src.Blocks))
+	for _, b := range src.Blocks {
+		nb := dst.NewBlock(b.Nam)
+		bmap[b] = nb
+		vmap[b] = nb
+	}
+	for _, b := range src.Blocks {
+		nb := bmap[b]
+		for _, in := range b.Instrs {
+			ni := &Instr{
+				Op:        in.Op,
+				Ty:        in.Ty,
+				Nam:       in.Nam,
+				Predicate: in.Predicate,
+				AllocTy:   in.AllocTy,
+				Operands:  append([]Value(nil), in.Operands...),
+			}
+			if len(in.IncomingBlocks) > 0 {
+				ni.IncomingBlocks = make([]*Block, len(in.IncomingBlocks))
+				for i, ib := range in.IncomingBlocks {
+					ni.IncomingBlocks[i] = bmap[ib]
+				}
+			}
+			nb.Append(ni)
+			vmap[in] = ni
+		}
+	}
+	dst.Instructions(func(in *Instr) {
+		for i, op := range in.Operands {
+			switch v := op.(type) {
+			case *Function:
+				in.Operands[i] = out.Func(v.Nam)
+			case *GlobalVar:
+				in.Operands[i] = out.Global(v.Nam)
+			default:
+				if nv, ok := vmap[op]; ok {
+					in.Operands[i] = nv
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,138 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLinkDeclarationToDefinition(t *testing.T) {
+	unitA := MustParseModule(`
+declare i32 @helper(i32)
+define i32 @main(i32 %x) {
+entry:
+  %r = call i32 @helper(i32 %x)
+  ret i32 %r
+}`)
+	unitB := MustParseModule(`
+define i32 @helper(i32 %v) {
+entry:
+  %r = mul i32 %v, 3
+  ret i32 %r
+}`)
+	linked, err := LinkModules("prog", unitA, unitB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := linked.Func("helper")
+	if h == nil || h.IsDecl() {
+		t.Fatal("helper not resolved to its definition")
+	}
+	// main's call must reference the LINKED helper, not unitA's decl.
+	var callee Value
+	linked.Func("main").Instructions(func(in *Instr) {
+		if in.Op == OpCall {
+			callee = in.Operands[0]
+		}
+	})
+	if callee != Value(h) {
+		t.Fatal("call site not remapped to linked definition")
+	}
+}
+
+func TestLinkGlobals(t *testing.T) {
+	a := MustParseModule(`
+global @shared i64
+define void @touch() {
+entry:
+  store i64 1, i64* @shared
+  ret void
+}`)
+	b := MustParseModule(`
+global @shared i64 = 42
+global @own i32 = 7
+`)
+	linked, err := LinkModules("prog", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := linked.Global("shared")
+	if g == nil || g.Init == nil || g.Init.IntVal != 42 {
+		t.Fatalf("shared global not unified with initializer: %+v", g)
+	}
+	if linked.Global("own") == nil {
+		t.Fatal("own global missing")
+	}
+	// touch's store must reference the linked global.
+	linked.Func("touch").Instructions(func(in *Instr) {
+		if in.Op == OpStore && in.Operands[1] != Value(g) {
+			t.Fatal("store not remapped to linked global")
+		}
+	})
+}
+
+func TestLinkConflicts(t *testing.T) {
+	def1 := `define i32 @f(i32 %x) {
+entry:
+  ret i32 %x
+}`
+	def2 := `define i32 @f(i32 %x) {
+entry:
+  %r = add i32 %x, 1
+  ret i32 %r
+}`
+	if _, err := LinkModules("p", MustParseModule(def1), MustParseModule(def2)); err == nil || !strings.Contains(err.Error(), "multiply defined") {
+		t.Errorf("duplicate definition: err = %v", err)
+	}
+
+	sigA := `declare i32 @g(i32)`
+	sigB := `declare i64 @g(i32)`
+	if _, err := LinkModules("p", MustParseModule(sigA), MustParseModule(sigB)); err == nil || !strings.Contains(err.Error(), "conflicting signatures") {
+		t.Errorf("signature conflict: err = %v", err)
+	}
+
+	gA := `global @x i32 = 1`
+	gB := `global @x i32 = 2`
+	if _, err := LinkModules("p", MustParseModule(gA), MustParseModule(gB)); err == nil || !strings.Contains(err.Error(), "multiply initialized") {
+		t.Errorf("initializer conflict: err = %v", err)
+	}
+
+	tA := `global @y i32`
+	tB := `global @y i64`
+	if _, err := LinkModules("p", MustParseModule(tA), MustParseModule(tB)); err == nil || !strings.Contains(err.Error(), "conflicting types") {
+		t.Errorf("type conflict: err = %v", err)
+	}
+}
+
+func TestLinkAcrossTypeContexts(t *testing.T) {
+	// Each ParseModule creates its own context; LinkModules must
+	// renormalize the second unit.
+	a := MustParseModule(`
+define i32 @a(i32 %x) {
+entry:
+  ret i32 %x
+}`)
+	b := MustParseModule(`
+define i32 @b(i32 %x) {
+entry:
+  %r = call i32 @b(i32 %x)
+  ret i32 %r
+}`)
+	linked, err := LinkModules("prog", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if linked.Ctx != a.Ctx {
+		t.Fatal("linked module should share the first input's context")
+	}
+	fb := linked.Func("b")
+	// All types in the linked module must come from the shared context.
+	if fb.ReturnType() != linked.Ctx.I32 {
+		t.Fatal("types not renormalized into the shared context")
+	}
+}
+
+func TestLinkEmpty(t *testing.T) {
+	if _, err := LinkModules("p"); err == nil {
+		t.Error("expected error for zero inputs")
+	}
+}

@@ -1,0 +1,177 @@
+package ir
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteModule renders the module in the textual IR syntax understood by
+// ParseModule.
+func WriteModule(w io.Writer, m *Module) error {
+	pw := &errWriter{w: w}
+	fmt.Fprintf(pw, "module %q\n", m.Name)
+	for _, g := range m.Globs {
+		if g.Init != nil {
+			fmt.Fprintf(pw, "global @%s %s = %s\n", g.Nam, g.Elem, g.Init.Ident())
+		} else {
+			fmt.Fprintf(pw, "global @%s %s\n", g.Nam, g.Elem)
+		}
+	}
+	for _, f := range m.Funcs {
+		pw.WriteByte('\n')
+		writeFunc(pw, f)
+	}
+	return pw.err
+}
+
+// ModuleString renders the module to a string.
+func ModuleString(m *Module) string {
+	var b strings.Builder
+	_ = WriteModule(&b, m)
+	return b.String()
+}
+
+// FuncString renders one function to a string.
+func FuncString(f *Function) string {
+	var b strings.Builder
+	pw := &errWriter{w: &b}
+	writeFunc(pw, f)
+	return b.String()
+}
+
+func writeFunc(w *errWriter, f *Function) {
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = p.Ty.String() + " %" + p.Nam
+	}
+	if f.Sig.Variadic {
+		params = append(params, "...")
+	}
+	head := fmt.Sprintf("%s @%s(%s)", f.ReturnType(), f.Nam, strings.Join(params, ", "))
+	if f.IsDecl() {
+		fmt.Fprintf(w, "declare %s\n", head)
+		return
+	}
+	fmt.Fprintf(w, "define %s {\n", head)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(w, "%s:\n", b.Nam)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(w, "  %s\n", InstrString(in))
+		}
+	}
+	fmt.Fprintln(w, "}")
+}
+
+// operand renders a typed operand reference.
+func operand(v Value) string {
+	if b, ok := v.(*Block); ok {
+		return "label %" + b.Nam
+	}
+	return v.Type().String() + " " + v.Ident()
+}
+
+// InstrString renders a single instruction in the textual syntax.
+func InstrString(in *Instr) string {
+	var b strings.Builder
+	if !in.Ty.IsVoid() && in.Op != OpStore {
+		fmt.Fprintf(&b, "%%%s = ", in.Nam)
+	}
+	switch in.Op {
+	case OpRet:
+		if len(in.Operands) == 0 {
+			b.WriteString("ret void")
+		} else {
+			fmt.Fprintf(&b, "ret %s", operand(in.Operands[0]))
+		}
+	case OpBr:
+		fmt.Fprintf(&b, "br %s", operand(in.Operands[0]))
+	case OpCondBr:
+		fmt.Fprintf(&b, "br %s, %s, %s", operand(in.Operands[0]), operand(in.Operands[1]), operand(in.Operands[2]))
+	case OpSwitch:
+		fmt.Fprintf(&b, "switch %s, %s [", operand(in.Operands[0]), operand(in.Operands[1]))
+		for i := 2; i < len(in.Operands); i += 2 {
+			if i > 2 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s: %s", in.Operands[i].Ident(), operand(in.Operands[i+1]))
+		}
+		b.WriteString("]")
+	case OpUnreachable:
+		b.WriteString("unreachable")
+	case OpAlloca:
+		fmt.Fprintf(&b, "alloca %s", in.AllocTy)
+	case OpLoad:
+		fmt.Fprintf(&b, "load %s, %s", in.Ty, operand(in.Operands[0]))
+	case OpStore:
+		fmt.Fprintf(&b, "store %s, %s", operand(in.Operands[0]), operand(in.Operands[1]))
+	case OpGEP:
+		fmt.Fprintf(&b, "getelementptr %s", operand(in.Operands[0]))
+		for _, idx := range in.Operands[1:] {
+			fmt.Fprintf(&b, ", %s", operand(idx))
+		}
+	case OpICmp:
+		fmt.Fprintf(&b, "icmp %s %s, %s", in.Predicate, operand(in.Operands[0]), in.Operands[1].Ident())
+	case OpFCmp:
+		fmt.Fprintf(&b, "fcmp %s %s, %s", in.Predicate, operand(in.Operands[0]), in.Operands[1].Ident())
+	case OpSelect:
+		fmt.Fprintf(&b, "select %s, %s, %s", operand(in.Operands[0]), operand(in.Operands[1]), operand(in.Operands[2]))
+	case OpPhi:
+		fmt.Fprintf(&b, "phi %s ", in.Ty)
+		for i, v := range in.Operands {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "[%s, %%%s]", v.Ident(), in.IncomingBlocks[i].Nam)
+		}
+	case OpCall:
+		fmt.Fprintf(&b, "call %s %s(", in.Ty, in.Operands[0].Ident())
+		for i, a := range in.CallArgs() {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(operand(a))
+		}
+		b.WriteString(")")
+	case OpInvoke:
+		fmt.Fprintf(&b, "invoke %s %s(", in.Ty, in.Operands[0].Ident())
+		for i, a := range in.CallArgs() {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(operand(a))
+		}
+		n := len(in.Operands)
+		fmt.Fprintf(&b, ") to %s unwind %s", operand(in.Operands[n-2]), operand(in.Operands[n-1]))
+	default:
+		if in.Op.IsCast() {
+			fmt.Fprintf(&b, "%s %s to %s", in.Op, operand(in.Operands[0]), in.Ty)
+		} else if in.Op.IsBinary() {
+			fmt.Fprintf(&b, "%s %s, %s", in.Op, operand(in.Operands[0]), in.Operands[1].Ident())
+		} else {
+			fmt.Fprintf(&b, "<%s?>", in.Op)
+		}
+	}
+	return b.String()
+}
+
+// errWriter latches the first write error so formatting code can skip
+// per-call checks.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, err
+}
+
+func (e *errWriter) WriteByte(c byte) error {
+	_, err := e.Write([]byte{c})
+	return err
+}

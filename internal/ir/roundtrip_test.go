@@ -1,0 +1,133 @@
+package ir
+
+import (
+	"testing"
+)
+
+// TestPrintParseIdempotent: for modules built programmatically, print →
+// parse → print must be a fixed point (stability implies the parser and
+// printer agree on the whole surface syntax).
+func TestPrintParseIdempotent(t *testing.T) {
+	m := NewModule("fixed")
+	c := m.Ctx
+	m.NewGlobal("g64", c.I64, ConstInt(c.I64, -5))
+	m.NewGlobal("tab", c.Array(3, c.F64), nil)
+
+	// A function exercising every instruction category.
+	f := m.NewFunc("all", c.Func(c.I32, c.I32, c.Pointer(c.I32), c.F64), "n", "p", "d")
+	entry := f.NewBlock("entry")
+	loop := f.NewBlock("loop")
+	body := f.NewBlock("body")
+	other := f.NewBlock("other")
+	exit := f.NewBlock("exit")
+
+	bd := NewBuilder(entry)
+	slot := bd.Alloca(c.Struct(c.I32, c.I64))
+	fld := bd.GEP(slot, ConstInt(c.I64, 0), ConstInt(c.I32, 1))
+	bd.Store(bd.Cast(OpSExt, f.Params[0], c.I64), fld)
+	bd.Br(loop)
+
+	bd.SetBlock(loop)
+	i := bd.Phi(c.I32)
+	cond := bd.ICmp(PredSLT, i, f.Params[0])
+	bd.CondBr(cond, body, exit)
+
+	bd.SetBlock(body)
+	v := bd.Load(f.Params[1])
+	sum := bd.Add(v, i)
+	fv := bd.Cast(OpSIToFP, sum, c.F64)
+	fc := bd.FCmp(PredOGT, fv, f.Params[2])
+	sel := bd.Select(fc, sum, i)
+	inext := bd.Add(sel, ConstInt(c.I32, 1))
+	bd.Switch(inext, loop, ConstInt(c.I32, 7), other)
+
+	bd.SetBlock(other)
+	bd.Br(loop)
+
+	i.AddIncoming(ConstInt(c.I32, 0), entry)
+	i.AddIncoming(inext, body)
+	i.AddIncoming(ConstInt(c.I32, 8), other)
+
+	bd.SetBlock(exit)
+	ld := bd.Load(fld)
+	bd.Ret(bd.Cast(OpTrunc, ld, c.I32))
+
+	if err := VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+
+	s1 := ModuleString(m)
+	m2, err := ParseModule(s1)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, s1)
+	}
+	if err := VerifyModule(m2); err != nil {
+		t.Fatal(err)
+	}
+	s2 := ModuleString(m2)
+	if s1 != s2 {
+		t.Errorf("print/parse not idempotent:\n--- 1\n%s\n--- 2\n%s", s1, s2)
+	}
+}
+
+func TestParseNegativeAndFloatConstants(t *testing.T) {
+	src := `
+define double @f(double %x) {
+entry:
+  %a = fadd double %x, -2.5
+  %b = fmul double %a, 1.0
+  %c = fadd double %b, 0.001
+  ret double %c
+}`
+	m, err := ParseModule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseModule(ModuleString(m)); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+func TestCloneModulePreservesEverything(t *testing.T) {
+	src := `
+global @g i32 = 3
+define i32 @callee(i32 %x) {
+entry:
+  %v = load i32, i32* @g
+  %r = add i32 %x, %v
+  ret i32 %r
+}
+define i32 @caller(i32 %x) {
+entry:
+  %r = call i32 @callee(i32 %x)
+  ret i32 %r
+}`
+	m, err := ParseModule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := CloneModule(m)
+	if err := VerifyModule(cl); err != nil {
+		t.Fatal(err)
+	}
+	if ModuleString(cl) != ModuleString(m) {
+		t.Errorf("clone renders differently:\n%s\nvs\n%s", ModuleString(cl), ModuleString(m))
+	}
+	// The clone must reference its own entities, not the original's.
+	clCaller := cl.Func("caller")
+	clCaller.Instructions(func(in *Instr) {
+		for _, op := range in.Operands {
+			if f, ok := op.(*Function); ok && f == m.Func("callee") {
+				t.Fatal("clone call references original module's function")
+			}
+			if g, ok := op.(*GlobalVar); ok && g == m.Global("g") {
+				t.Fatal("clone references original module's global")
+			}
+		}
+	})
+	// Mutating the clone must not affect the original.
+	cl.RemoveFunc(cl.Func("callee"))
+	if m.Func("callee") == nil {
+		t.Fatal("removing from clone affected original")
+	}
+}

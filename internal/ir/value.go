@@ -1,0 +1,165 @@
+package ir
+
+import (
+	"math"
+	"strconv"
+)
+
+// Value is anything that can appear as an instruction operand: constants,
+// parameters, instructions, globals, functions and block labels.
+type Value interface {
+	// Type returns the value's type.
+	Type() *Type
+	// Ident renders the operand reference (e.g. "%x", "@f", "42").
+	Ident() string
+}
+
+// Const is a constant value: an integer, a float, a null pointer, or an
+// undef of any first-class type.
+type Const struct {
+	Ty *Type
+
+	// IntVal holds the value of integer constants, interpreted in the
+	// two's-complement domain of the type's width.
+	IntVal int64
+
+	// FloatVal holds the value of floating-point constants.
+	FloatVal float64
+
+	// Undef marks an undef constant.
+	Undef bool
+
+	// Null marks a null pointer constant.
+	Null bool
+}
+
+// Type returns the constant's type.
+func (c *Const) Type() *Type { return c.Ty }
+
+// Ident renders the constant in operand position.
+func (c *Const) Ident() string {
+	switch {
+	case c.Undef:
+		return "undef"
+	case c.Null:
+		return "null"
+	case c.Ty.IsFloat():
+		if c.FloatVal == math.Trunc(c.FloatVal) && !math.IsInf(c.FloatVal, 0) {
+			return strconv.FormatFloat(c.FloatVal, 'f', 1, 64)
+		}
+		return strconv.FormatFloat(c.FloatVal, 'g', -1, 64)
+	default:
+		return strconv.FormatInt(c.IntVal, 10)
+	}
+}
+
+// ConstInt returns an integer constant of type ty, truncated to the
+// type's width.
+func ConstInt(ty *Type, v int64) *Const {
+	if !ty.IsInt() {
+		panic("ir: ConstInt on non-integer type " + ty.String())
+	}
+	return &Const{Ty: ty, IntVal: truncInt(v, ty.Bits)}
+}
+
+// ConstFloat returns a floating-point constant of type ty.
+func ConstFloat(ty *Type, v float64) *Const {
+	if !ty.IsFloat() {
+		panic("ir: ConstFloat on non-float type " + ty.String())
+	}
+	if ty.Bits == 32 {
+		v = float64(float32(v))
+	}
+	return &Const{Ty: ty, FloatVal: v}
+}
+
+// ConstNull returns the null constant of pointer type ty.
+func ConstNull(ty *Type) *Const {
+	if !ty.IsPointer() {
+		panic("ir: ConstNull on non-pointer type " + ty.String())
+	}
+	return &Const{Ty: ty, Null: true}
+}
+
+// ConstUndef returns the undef constant of type ty.
+func ConstUndef(ty *Type) *Const { return &Const{Ty: ty, Undef: true} }
+
+// ConstBool returns an i1 constant in the given context.
+func ConstBool(c *TypeContext, v bool) *Const {
+	n := int64(0)
+	if v {
+		n = 1
+	}
+	return ConstInt(c.I1, n)
+}
+
+// truncInt sign-truncates v to the given bit width, keeping the stored
+// representation canonical so equal constants compare equal.
+func truncInt(v int64, bits int) int64 {
+	if bits >= 64 {
+		return v
+	}
+	shift := uint(64 - bits)
+	return v << shift >> shift
+}
+
+// ConstEqual reports whether two constants are the same value of the
+// same type.
+func ConstEqual(a, b *Const) bool {
+	if a.Ty != b.Ty {
+		return false
+	}
+	switch {
+	case a.Undef || b.Undef:
+		return a.Undef == b.Undef
+	case a.Null || b.Null:
+		return a.Null == b.Null
+	case a.Ty.IsFloat():
+		return a.FloatVal == b.FloatVal || (math.IsNaN(a.FloatVal) && math.IsNaN(b.FloatVal))
+	default:
+		return a.IntVal == b.IntVal
+	}
+}
+
+// Param is a function parameter.
+type Param struct {
+	Nam    string
+	Ty     *Type
+	Parent *Function
+	Index  int
+}
+
+// Type returns the parameter's type.
+func (p *Param) Type() *Type { return p.Ty }
+
+// Ident renders the parameter reference.
+func (p *Param) Ident() string { return "%" + p.Nam }
+
+// Name returns the parameter's name without the sigil.
+func (p *Param) Name() string { return p.Nam }
+
+// GlobalVar is a module-level variable. Its value type is Elem; the
+// global itself has pointer-to-Elem type, as in LLVM.
+type GlobalVar struct {
+	Nam  string
+	Elem *Type
+	// PtrTy caches the pointer type of the global.
+	PtrTy *Type
+	// Init is the optional scalar initializer (nil means zeroinitializer).
+	Init *Const
+}
+
+// Type returns the pointer type of the global.
+func (g *GlobalVar) Type() *Type { return g.PtrTy }
+
+// Ident renders the global reference.
+func (g *GlobalVar) Ident() string { return "@" + g.Nam }
+
+// Name returns the global's name without the sigil.
+func (g *GlobalVar) Name() string { return g.Nam }
+
+// blockValue adapts a *Block to the Value interface for label operands.
+func (b *Block) Type() *Type { return b.labelType }
+
+// Ident renders the block label in operand position.
+func (b *Block) Ident() string { return "%" + b.Nam }

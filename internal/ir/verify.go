@@ -1,0 +1,227 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VerifyModule checks every function definition in the module, returning
+// all violations joined into a single error.
+func VerifyModule(m *Module) error {
+	var errs []error
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		if err := VerifyFunc(f); err != nil {
+			errs = append(errs, fmt.Errorf("@%s: %w", f.Nam, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// VerifyFunc checks the structural and SSA well-formedness rules of one
+// function definition:
+//
+//   - every block is non-empty and ends with exactly one terminator;
+//   - phis appear only in a leading run and cover each predecessor
+//     exactly once;
+//   - instruction operand counts and types are consistent;
+//   - every SSA definition dominates all of its uses (the property the
+//     Sec. III-E merge bug fixes protect).
+func VerifyFunc(f *Function) error {
+	var errs []error
+	errf := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	if len(f.Blocks) == 0 {
+		return errors.New("definition has no blocks")
+	}
+
+	inFunc := make(map[*Instr]bool, f.NumInstrs())
+	blockSet := make(map[*Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		blockSet[b] = true
+		for _, in := range b.Instrs {
+			inFunc[in] = true
+		}
+	}
+
+	preds := f.Preds()
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			errf("block %%%s is empty", b.Nam)
+			continue
+		}
+		for i, in := range b.Instrs {
+			last := i == len(b.Instrs)-1
+			if in.IsTerminator() != last {
+				if in.IsTerminator() {
+					errf("%%%s: terminator %s mid-block", b.Nam, in.Op)
+				} else {
+					errf("%%%s: block does not end in a terminator", b.Nam)
+				}
+			}
+			if in.Op == OpPhi && i > b.FirstNonPhi() {
+				errf("%%%s: phi %%%s after non-phi instruction", b.Nam, in.Nam)
+			}
+			if in.Parent != b {
+				errf("%%%s: instruction %s has wrong parent", b.Nam, in.Op)
+			}
+			if err := checkOperands(in); err != nil {
+				errf("%%%s: %s: %v", b.Nam, InstrString(in), err)
+			}
+			for _, op := range in.Operands {
+				if sb, ok := op.(*Block); ok && !blockSet[sb] {
+					errf("%%%s: reference to block %%%s outside function", b.Nam, sb.Nam)
+				}
+			}
+		}
+		// Phi edges must match predecessors exactly.
+		for _, phi := range b.Phis() {
+			have := make(map[*Block]int)
+			for _, ib := range phi.IncomingBlocks {
+				have[ib]++
+			}
+			for _, p := range preds[b] {
+				if have[p] == 0 {
+					errf("%%%s: phi %%%s missing incoming edge from %%%s", b.Nam, phi.Nam, p.Nam)
+				}
+			}
+			for ib, n := range have {
+				if n > 1 {
+					errf("%%%s: phi %%%s has %d edges from %%%s", b.Nam, phi.Nam, n, ib.Nam)
+				}
+				found := false
+				for _, p := range preds[b] {
+					if p == ib {
+						found = true
+						break
+					}
+				}
+				if !found {
+					errf("%%%s: phi %%%s edge from non-predecessor %%%s", b.Nam, phi.Nam, ib.Nam)
+				}
+			}
+		}
+	}
+
+	// SSA dominance: each def dominates each use.
+	dt := NewDomTree(f)
+	for _, b := range f.Blocks {
+		if !dt.Reachable(b) {
+			continue // uses in dead code are not checked, as in LLVM
+		}
+		for _, in := range b.Instrs {
+			for idx, op := range in.Operands {
+				def, ok := op.(*Instr)
+				if !ok {
+					continue
+				}
+				if !inFunc[def] {
+					errf("%%%s: operand %%%s defined outside function", b.Nam, def.Nam)
+					continue
+				}
+				if !dt.DominatesInstr(def, in, idx) {
+					errf("%%%s: use of %%%s in %s does not satisfy dominance", b.Nam, def.Nam, InstrString(in))
+				}
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// checkOperands validates per-opcode operand arity and types.
+func checkOperands(in *Instr) error {
+	n := len(in.Operands)
+	need := func(want int) error {
+		if n != want {
+			return fmt.Errorf("want %d operands, have %d", want, n)
+		}
+		return nil
+	}
+	switch {
+	case in.Op.IsBinary():
+		if err := need(2); err != nil {
+			return err
+		}
+		if in.Operands[0].Type() != in.Operands[1].Type() || in.Operands[0].Type() != in.Ty {
+			return fmt.Errorf("binary operand/result type mismatch")
+		}
+	case in.Op.IsCast():
+		return need(1)
+	}
+	switch in.Op {
+	case OpRet:
+		if n > 1 {
+			return fmt.Errorf("ret takes 0 or 1 operand")
+		}
+	case OpBr:
+		return need(1)
+	case OpCondBr:
+		if err := need(3); err != nil {
+			return err
+		}
+		if in.Operands[0].Type().Kind != IntKind || in.Operands[0].Type().Bits != 1 {
+			return fmt.Errorf("condbr condition must be i1")
+		}
+	case OpLoad:
+		if err := need(1); err != nil {
+			return err
+		}
+		pt := in.Operands[0].Type()
+		if !pt.IsPointer() || pt.Elem != in.Ty {
+			return fmt.Errorf("load type mismatch: %s via %s", in.Ty, pt)
+		}
+	case OpStore:
+		if err := need(2); err != nil {
+			return err
+		}
+		pt := in.Operands[1].Type()
+		if !pt.IsPointer() || pt.Elem != in.Operands[0].Type() {
+			return fmt.Errorf("store type mismatch: %s via %s", in.Operands[0].Type(), pt)
+		}
+	case OpICmp, OpFCmp:
+		if err := need(2); err != nil {
+			return err
+		}
+		if in.Operands[0].Type() != in.Operands[1].Type() {
+			return fmt.Errorf("cmp operand types differ")
+		}
+	case OpSelect:
+		if err := need(3); err != nil {
+			return err
+		}
+		if in.Operands[1].Type() != in.Operands[2].Type() {
+			return fmt.Errorf("select arm types differ")
+		}
+	case OpPhi:
+		if len(in.Operands) != len(in.IncomingBlocks) {
+			return fmt.Errorf("phi operand/block count mismatch")
+		}
+		for _, v := range in.Operands {
+			if v.Type() != in.Ty {
+				return fmt.Errorf("phi incoming type %s, want %s", v.Type(), in.Ty)
+			}
+		}
+	case OpCall, OpInvoke:
+		if n < 1 {
+			return fmt.Errorf("call needs a callee")
+		}
+		sig := calleeSig(in.Operands[0])
+		args := in.CallArgs()
+		if !sig.Variadic && len(args) != len(sig.Fields) {
+			return fmt.Errorf("call arity %d, want %d", len(args), len(sig.Fields))
+		}
+		for i, a := range args {
+			if i < len(sig.Fields) && a.Type() != sig.Fields[i] {
+				return fmt.Errorf("call arg %d type %s, want %s", i, a.Type(), sig.Fields[i])
+			}
+		}
+		if sig.Elem != in.Ty {
+			return fmt.Errorf("call result type %s, want %s", in.Ty, sig.Elem)
+		}
+	}
+	return nil
+}

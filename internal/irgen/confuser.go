@@ -1,0 +1,299 @@
+package irgen
+
+import (
+	"fmt"
+
+	"f3m/internal/ir"
+)
+
+// genConfuser derives a "frequency twin" of the seed function: a
+// function with the *exact same opcode histogram* — hence opcode-
+// frequency fingerprint distance zero — whose instructions operate on a
+// divergent type theme and scrambled data flow. These are the pairs
+// from the paper's Figure 5 (perf_trace_destroy vs fat_put_super):
+// HyFM's opcode-frequency ranking considers them ideal candidates, yet
+// they align poorly and merge unprofitably, while the type-aware
+// MinHash encoding sees through them.
+//
+// Construction: clone the seed, keep its CFG skeleton (phis,
+// terminators and protected loop-control code), then replace every
+// other body instruction with a freshly generated instruction of the
+// SAME OPCODE but re-flavored types and operands. Skeleton operands
+// that referenced replaced values are rewired to fresh values of
+// matching type.
+func (g *generator) genConfuser(seed *ir.Function, name string) *ir.Function {
+	f := ir.CloneFunc(g.mod, seed, name)
+	c := g.mod.Ctx
+
+	// Divergent type theme: if the seed leaned on i32, the twin leans
+	// on i64 (or i16), floats move to f32.
+	intTy := c.I64
+	if g.rng.Intn(4) == 0 {
+		intTy = c.I16
+	}
+	fltTy := c.F32
+
+	ce := &confEmitter{
+		g: g, f: f, c: c,
+		intTy: intTy, fltTy: fltTy,
+		deleted: make(map[ir.Value]bool),
+	}
+	for _, b := range f.Blocks {
+		ce.rebuildBlock(b)
+	}
+	ce.rewireSkeleton()
+
+	if err := ir.VerifyFunc(f); err != nil {
+		panic(fmt.Sprintf("irgen: confuser broke %s: %v\n%s", name, err, ir.FuncString(f)))
+	}
+	return f
+}
+
+// confEmitter holds the state of one confuser construction.
+type confEmitter struct {
+	g     *generator
+	f     *ir.Function
+	c     *ir.TypeContext
+	intTy *ir.Type
+	fltTy *ir.Type
+
+	// buf is the twin's scratch buffer (set when the alloca is
+	// re-emitted); ptrs lists re-emitted GEP results usable by loads.
+	buf  ir.Value
+	ptrs []ir.Value
+
+	deleted map[ir.Value]bool
+}
+
+// rebuildBlock replaces the block's replaceable body with same-opcode,
+// re-flavored instructions.
+func (ce *confEmitter) rebuildBlock(b *ir.Block) {
+	g := ce.g
+	// Pointers are block-local: a GEP from a non-dominating block must
+	// never feed this block's loads. The generator's memOp always puts
+	// a GEP in the same block as its loads/stores, so the per-block
+	// opcode multiset keeps this self-sufficient.
+	ce.ptrs = nil
+	lo := b.FirstNonPhi()
+	hi := len(b.Instrs)
+	term := b.Term()
+	if term != nil {
+		hi--
+	}
+	body := append([]*ir.Instr(nil), b.Instrs[lo:hi]...)
+
+	// Partition: kept (protected) vs replaced opcodes.
+	var kept []*ir.Instr
+	var ops []ir.Opcode
+	for _, in := range body {
+		if protected(in) {
+			kept = append(kept, in)
+			continue
+		}
+		ops = append(ops, in.Op)
+		ce.deleted[in] = true
+	}
+
+	// Emission order: allocas first (they define the scratch buffer),
+	// then geps (loads need pointers), then everything else shuffled
+	// together with the kept instructions.
+	var allocas, geps, rest []ir.Opcode
+	for _, op := range ops {
+		switch op {
+		case ir.OpAlloca:
+			allocas = append(allocas, op)
+		case ir.OpGEP:
+			geps = append(geps, op)
+		default:
+			rest = append(rest, op)
+		}
+	}
+	g.rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+
+	// Rebuild the instruction list: phis, new body, terminator.
+	newInstrs := append([]*ir.Instr(nil), b.Instrs[:lo]...)
+	b.Instrs = newInstrs
+	bd := ir.NewBuilder(b)
+
+	// Pool: parameters plus this block's phis.
+	pool := map[*ir.Type][]ir.Value{}
+	add := func(v ir.Value) {
+		if v != nil && v.Type().IsFirstClass() {
+			pool[v.Type()] = append(pool[v.Type()], v)
+		}
+	}
+	for _, p := range ce.f.Params {
+		add(p)
+	}
+	for _, phi := range b.Phis() {
+		add(phi)
+	}
+
+	for _, op := range allocas {
+		add(ce.emit(bd, op, pool))
+	}
+	for _, op := range geps {
+		add(ce.emit(bd, op, pool))
+	}
+	keptIdx := 0
+	for _, op := range rest {
+		// Interleave kept instructions at random points.
+		for keptIdx < len(kept) && g.rng.Intn(len(rest)+1) == 0 {
+			in := kept[keptIdx]
+			in.Parent = b
+			b.Instrs = append(b.Instrs, in)
+			add(in)
+			keptIdx++
+		}
+		add(ce.emit(bd, op, pool))
+	}
+	for ; keptIdx < len(kept); keptIdx++ {
+		in := kept[keptIdx]
+		in.Parent = b
+		b.Instrs = append(b.Instrs, in)
+	}
+	if term != nil {
+		b.Instrs = append(b.Instrs, term)
+	}
+}
+
+// pick returns a pool value of the type or materializes a constant.
+func (ce *confEmitter) pick(pool map[*ir.Type][]ir.Value, ty *ir.Type) ir.Value {
+	vals := pool[ty]
+	if len(vals) == 0 || ce.g.rng.Intn(4) == 0 {
+		switch {
+		case ty.IsFloat():
+			return ir.ConstFloat(ty, float64(ce.g.rng.Intn(32))/2)
+		case ty.IsInt():
+			return ir.ConstInt(ty, int64(ce.g.rng.Intn(64)))
+		default:
+			return ir.ConstUndef(ty)
+		}
+	}
+	return vals[ce.g.rng.Intn(len(vals))]
+}
+
+// emit generates one instruction of the required opcode under the
+// twin's type theme.
+func (ce *confEmitter) emit(bd *ir.Builder, op ir.Opcode, pool map[*ir.Type][]ir.Value) ir.Value {
+	g, c := ce.g, ce.c
+	intTy := ce.intTy
+	if g.rng.Intn(5) == 0 {
+		intTy = c.I32 // keep a sprinkle of the original theme
+	}
+	switch {
+	case op.IsBinary() && op >= ir.OpFAdd:
+		return bd.Binary(op, ce.pick(pool, ce.fltTy), ce.pick(pool, ce.fltTy))
+	case op == ir.OpShl || op == ir.OpLShr || op == ir.OpAShr:
+		return bd.Binary(op, ce.pick(pool, intTy), ir.ConstInt(intTy, int64(g.rng.Intn(8))))
+	case op.IsBinary():
+		return bd.Binary(op, ce.pick(pool, intTy), ce.pick(pool, intTy))
+	}
+	switch op {
+	case ir.OpAlloca:
+		ce.buf = bd.Alloca(c.Array(2+g.rng.Intn(12), ce.intTy))
+		return ce.buf
+	case ir.OpGEP:
+		if ce.buf == nil {
+			ce.buf = bd.Alloca(c.Array(4, ce.intTy))
+		}
+		n := ce.buf.Type().Elem.Len
+		p := bd.GEP(ce.buf, ir.ConstInt(c.I64, 0), ir.ConstInt(c.I64, int64(g.rng.Intn(n))))
+		ce.ptrs = append(ce.ptrs, p)
+		return p
+	case ir.OpLoad:
+		p := ce.anyPtr(bd)
+		return bd.Load(p)
+	case ir.OpStore:
+		p := ce.anyPtr(bd)
+		bd.Store(ce.pick(pool, p.Type().Elem), p)
+		return nil
+	case ir.OpICmp:
+		preds := []ir.Pred{ir.PredSLT, ir.PredSGT, ir.PredEQ, ir.PredNE, ir.PredSLE}
+		return bd.ICmp(preds[g.rng.Intn(len(preds))], ce.pick(pool, intTy), ce.pick(pool, intTy))
+	case ir.OpFCmp:
+		preds := []ir.Pred{ir.PredOLT, ir.PredOGT, ir.PredOEQ}
+		return bd.FCmp(preds[g.rng.Intn(len(preds))], ce.pick(pool, ce.fltTy), ce.pick(pool, ce.fltTy))
+	case ir.OpSelect:
+		cond := ir.Value(ir.ConstBool(c, g.rng.Intn(2) == 0))
+		if vals := pool[c.I1]; len(vals) > 0 {
+			cond = vals[g.rng.Intn(len(vals))]
+		}
+		return bd.Select(cond, ce.pick(pool, intTy), ce.pick(pool, intTy))
+	case ir.OpTrunc:
+		return bd.Cast(ir.OpTrunc, ce.pick(pool, c.I64), c.I16)
+	case ir.OpSExt, ir.OpZExt:
+		return bd.Cast(op, ce.pick(pool, c.I16), c.I64)
+	case ir.OpSIToFP:
+		return bd.Cast(ir.OpSIToFP, ce.pick(pool, intTy), ce.fltTy)
+	case ir.OpFPToSI:
+		return bd.Cast(ir.OpFPToSI, ce.pick(pool, ce.fltTy), intTy)
+	case ir.OpFPExt:
+		return bd.Cast(ir.OpFPExt, ce.pick(pool, c.F32), c.F64)
+	case ir.OpFPTrunc:
+		return bd.Cast(ir.OpFPTrunc, ce.pick(pool, c.F64), c.F32)
+	case ir.OpCall:
+		f := g.lib[g.rng.Intn(len(g.lib))]
+		args := make([]ir.Value, len(f.Params))
+		for i, p := range f.Params {
+			args[i] = ce.pick(pool, p.Ty)
+		}
+		return bd.Call(f, args...)
+	}
+	panic(fmt.Sprintf("irgen: confuser cannot re-emit opcode %s", op))
+}
+
+// anyPtr returns a usable pointer, creating a fresh GEP-free fallback
+// only if the block had loads/stores but no pointer yet (possible when
+// geps sat in another block; the entry alloca dominates everything).
+func (ce *confEmitter) anyPtr(bd *ir.Builder) ir.Value {
+	if len(ce.ptrs) > 0 {
+		return ce.ptrs[ce.g.rng.Intn(len(ce.ptrs))]
+	}
+	if ce.buf == nil {
+		ce.buf = bd.Alloca(ce.c.Array(4, ce.intTy))
+	}
+	p := bd.GEP(ce.buf, ir.ConstInt(ce.c.I64, 0), ir.ConstInt(ce.c.I64, 0))
+	ce.ptrs = append(ce.ptrs, p)
+	return p
+}
+
+// rewireSkeleton repoints remaining references to deleted values
+// (phi edges, return operands, kept-instruction inputs) at fresh values
+// of matching type.
+func (ce *confEmitter) rewireSkeleton() {
+	ce.f.Instructions(func(in *ir.Instr) {
+		for i, op := range in.Operands {
+			if !ce.deleted[op] {
+				continue
+			}
+			ty := op.Type()
+			var repl ir.Value
+			// Prefer a same-typed value from the block that must
+			// dominate this use.
+			home := in.Parent
+			if in.Op == ir.OpPhi {
+				home = in.IncomingBlocks[i]
+			}
+			for _, cand := range home.Instrs {
+				if cand == in {
+					break
+				}
+				if !ce.deleted[cand] && cand.Type() == ty && !cand.Ty.IsVoid() {
+					repl = cand
+				}
+			}
+			if repl == nil {
+				switch {
+				case ty.IsInt():
+					repl = ir.ConstInt(ty, int64(ce.g.rng.Intn(32)))
+				case ty.IsFloat():
+					repl = ir.ConstFloat(ty, 1)
+				default:
+					repl = ir.ConstUndef(ty)
+				}
+			}
+			in.Operands[i] = repl
+		}
+	})
+}

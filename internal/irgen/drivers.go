@@ -1,0 +1,109 @@
+package irgen
+
+import "f3m/internal/ir"
+
+// AddDrivers appends one variadic driver function per mergeable
+// function in the module. Each driver invokes its target with two fixed
+// argument tuples and folds the results into an i32. Because variadic
+// functions are never merge candidates, drivers survive a merging pass
+// unchanged (their call sites are rewritten), providing stable entry
+// points for interpreting the module before and after merging — the
+// basis of the Figure 17 runtime-impact experiment and of differential
+// correctness tests.
+func AddDrivers(m *ir.Module) []string {
+	c := m.Ctx
+	var names []string
+	var targets []*ir.Function
+	for _, f := range m.Funcs {
+		if !f.IsDecl() && !f.Sig.Variadic {
+			targets = append(targets, f)
+		}
+	}
+	for _, f := range targets {
+		dn := m.UniqueFuncName("drv_" + f.Name())
+		d := m.NewFunc(dn, c.VariadicFunc(c.I32))
+		entry := d.NewBlock("entry")
+		bd := ir.NewBuilder(entry)
+		r1 := emitDriverCall(bd, f, 3)
+		r2 := emitDriverCall(bd, f, 11)
+		bd.Ret(bd.Binary(ir.OpXor, r1, r2))
+		names = append(names, dn)
+	}
+	return names
+}
+
+// emitDriverCall calls f with salt-derived constant arguments and
+// normalizes the result to i32.
+func emitDriverCall(bd *ir.Builder, f *ir.Function, salt int64) ir.Value {
+	c := f.Parent.Ctx
+	args := make([]ir.Value, len(f.Params))
+	for i, p := range f.Params {
+		if p.Ty.IsFloat() {
+			args[i] = ir.ConstFloat(p.Ty, float64(salt)+0.5)
+		} else {
+			args[i] = ir.ConstInt(p.Ty, salt+int64(i))
+		}
+	}
+	r := ir.Value(bd.Call(f, args...))
+	switch rt := f.ReturnType(); {
+	case rt == c.I32:
+	case rt.IsFloat():
+		r = bd.Cast(ir.OpFPToSI, r, c.I32)
+	case rt.IsInt() && rt.Bits > 32:
+		r = bd.Cast(ir.OpTrunc, r, c.I32)
+	case rt.IsInt():
+		r = bd.Cast(ir.OpSExt, r, c.I32)
+	default:
+		r = ir.ConstInt(c.I32, 0)
+	}
+	return r
+}
+
+// AddHotDrivers plants execution skew: every stride-th mergeable
+// function receives a driver that invokes it iters times in a counted
+// loop. Real programs concentrate runtime in a small hot set; these
+// drivers recreate that shape so profile-guided merging has a signal
+// to exploit.
+func AddHotDrivers(m *ir.Module, stride, iters int) []string {
+	c := m.Ctx
+	var names []string
+	var targets []*ir.Function
+	for _, f := range m.Funcs {
+		if !f.IsDecl() && !f.Sig.Variadic {
+			targets = append(targets, f)
+		}
+	}
+	for i := 0; i < len(targets); i += stride {
+		f := targets[i]
+		dn := m.UniqueFuncName("hot_" + f.Name())
+		d := m.NewFunc(dn, c.VariadicFunc(c.I32))
+		entry := d.NewBlock("entry")
+		head := d.NewBlock("head")
+		body := d.NewBlock("body")
+		exit := d.NewBlock("exit")
+
+		bd := ir.NewBuilder(entry)
+		bd.Br(head)
+
+		bd.SetBlock(head)
+		iPhi := bd.Phi(c.I32)
+		accPhi := bd.Phi(c.I32)
+		iPhi.AddIncoming(ir.ConstInt(c.I32, 0), entry)
+		accPhi.AddIncoming(ir.ConstInt(c.I32, 0), entry)
+		cmp := bd.ICmp(ir.PredSLT, iPhi, ir.ConstInt(c.I32, int64(iters)))
+		bd.CondBr(cmp, body, exit)
+
+		bd.SetBlock(body)
+		r := emitDriverCall(bd, f, 7)
+		acc2 := bd.Binary(ir.OpXor, accPhi, r)
+		i2 := bd.Add(iPhi, ir.ConstInt(c.I32, 1))
+		bd.Br(head)
+		iPhi.AddIncoming(i2, body)
+		accPhi.AddIncoming(acc2, body)
+
+		bd.SetBlock(exit)
+		bd.Ret(accPhi)
+		names = append(names, dn)
+	}
+	return names
+}

@@ -1,0 +1,561 @@
+// Package irgen synthesizes IR modules whose function populations have
+// controlled similarity structure, standing in for the paper's
+// workloads (SPEC CPU2006/2017, Linux, Chrome — see Table I), which are
+// not available to an offline, stdlib-only reproduction.
+//
+// A module is a mix of function families and singletons. A family is a
+// seed function plus variants derived by mutating a configurable
+// fraction of its instructions; the mutation distance is recorded as
+// ground truth, which the correlation experiments (Figures 4 and 10)
+// exploit. Singletons are independently generated functions with no
+// planted similarity. Everything is driven by a seed, so every
+// experiment is reproducible.
+package irgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"f3m/internal/ir"
+	"f3m/internal/passes"
+)
+
+// Config drives module generation.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+
+	// Families is the number of function families to plant.
+	Families int
+
+	// FamilySizeMin/Max bound the number of functions per family
+	// (including the seed function).
+	FamilySizeMin, FamilySizeMax int
+
+	// Singletons is the number of unrelated functions.
+	Singletons int
+
+	// BlocksMin/Max bound the number of basic blocks per function.
+	BlocksMin, BlocksMax int
+
+	// InstrsMin/Max bound the straight-line instructions per block.
+	InstrsMin, InstrsMax int
+
+	// MutationMin/Max bound the fraction of instructions mutated when
+	// deriving a family variant. Low fractions produce profitable
+	// merge pairs; high fractions produce look-alikes that waste
+	// merging effort, the population HyFM's fingerprints confuse.
+	MutationMin, MutationMax float64
+
+	// Callers adds simple wrapper functions that call random generated
+	// functions, so committing merges exercises call-site rewriting.
+	Callers int
+
+	// ConfuserFraction is the probability that a family also plants a
+	// "frequency twin" of its seed: identical opcode histogram,
+	// scrambled structure (see genConfuser). These are the adversarial
+	// inputs that expose the weakness of opcode-frequency ranking.
+	ConfuserFraction float64
+}
+
+// DefaultConfig returns a medium-sized population with the mix used by
+// most tests.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:             seed,
+		Families:         20,
+		FamilySizeMin:    2,
+		FamilySizeMax:    5,
+		Singletons:       40,
+		BlocksMin:        3,
+		BlocksMax:        7,
+		InstrsMin:        4,
+		InstrsMax:        12,
+		MutationMin:      0.0,
+		MutationMax:      0.5,
+		Callers:          10,
+		ConfuserFraction: 0.35,
+	}
+}
+
+// FuncInfo records the provenance of one generated function.
+type FuncInfo struct {
+	Name string
+
+	// Family is the family index, or -1 for singletons and callers.
+	Family int
+
+	// Mutations is the number of mutation operations applied relative
+	// to the family seed (0 for seeds and singletons).
+	Mutations int
+
+	// Confuser marks frequency twins: same opcode histogram as the
+	// family seed but scrambled structure.
+	Confuser bool
+}
+
+// Result is a generated module plus its ground truth.
+type Result struct {
+	Module *ir.Module
+	Info   []FuncInfo
+}
+
+// Generate builds a module per the config. The result always verifies.
+func Generate(cfg Config) *Result {
+	g := &generator{
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		cfg: cfg,
+		mod: ir.NewModule(fmt.Sprintf("synthetic-%d", cfg.Seed)),
+	}
+	g.run()
+	return &Result{Module: g.mod, Info: g.info}
+}
+
+type generator struct {
+	rng  *rand.Rand
+	cfg  Config
+	mod  *ir.Module
+	info []FuncInfo
+
+	// lib holds small defined helper functions generated code calls,
+	// mimicking runtime/library calls in real programs. Distinct
+	// callees diversify instruction encodings, which keeps LSH bucket
+	// populations realistic.
+	lib []*ir.Function
+
+	// curBuf is the current function's scratch array slot, feeding the
+	// generated memory operations.
+	curBuf ir.Value
+
+	// flavor shapes the instruction mix of the function being
+	// generated. Each seed function draws its own flavor, modelling how
+	// different subsystems of a real program favour different idioms;
+	// this is what gives the population a realistic long-tailed
+	// encoding alphabet instead of one dense cluster.
+	flavor flavor
+}
+
+type flavor struct {
+	// opWeights biases opcode choice without changing the palette:
+	// every function uses the same opcode vocabulary (so opcode-
+	// frequency fingerprints of unrelated functions stay close, as in
+	// real -Os code where loads/adds/calls dominate everywhere), while
+	// type-level diversity below differentiates the MinHash encodings.
+	opWeights []int
+	opTotal   int
+
+	bufLen  int      // scratch array length (distinct type => distinct encodings)
+	bufElem *ir.Type // scratch element type
+	intTy2  *ir.Type // secondary integer width used by ~40% of arithmetic
+	wide    bool
+	float   bool
+	libs    []*ir.Function
+}
+
+func (g *generator) pickFlavor() flavor {
+	weights := make([]int, len(intOps))
+	total := 0
+	for i := range weights {
+		weights[i] = 4 + g.rng.Intn(2) // near-uniform: real -Os code
+		total += weights[i]            // shares one global opcode mix
+	}
+	libs := append([]*ir.Function(nil), g.lib...)
+	g.rng.Shuffle(len(libs), func(i, j int) { libs[i], libs[j] = libs[j], libs[i] })
+	c := g.mod.Ctx
+	secondary := []*ir.Type{c.I8, c.I16, c.I64, c.I64}
+	bufElems := []*ir.Type{c.I32, c.I32, c.I64, c.I16}
+	return flavor{
+		opWeights: weights,
+		opTotal:   total,
+		bufLen:    2 + g.rng.Intn(12),
+		bufElem:   bufElems[g.rng.Intn(len(bufElems))],
+		intTy2:    secondary[g.rng.Intn(len(secondary))],
+		wide:      g.rng.Intn(3) == 0,
+		float:     g.rng.Intn(4) == 0,
+		libs:      libs[:1+g.rng.Intn(3)],
+	}
+}
+
+// pickOp draws an integer opcode from the flavor's weight vector.
+func (g *generator) pickOp() ir.Opcode {
+	r := g.rng.Intn(g.flavor.opTotal)
+	for i, w := range g.flavor.opWeights {
+		if r < w {
+			return intOps[i]
+		}
+		r -= w
+	}
+	return intOps[len(intOps)-1]
+}
+
+// genLib emits a fixed set of tiny helper functions with varied
+// signatures.
+func (g *generator) genLib() {
+	c := g.mod.Ctx
+	mk := func(name string, sig *ir.Type, build func(bd *ir.Builder, f *ir.Function)) {
+		f := g.mod.NewFunc(name, sig)
+		entry := f.NewBlock("entry")
+		bd := ir.NewBuilder(entry)
+		build(bd, f)
+		g.lib = append(g.lib, f)
+	}
+	mk("lib.mask32", c.Func(c.I32, c.I32), func(bd *ir.Builder, f *ir.Function) {
+		v := bd.Binary(ir.OpAnd, f.Params[0], ir.ConstInt(c.I32, 0x7fff))
+		bd.Ret(bd.Add(v, ir.ConstInt(c.I32, 3)))
+	})
+	mk("lib.scale64", c.Func(c.I64, c.I64, c.I64), func(bd *ir.Builder, f *ir.Function) {
+		v := bd.Mul(f.Params[0], f.Params[1])
+		bd.Ret(bd.Binary(ir.OpAShr, v, ir.ConstInt(c.I64, 4)))
+	})
+	mk("lib.fmix", c.Func(c.F64, c.F64), func(bd *ir.Builder, f *ir.Function) {
+		v := bd.Binary(ir.OpFMul, f.Params[0], ir.ConstFloat(c.F64, 1.5))
+		bd.Ret(bd.Binary(ir.OpFAdd, v, ir.ConstFloat(c.F64, 0.25)))
+	})
+	mk("lib.clamp", c.Func(c.I32, c.I32, c.I32), func(bd *ir.Builder, f *ir.Function) {
+		cnd := bd.ICmp(ir.PredSLT, f.Params[0], f.Params[1])
+		bd.Ret(bd.Select(cnd, f.Params[0], f.Params[1]))
+	})
+	mk("lib.widen", c.Func(c.I64, c.I32), func(bd *ir.Builder, f *ir.Function) {
+		bd.Ret(bd.Cast(ir.OpSExt, f.Params[0], c.I64))
+	})
+}
+
+func (g *generator) run() {
+	cfg := g.cfg
+	g.genLib()
+	for _, f := range g.lib {
+		g.info = append(g.info, FuncInfo{Name: f.Name(), Family: -1})
+	}
+	for fam := 0; fam < cfg.Families; fam++ {
+		seedName := fmt.Sprintf("fam%d_v0", fam)
+		seed := g.genFunc(seedName)
+		g.info = append(g.info, FuncInfo{Name: seedName, Family: fam})
+		size := g.intIn(cfg.FamilySizeMin, cfg.FamilySizeMax)
+		for v := 1; v < size; v++ {
+			name := fmt.Sprintf("fam%d_v%d", fam, v)
+			clone := ir.CloneFunc(g.mod, seed, name)
+			rate := cfg.MutationMin + g.rng.Float64()*(cfg.MutationMax-cfg.MutationMin)
+			muts := g.mutate(clone, rate)
+			g.info = append(g.info, FuncInfo{Name: name, Family: fam, Mutations: muts})
+		}
+		if g.rng.Float64() < cfg.ConfuserFraction {
+			name := fmt.Sprintf("fam%d_t0", fam)
+			g.genConfuser(seed, name)
+			g.info = append(g.info, FuncInfo{Name: name, Family: fam, Confuser: true})
+		}
+	}
+	for s := 0; s < cfg.Singletons; s++ {
+		name := fmt.Sprintf("single%d", s)
+		g.genFunc(name)
+		g.info = append(g.info, FuncInfo{Name: name, Family: -1})
+	}
+	for c := 0; c < cfg.Callers; c++ {
+		name := fmt.Sprintf("caller%d", c)
+		g.genCaller(name)
+		g.info = append(g.info, FuncInfo{Name: name, Family: -1})
+	}
+}
+
+func (g *generator) intIn(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + g.rng.Intn(hi-lo+1)
+}
+
+// scalarTypes are the value types generated functions compute with.
+func (g *generator) scalarTypes() []*ir.Type {
+	c := g.mod.Ctx
+	return []*ir.Type{c.I32, c.I32, c.I32, c.I64, c.F64} // i32-biased, like C code
+}
+
+// genFunc synthesizes one verified function with a random CFG: a chain
+// of regions, each either straight-line, a diamond, or a loop.
+func (g *generator) genFunc(name string) *ir.Function {
+	c := g.mod.Ctx
+	nParams := g.intIn(1, 4)
+	ptys := make([]*ir.Type, nParams)
+	for i := range ptys {
+		ptys[i] = g.scalarTypes()[g.rng.Intn(len(g.scalarTypes()))]
+	}
+	// Integer return keeps differential testing simple.
+	f := g.mod.NewFunc(name, c.Func(c.I32, ptys...))
+
+	entry := f.NewBlock("entry")
+	bd := ir.NewBuilder(entry)
+
+	g.flavor = g.pickFlavor()
+	// Scratch array for generated memory traffic; its per-flavor shape
+	// gives the function's memory instructions a distinct type.
+	g.curBuf = bd.Alloca(c.Array(g.flavor.bufLen, g.flavor.bufElem))
+
+	// The value pool per type feeds operand selection. Seed it from
+	// the parameters plus a materialized constant of each type.
+	pool := map[*ir.Type][]ir.Value{}
+	add := func(v ir.Value) { pool[v.Type()] = append(pool[v.Type()], v) }
+	for _, p := range f.Params {
+		add(p)
+	}
+
+	// A few conversions so different param types interact.
+	for _, p := range f.Params {
+		switch {
+		case p.Ty == c.I64:
+			add(bd.Cast(ir.OpTrunc, p, c.I32))
+		case p.Ty == c.F64:
+			add(bd.Cast(ir.OpFPToSI, p, c.I32))
+		}
+	}
+	if len(pool[c.I32]) == 0 {
+		add(ir.ConstInt(c.I32, int64(g.rng.Intn(100))))
+	}
+
+	nblocks := g.intIn(g.cfg.BlocksMin, g.cfg.BlocksMax)
+	g.fillBlock(bd, pool, c)
+
+	cur := entry
+	made := 1
+	for made < nblocks {
+		switch kind := g.rng.Intn(3); {
+		case kind == 0 || nblocks-made < 2: // straight-line extension
+			nxt := f.NewBlock("")
+			ir.NewBuilder(cur).Br(nxt)
+			nbd := ir.NewBuilder(nxt)
+			g.fillBlock(nbd, pool, c)
+			cur = nxt
+			made++
+		case kind == 1 && nblocks-made >= 3: // diamond
+			tb := f.NewBlock("")
+			fb := f.NewBlock("")
+			jb := f.NewBlock("")
+			cond := g.cond(ir.NewBuilder(cur), pool, c)
+			ir.NewBuilder(cur).CondBr(cond, tb, fb)
+
+			tbd := ir.NewBuilder(tb)
+			tv := g.arithI32(tbd, pool, c)
+			tbd.Br(jb)
+			fbd := ir.NewBuilder(fb)
+			fv := g.arithI32(fbd, pool, c)
+			fbd.Br(jb)
+
+			jbd := ir.NewBuilder(jb)
+			phi := jbd.Phi(c.I32)
+			phi.AddIncoming(tv, tb)
+			phi.AddIncoming(fv, fb)
+			pool[c.I32] = append(pool[c.I32], phi)
+			g.fillBlock(jbd, pool, c)
+			cur = jb
+			made += 3
+		default: // bounded counting loop
+			head := f.NewBlock("")
+			body := f.NewBlock("")
+			exit := f.NewBlock("")
+			ir.NewBuilder(cur).Br(head)
+
+			hbd := ir.NewBuilder(head)
+			iPhi := hbd.Phi(c.I32)
+			accPhi := hbd.Phi(c.I32)
+			iPhi.AddIncoming(ir.ConstInt(c.I32, 0), cur)
+			accPhi.AddIncoming(g.pick(pool, c.I32), cur)
+			bound := ir.ConstInt(c.I32, int64(2+g.rng.Intn(6)))
+			cmp := hbd.ICmp(ir.PredSLT, iPhi, bound)
+			hbd.CondBr(cmp, body, exit)
+
+			bbd := ir.NewBuilder(body)
+			acc2 := bbd.Add(accPhi, iPhi)
+			i2 := bbd.Add(iPhi, ir.ConstInt(c.I32, 1))
+			bbd.Br(head)
+
+			// Loop-control instructions carry the protected prefix so
+			// mutations never break termination (interpreter-based
+			// differential tests require all functions to halt).
+			iPhi.Nam = protectedPrefix + iPhi.Nam
+			cmp.Nam = protectedPrefix + cmp.Nam
+			i2.Nam = protectedPrefix + i2.Nam
+			iPhi.AddIncoming(i2, body)
+			accPhi.AddIncoming(acc2, body)
+
+			ebd := ir.NewBuilder(exit)
+			pool[c.I32] = append(pool[c.I32], accPhi)
+			g.fillBlock(ebd, pool, c)
+			cur = exit
+			made += 3
+		}
+	}
+	// Fold several live values into the return so most of the body
+	// survives dead-code elimination, mimicking -Os output where little
+	// dead code remains.
+	rbd := ir.NewBuilder(cur)
+	acc := g.pick(pool, c.I32)
+	folds := 3 + g.rng.Intn(4)
+	for i := 0; i < folds; i++ {
+		ops := []ir.Opcode{ir.OpXor, ir.OpAdd, ir.OpSub}
+		acc = rbd.Binary(ops[g.rng.Intn(len(ops))], acc, g.pick(pool, c.I32))
+	}
+	rbd.Ret(acc)
+	passes.DCE(f)
+
+	if err := ir.VerifyFunc(f); err != nil {
+		panic(fmt.Sprintf("irgen: generated invalid function %s: %v\n%s", name, err, ir.FuncString(f)))
+	}
+	return f
+}
+
+// fillBlock appends a run of instructions to the current block, mixing
+// arithmetic with casts, compare/select idioms, scratch-memory traffic
+// and helper calls in proportions loosely matching -Os scalar code.
+func (g *generator) fillBlock(bd *ir.Builder, pool map[*ir.Type][]ir.Value, c *ir.TypeContext) {
+	n := g.intIn(g.cfg.InstrsMin, g.cfg.InstrsMax)
+	for i := 0; i < n; i++ {
+		var v ir.Value
+		switch r := g.rng.Intn(10); {
+		case r < 5:
+			v = g.arith(bd, pool, c)
+		case r < 6:
+			v = g.castChain(bd, pool, c)
+		case r < 7:
+			v = g.cmpSelect(bd, pool, c)
+		case r < 8:
+			v = g.memOp(bd, pool, c)
+		case r < 9:
+			v = g.libCall(bd, pool, c)
+		default:
+			v = g.arith(bd, pool, c)
+		}
+		if v != nil {
+			pool[v.Type()] = append(pool[v.Type()], v)
+		}
+	}
+}
+
+// castChain emits a width conversion.
+func (g *generator) castChain(bd *ir.Builder, pool map[*ir.Type][]ir.Value, c *ir.TypeContext) ir.Value {
+	v := g.pick(pool, c.I32)
+	switch g.rng.Intn(4) {
+	case 0:
+		return bd.Cast(ir.OpSExt, v, c.I64)
+	case 1:
+		return bd.Cast(ir.OpZExt, v, c.I64)
+	case 2:
+		return bd.Cast(ir.OpTrunc, v, c.I16)
+	default:
+		return bd.Cast(ir.OpSIToFP, v, c.F64)
+	}
+}
+
+// cmpSelect emits the compare+select idiom (min/max/abs shapes).
+func (g *generator) cmpSelect(bd *ir.Builder, pool map[*ir.Type][]ir.Value, c *ir.TypeContext) ir.Value {
+	a := g.pick(pool, c.I32)
+	b := g.pick(pool, c.I32)
+	cnd := bd.ICmp([]ir.Pred{ir.PredSLT, ir.PredSGT, ir.PredEQ}[g.rng.Intn(3)], a, b)
+	return bd.Select(cnd, a, b)
+}
+
+// memOp stores into and reloads from the scratch array.
+func (g *generator) memOp(bd *ir.Builder, pool map[*ir.Type][]ir.Value, c *ir.TypeContext) ir.Value {
+	idx := ir.ConstInt(c.I64, int64(g.rng.Intn(g.flavor.bufLen)))
+	p := bd.GEP(g.curBuf, ir.ConstInt(c.I64, 0), idx)
+	if g.rng.Intn(2) == 0 {
+		bd.Store(g.pick(pool, g.flavor.bufElem), p)
+	}
+	return bd.Load(p)
+}
+
+// libCall invokes a flavor-selected helper with pool-sourced arguments.
+func (g *generator) libCall(bd *ir.Builder, pool map[*ir.Type][]ir.Value, c *ir.TypeContext) ir.Value {
+	f := g.flavor.libs[g.rng.Intn(len(g.flavor.libs))]
+	args := make([]ir.Value, len(f.Params))
+	for i, p := range f.Params {
+		args[i] = g.pick(pool, p.Ty)
+	}
+	return bd.Call(f, args...)
+}
+
+var intOps = []ir.Opcode{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpAShr}
+var fltOps = []ir.Opcode{ir.OpFAdd, ir.OpFSub, ir.OpFMul}
+
+// arith emits one random arithmetic instruction, returning its value.
+func (g *generator) arith(bd *ir.Builder, pool map[*ir.Type][]ir.Value, c *ir.TypeContext) ir.Value {
+	// Pick a type with bias toward i32, steered by the flavor. The
+	// secondary integer width changes instruction encodings (not the
+	// opcode mix), which is what separates unrelated functions in
+	// MinHash space while leaving frequency fingerprints untouched.
+	ty := c.I32
+	if g.rng.Intn(5) < 2 {
+		ty = g.flavor.intTy2
+	} else if g.flavor.wide && len(pool[c.I64]) > 0 && g.rng.Intn(2) == 0 {
+		ty = c.I64
+	} else if g.flavor.float && len(pool[c.F64]) > 0 && g.rng.Intn(2) == 0 {
+		ty = c.F64
+	}
+	a := g.pick(pool, ty)
+	b := g.pick(pool, ty)
+	if ty.IsFloat() {
+		return bd.Binary(fltOps[g.rng.Intn(len(fltOps))], a, b)
+	}
+	op := g.pickOp()
+	if op == ir.OpShl || op == ir.OpAShr {
+		// Bounded shift amounts keep semantics stable across widths.
+		b = ir.ConstInt(ty, int64(g.rng.Intn(8)))
+	}
+	return bd.Binary(op, a, b)
+}
+
+// arithI32 emits one random integer instruction of type i32, for
+// positions that require that type (phi arms, return values).
+func (g *generator) arithI32(bd *ir.Builder, pool map[*ir.Type][]ir.Value, c *ir.TypeContext) ir.Value {
+	a := g.pick(pool, c.I32)
+	b := g.pick(pool, c.I32)
+	op := intOps[g.rng.Intn(len(intOps))]
+	if op == ir.OpShl || op == ir.OpAShr {
+		b = ir.ConstInt(c.I32, int64(g.rng.Intn(8)))
+	}
+	return bd.Binary(op, a, b)
+}
+
+// cond emits a comparison over i32 values.
+func (g *generator) cond(bd *ir.Builder, pool map[*ir.Type][]ir.Value, c *ir.TypeContext) ir.Value {
+	preds := []ir.Pred{ir.PredSLT, ir.PredSGT, ir.PredEQ, ir.PredNE, ir.PredSLE}
+	return bd.ICmp(preds[g.rng.Intn(len(preds))], g.pick(pool, c.I32), g.pick(pool, c.I32))
+}
+
+// pick selects a random pool value of the type, or materializes a
+// constant.
+func (g *generator) pick(pool map[*ir.Type][]ir.Value, ty *ir.Type) ir.Value {
+	vals := pool[ty]
+	// Constants appear with some probability even when values exist,
+	// mirroring real code.
+	if len(vals) == 0 || g.rng.Intn(5) == 0 {
+		if ty.IsFloat() {
+			return ir.ConstFloat(ty, float64(g.rng.Intn(64))/4)
+		}
+		return ir.ConstInt(ty, int64(g.rng.Intn(128)-32))
+	}
+	return vals[g.rng.Intn(len(vals))]
+}
+
+// genCaller emits a wrapper calling a random previously generated
+// function with constant arguments.
+func (g *generator) genCaller(name string) {
+	c := g.mod.Ctx
+	if len(g.mod.Funcs) == 0 {
+		return
+	}
+	callee := g.mod.Funcs[g.rng.Intn(len(g.mod.Funcs))]
+	f := g.mod.NewFunc(name, c.Func(c.I32))
+	entry := f.NewBlock("entry")
+	bd := ir.NewBuilder(entry)
+	args := make([]ir.Value, len(callee.Params))
+	for i, p := range callee.Params {
+		if p.Ty.IsFloat() {
+			args[i] = ir.ConstFloat(p.Ty, float64(g.rng.Intn(16)))
+		} else {
+			args[i] = ir.ConstInt(p.Ty, int64(g.rng.Intn(32)))
+		}
+	}
+	r := bd.Call(callee, args...)
+	bd.Ret(r)
+	if err := ir.VerifyFunc(f); err != nil {
+		panic(fmt.Sprintf("irgen: invalid caller %s: %v", name, err))
+	}
+}

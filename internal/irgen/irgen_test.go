@@ -1,0 +1,242 @@
+package irgen
+
+import (
+	"testing"
+
+	"f3m/internal/align"
+	"f3m/internal/fingerprint"
+	"f3m/internal/interp"
+	"f3m/internal/ir"
+)
+
+func TestGenerateVerifies(t *testing.T) {
+	res := Generate(DefaultConfig(1))
+	if err := ir.VerifyModule(res.Module); err != nil {
+		t.Fatalf("generated module invalid: %v", err)
+	}
+	if len(res.Info) != len(res.Module.Funcs) {
+		t.Errorf("info entries %d != functions %d", len(res.Info), len(res.Module.Funcs))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig(42))
+	b := Generate(DefaultConfig(42))
+	sa, sb := ir.ModuleString(a.Module), ir.ModuleString(b.Module)
+	if sa != sb {
+		t.Fatal("same seed produced different modules")
+	}
+	c := Generate(DefaultConfig(43))
+	if sa == ir.ModuleString(c.Module) {
+		t.Fatal("different seeds produced identical modules")
+	}
+}
+
+func TestFamiliesAreSimilar(t *testing.T) {
+	cfg := DefaultConfig(7)
+	cfg.Families = 5
+	cfg.Singletons = 5
+	res := Generate(cfg)
+	m := res.Module
+
+	// Variants within a family should align far better with their seed
+	// than with unrelated singletons.
+	var famRatios, singleRatios []float64
+	for fam := 0; fam < cfg.Families; fam++ {
+		seed := m.Func(fname(fam, 0))
+		if seed == nil {
+			continue
+		}
+		v1 := m.Func(fname(fam, 1))
+		if v1 != nil {
+			famRatios = append(famRatios, align.FuncRatio(seed, v1))
+		}
+		if s := m.Func("single0"); s != nil {
+			singleRatios = append(singleRatios, align.FuncRatio(seed, s))
+		}
+	}
+	if len(famRatios) == 0 {
+		t.Fatal("no family pairs found")
+	}
+	if avg(famRatios) <= avg(singleRatios) {
+		t.Errorf("family alignment %v not better than unrelated %v", avg(famRatios), avg(singleRatios))
+	}
+	if avg(famRatios) < 0.5 {
+		t.Errorf("family alignment %v unexpectedly low", avg(famRatios))
+	}
+}
+
+func fname(fam, v int) string {
+	return "fam" + string(rune('0'+fam)) + "_v" + string(rune('0'+v))
+}
+
+func avg(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestMutationCountMatters(t *testing.T) {
+	// More mutations should mean lower MinHash similarity on average.
+	cfg := DefaultConfig(11)
+	cfg.Families = 30
+	cfg.FamilySizeMin, cfg.FamilySizeMax = 2, 2
+	cfg.Singletons = 0
+	cfg.Callers = 0
+	res := Generate(cfg)
+	m := res.Module
+	mcfg := fingerprint.DefaultConfig()
+
+	type pt struct {
+		muts int
+		sim  float64
+	}
+	var pts []pt
+	byName := map[string]FuncInfo{}
+	for _, inf := range res.Info {
+		byName[inf.Name] = inf
+	}
+	for fam := 0; fam < cfg.Families; fam++ {
+		seedN := fnameN(fam, 0)
+		varN := fnameN(fam, 1)
+		fs, fv := m.Func(seedN), m.Func(varN)
+		if fs == nil || fv == nil {
+			continue
+		}
+		sim := mcfg.New(fingerprint.EncodeFunc(fs)).Jaccard(mcfg.New(fingerprint.EncodeFunc(fv)))
+		pts = append(pts, pt{muts: byName[varN].Mutations, sim: sim})
+	}
+	var lo, hi []float64
+	for _, p := range pts {
+		if p.muts <= 2 {
+			lo = append(lo, p.sim)
+		} else if p.muts >= 8 {
+			hi = append(hi, p.sim)
+		}
+	}
+	if len(lo) > 2 && len(hi) > 2 && avg(lo) <= avg(hi) {
+		t.Errorf("low-mutation sim %v should beat high-mutation %v", avg(lo), avg(hi))
+	}
+}
+
+func fnameN(fam, v int) string {
+	name := "fam"
+	for _, d := range itoa(fam) {
+		name += string(d)
+	}
+	name += "_v"
+	for _, d := range itoa(v) {
+		name += string(d)
+	}
+	return name
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var out []byte
+	for n > 0 {
+		out = append([]byte{byte('0' + n%10)}, out...)
+		n /= 10
+	}
+	return string(out)
+}
+
+func TestGeneratedFunctionsExecute(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.Families = 3
+	cfg.Singletons = 3
+	cfg.Callers = 2
+	res := Generate(cfg)
+	m := res.Module
+	mach := interp.NewMachine(m)
+	mach.StepLimit = 10_000_000
+	ran := 0
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		args := make([]interp.Val, len(f.Params))
+		for i, p := range f.Params {
+			switch {
+			case p.Ty.IsFloat():
+				args[i] = interp.FloatVal(p.Ty, 2.5)
+			default:
+				args[i] = interp.IntVal(p.Ty, int64(i+3))
+			}
+		}
+		if _, err := mach.Call(f, args...); err != nil {
+			t.Fatalf("@%s: %v\n%s", f.Name(), err, ir.FuncString(f))
+		}
+		ran++
+	}
+	if ran < 10 {
+		t.Errorf("only %d functions executed", ran)
+	}
+}
+
+func TestSuiteConfigs(t *testing.T) {
+	for _, s := range Suites {
+		cfg := s.Config(1)
+		if cfg.Families < 1 {
+			t.Errorf("%s: families = %d", s.Name, cfg.Families)
+		}
+	}
+	// Generate the two smallest suites fully.
+	for _, s := range Suites[:2] {
+		res := Generate(s.Config(5))
+		if err := ir.VerifyModule(res.Module); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		got := len(res.Module.Funcs)
+		if got < s.Funcs*3/4 || got > s.Funcs*5/4 {
+			t.Errorf("%s: generated %d functions, want ≈%d", s.Name, got, s.Funcs)
+		}
+	}
+}
+
+func TestGenerateEncoded(t *testing.T) {
+	pop := GenerateEncoded(9, 5000, 25, 0.4)
+	if len(pop.Seqs) != 5000 {
+		t.Fatalf("population = %d, want 5000", len(pop.Seqs))
+	}
+	fams := 0
+	for _, inf := range pop.Info {
+		if inf.Family >= 0 {
+			fams++
+		}
+	}
+	if fams < 1000 {
+		t.Errorf("family members = %d, expected a substantial fraction", fams)
+	}
+	// Clones should be MinHash-similar to their family seed.
+	cfg := fingerprint.DefaultConfig()
+	seedIdx := -1
+	simSum, simN := 0.0, 0
+	for i, inf := range pop.Info {
+		if inf.Family == 0 && inf.Mutations == 0 {
+			seedIdx = i
+		} else if inf.Family == 0 && seedIdx >= 0 {
+			s := cfg.New(pop.Seqs[seedIdx]).Jaccard(cfg.New(pop.Seqs[i]))
+			simSum += s
+			simN++
+		}
+	}
+	if simN > 0 && simSum/float64(simN) < 0.2 {
+		t.Errorf("family similarity %v too low", simSum/float64(simN))
+	}
+}
+
+func BenchmarkGenerateMedium(b *testing.B) {
+	cfg := DefaultConfig(1)
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		Generate(cfg)
+	}
+}

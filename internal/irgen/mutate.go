@@ -1,0 +1,219 @@
+package irgen
+
+import (
+	"fmt"
+	"strings"
+
+	"f3m/internal/ir"
+	"f3m/internal/passes"
+)
+
+// protectedPrefix marks instructions that mutations must leave intact
+// (loop-control code whose corruption would produce non-terminating
+// functions). Clones keep instruction names, so protection survives
+// family derivation.
+const protectedPrefix = "fix."
+
+// protected reports whether the instruction must not be mutated.
+func protected(in *ir.Instr) bool {
+	return strings.HasPrefix(in.Nam, protectedPrefix)
+}
+
+// mutate applies rate*len(instructions) random mutation operations to a
+// cloned function, returning how many were applied. Mutations preserve
+// validity: they touch opcodes, predicates, constants and operands, or
+// insert fresh instructions, but never break dominance or block
+// structure. This models the edit distance between real near-duplicate
+// functions (template instantiations, copy-pasted handlers).
+func (g *generator) mutate(f *ir.Function, rate float64) int {
+	total := f.NumInstrs()
+	n := int(rate * float64(total))
+	applied := 0
+	for i := 0; i < n; i++ {
+		switch g.rng.Intn(5) {
+		case 0:
+			if g.mutTweakConst(f) {
+				applied++
+			}
+		case 1:
+			if g.mutSwapOpcode(f) {
+				applied++
+			}
+		case 2:
+			if g.mutReplaceOperand(f) {
+				applied++
+			}
+		case 3:
+			if g.mutInsert(f) {
+				applied++
+			}
+		case 4:
+			if g.mutSwapPred(f) {
+				applied++
+			}
+		}
+	}
+	// Scrub dead code introduced by unwired insertions so variant sizes
+	// stay comparable to post -Os IR.
+	passes.DCE(f)
+	if err := ir.VerifyFunc(f); err != nil {
+		panic(fmt.Sprintf("irgen: mutation broke %s: %v\n%s", f.Name(), err, ir.FuncString(f)))
+	}
+	return applied
+}
+
+// randInstr picks a random instruction satisfying ok.
+func (g *generator) randInstr(f *ir.Function, ok func(*ir.Instr) bool) *ir.Instr {
+	var cands []*ir.Instr
+	f.Instructions(func(in *ir.Instr) {
+		if ok(in) {
+			cands = append(cands, in)
+		}
+	})
+	if len(cands) == 0 {
+		return nil
+	}
+	return cands[g.rng.Intn(len(cands))]
+}
+
+func (g *generator) mutTweakConst(f *ir.Function) bool {
+	in := g.randInstr(f, func(in *ir.Instr) bool {
+		// GEP constants are structural (indices): tweaking them would
+		// move pointers out of bounds.
+		if in.Op == ir.OpPhi || in.Op.IsTerminator() || in.Op == ir.OpGEP || protected(in) {
+			return false
+		}
+		for _, op := range in.Operands {
+			if c, ok := op.(*ir.Const); ok && c.Ty.IsInt() {
+				return true
+			}
+		}
+		return false
+	})
+	if in == nil {
+		return false
+	}
+	for i, op := range in.Operands {
+		if c, ok := op.(*ir.Const); ok && c.Ty.IsInt() {
+			in.Operands[i] = ir.ConstInt(c.Ty, c.IntVal+int64(g.rng.Intn(7)-3)+1)
+			return true
+		}
+	}
+	return false
+}
+
+func (g *generator) mutSwapOpcode(f *ir.Function) bool {
+	in := g.randInstr(f, func(in *ir.Instr) bool {
+		return !protected(in) && in.Op.IsBinary() && in.Ty.IsInt() &&
+			in.Op != ir.OpShl && in.Op != ir.OpLShr && in.Op != ir.OpAShr &&
+			in.Op != ir.OpSDiv && in.Op != ir.OpUDiv && in.Op != ir.OpSRem && in.Op != ir.OpURem
+	})
+	if in == nil {
+		return false
+	}
+	safe := []ir.Opcode{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor}
+	in.Op = safe[g.rng.Intn(len(safe))]
+	return true
+}
+
+func (g *generator) mutSwapPred(f *ir.Function) bool {
+	in := g.randInstr(f, func(in *ir.Instr) bool { return in.Op == ir.OpICmp && !protected(in) })
+	if in == nil {
+		return false
+	}
+	preds := []ir.Pred{ir.PredSLT, ir.PredSGT, ir.PredEQ, ir.PredNE, ir.PredSLE, ir.PredSGE}
+	in.Predicate = preds[g.rng.Intn(len(preds))]
+	return true
+}
+
+// available returns values usable at (b, idx): parameters plus values
+// defined earlier in the same block. (Earlier blocks would need a
+// dominance check; same-block-earlier is always safe.)
+func available(b *ir.Block, idx int, ty *ir.Type) []ir.Value {
+	var out []ir.Value
+	for _, p := range b.Parent.Params {
+		if p.Ty == ty {
+			out = append(out, p)
+		}
+	}
+	for _, in := range b.Instrs[:idx] {
+		if in.Ty == ty {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+func (g *generator) mutReplaceOperand(f *ir.Function) bool {
+	in := g.randInstr(f, func(in *ir.Instr) bool {
+		return !in.Op.IsTerminator() && in.Op != ir.OpPhi && in.Op != ir.OpGEP &&
+			in.Op != ir.OpCall && in.Op != ir.OpInvoke && len(in.Operands) > 0 &&
+			!protected(in)
+	})
+	if in == nil {
+		return false
+	}
+	b := in.Parent
+	idx := b.IndexOf(in)
+	slot := g.rng.Intn(len(in.Operands))
+	ty := in.Operands[slot].Type()
+	if !ty.IsInt() && !ty.IsFloat() {
+		return false
+	}
+	cands := available(b, idx, ty)
+	if len(cands) == 0 {
+		return false
+	}
+	in.Operands[slot] = cands[g.rng.Intn(len(cands))]
+	return true
+}
+
+// mutInsert inserts a fresh binary instruction; half the time its value
+// replaces a same-typed operand of a later instruction in the block, so
+// inserted code is not always dead.
+func (g *generator) mutInsert(f *ir.Function) bool {
+	c := f.Parent.Ctx
+	// Pick a block and a position after any phi run, before the
+	// terminator.
+	b := f.Blocks[g.rng.Intn(len(f.Blocks))]
+	lo := b.FirstNonPhi()
+	hi := len(b.Instrs) - 1 // before terminator
+	if hi < lo {
+		return false
+	}
+	pos := lo + g.rng.Intn(hi-lo+1)
+
+	ty := c.I32
+	cands := available(b, pos, ty)
+	pickVal := func() ir.Value {
+		if len(cands) == 0 || g.rng.Intn(4) == 0 {
+			return ir.ConstInt(ty, int64(g.rng.Intn(64)))
+		}
+		return cands[g.rng.Intn(len(cands))]
+	}
+	safe := []ir.Opcode{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor}
+	ni := &ir.Instr{
+		Op:       safe[g.rng.Intn(len(safe))],
+		Ty:       ty,
+		Nam:      f.FreshName("mut"),
+		Operands: []ir.Value{pickVal(), pickVal()},
+	}
+	b.InsertAt(pos, ni)
+
+	if g.rng.Intn(2) == 0 {
+		// Wire the new value into a later non-phi instruction.
+		for _, later := range b.Instrs[pos+1:] {
+			if later.Op == ir.OpPhi || later.Op.IsTerminator() || later.Op == ir.OpGEP ||
+				later.Op == ir.OpCall || later.Op == ir.OpInvoke || protected(later) {
+				continue
+			}
+			for i, op := range later.Operands {
+				if op.Type() == ty {
+					later.Operands[i] = ni
+					return true
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,353 @@
+// Package lsh implements the Locality Sensitive Hashing index F3M uses
+// to find merge candidates in just-above-linear time, plus the adaptive
+// policy (Section III-D of the paper) that chooses the similarity
+// threshold and band count from the program's function count.
+//
+// A MinHash fingerprint of k lanes is split into b non-overlapping
+// bands of r rows (k = b*r). Each band is hashed into a bucket map;
+// functions sharing at least one bucket are candidate pairs. The
+// probability that two functions with MinHash similarity s share a
+// bucket is 1-(1-s^r)^b (Equation 2), an S-curve that filters out
+// dissimilar pairs without ever comparing them.
+package lsh
+
+import (
+	"math"
+	"sort"
+
+	"f3m/internal/fingerprint"
+)
+
+// Params fixes the banding geometry and search limits.
+type Params struct {
+	// Rows per band (r). The adaptive policy always uses 2.
+	Rows int
+
+	// Bands (b). Fingerprint size k must be >= Rows*Bands; extra lanes
+	// are ignored.
+	Bands int
+
+	// BucketCap limits fingerprint comparisons drawn from one bucket
+	// (Section III-C). Overpopulated buckets come from ubiquitous
+	// instruction shingles; capping them bounds the quadratic blowup
+	// while highly similar pairs still meet in other buckets. Zero
+	// means DefaultBucketCap; negative means unlimited.
+	BucketCap int
+}
+
+// DefaultBucketCap is the paper's per-bucket comparison cap.
+const DefaultBucketCap = 100
+
+// DefaultParams returns the paper's static configuration: r=2, b=100
+// (with k=200).
+func DefaultParams() Params {
+	return Params{Rows: 2, Bands: 100, BucketCap: DefaultBucketCap}
+}
+
+func (p Params) bucketCap() int {
+	switch {
+	case p.BucketCap == 0:
+		return DefaultBucketCap
+	case p.BucketCap < 0:
+		return math.MaxInt
+	default:
+		return p.BucketCap
+	}
+}
+
+// MatchProbability evaluates Equation 2: the chance that two items with
+// MinHash similarity s collide in at least one band.
+func (p Params) MatchProbability(s float64) float64 {
+	return 1 - math.Pow(1-math.Pow(s, float64(p.Rows)), float64(p.Bands))
+}
+
+// Index is the bucket structure. It is not safe for concurrent writes.
+type Index struct {
+	params Params
+
+	// buckets[band][bandHash] lists ids inserted with that band value.
+	buckets []map[uint32][]int32
+
+	// sigs keeps the inserted fingerprints for candidate scoring.
+	sigs map[int32]fingerprint.MinHash
+
+	// stamp/gen implement allocation-free per-query dedup for ids in
+	// [0, len(stamp)); other ids fall back to a map.
+	stamp []uint32
+	gen   uint32
+
+	// Stats accumulated since construction.
+	stats IndexStats
+}
+
+// IndexStats reports search-behaviour counters used by the Fig. 16
+// bucket-cap experiment.
+type IndexStats struct {
+	Inserted        int
+	BucketsUsed     int
+	MaxBucketLoad   int
+	Comparisons     int64 // fingerprint comparisons performed by Query
+	CapSkips        int64 // candidates skipped due to the bucket cap
+	CandidatesFound int64
+}
+
+// NewIndex returns an empty index with the given parameters.
+func NewIndex(params Params) *Index {
+	if params.Rows <= 0 || params.Bands <= 0 {
+		panic("lsh: non-positive banding parameters")
+	}
+	buckets := make([]map[uint32][]int32, params.Bands)
+	for i := range buckets {
+		buckets[i] = make(map[uint32][]int32)
+	}
+	return &Index{
+		params:  params,
+		buckets: buckets,
+		sigs:    make(map[int32]fingerprint.MinHash),
+	}
+}
+
+// Params returns the index parameters.
+func (ix *Index) Params() Params { return ix.params }
+
+// bandHashes slices the fingerprint into bands and hashes each.
+func (ix *Index) bandHashes(mh fingerprint.MinHash) []uint32 {
+	r, b := ix.params.Rows, ix.params.Bands
+	if len(mh) < r*b {
+		b = len(mh) / r
+	}
+	out := make([]uint32, b)
+	buf := make([]uint32, r)
+	for i := 0; i < b; i++ {
+		for j := 0; j < r; j++ {
+			buf[j] = mh[i*r+j]
+		}
+		out[i] = fingerprint.Hash32(buf)
+	}
+	return out
+}
+
+// Insert registers fingerprint mh under id.
+func (ix *Index) Insert(id int, mh fingerprint.MinHash) {
+	ix.sigs[int32(id)] = mh
+	for band, h := range ix.bandHashes(mh) {
+		lst := ix.buckets[band][h]
+		if len(lst) == 0 {
+			ix.stats.BucketsUsed++
+		}
+		lst = append(lst, int32(id))
+		ix.buckets[band][h] = lst
+		if len(lst) > ix.stats.MaxBucketLoad {
+			ix.stats.MaxBucketLoad = len(lst)
+		}
+	}
+	ix.stats.Inserted++
+}
+
+// Remove deletes id from the index so already-merged functions stop
+// surfacing as candidates.
+func (ix *Index) Remove(id int, mh fingerprint.MinHash) {
+	delete(ix.sigs, int32(id))
+	for band, h := range ix.bandHashes(mh) {
+		lst := ix.buckets[band][h]
+		for i, v := range lst {
+			if v == int32(id) {
+				ix.buckets[band][h] = append(lst[:i], lst[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Candidate is a scored match returned by Query.
+type Candidate struct {
+	ID         int
+	Similarity float64
+}
+
+// Query returns candidates sharing at least one bucket with mh whose
+// MinHash similarity is at least minSim, best first. The id given is
+// excluded. Per bucket, at most BucketCap candidates are considered.
+func (ix *Index) Query(id int, mh fingerprint.MinHash, minSim float64) []Candidate {
+	cap_ := ix.params.bucketCap()
+	ix.beginQuery(id)
+	var out []Candidate
+	for band, h := range ix.bandHashes(mh) {
+		lst := ix.buckets[band][h]
+		checked := 0
+		for _, cand := range lst {
+			if ix.seen(cand) {
+				continue
+			}
+			if checked >= cap_ {
+				ix.stats.CapSkips += int64(len(lst) - checked)
+				break
+			}
+			checked++
+			ix.mark(cand)
+			sig := ix.sigs[cand]
+			ix.stats.Comparisons++
+			s := mh.Jaccard(sig)
+			if s >= minSim {
+				out = append(out, Candidate{ID: int(cand), Similarity: s})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Similarity != out[j].Similarity {
+			return out[i].Similarity > out[j].Similarity
+		}
+		return out[i].ID < out[j].ID
+	})
+	ix.stats.CandidatesFound += int64(len(out))
+	return out
+}
+
+// Best returns the single most similar candidate, or ok=false when no
+// bucket-sharing candidate reaches minSim.
+func (ix *Index) Best(id int, mh fingerprint.MinHash, minSim float64) (Candidate, bool) {
+	return ix.BestWhere(id, mh, minSim, nil)
+}
+
+// BestWhere returns the most similar candidate accepted by the filter
+// (nil accepts all). Unlike Query it neither materializes nor sorts the
+// candidate list, which is what makes per-function ranking cheap even
+// when buckets are crowded.
+func (ix *Index) BestWhere(id int, mh fingerprint.MinHash, minSim float64, accept func(int) bool) (Candidate, bool) {
+	cap_ := ix.params.bucketCap()
+	ix.beginQuery(id)
+	best := Candidate{Similarity: -1}
+	found := false
+	for band, h := range ix.bandHashes(mh) {
+		lst := ix.buckets[band][h]
+		checked := 0
+		for _, cand := range lst {
+			if ix.seen(cand) {
+				continue
+			}
+			if checked >= cap_ {
+				ix.stats.CapSkips += int64(len(lst) - checked)
+				break
+			}
+			checked++
+			ix.mark(cand)
+			if accept != nil && !accept(int(cand)) {
+				continue
+			}
+			ix.stats.Comparisons++
+			s := mh.Jaccard(ix.sigs[cand])
+			if s < minSim {
+				continue
+			}
+			if !found || s > best.Similarity || (s == best.Similarity && int(cand) < best.ID) {
+				best = Candidate{ID: int(cand), Similarity: s}
+				found = true
+				if s == 1 {
+					// A perfect match cannot be beaten; stop early.
+					ix.stats.CandidatesFound++
+					return best, true
+				}
+			}
+		}
+	}
+	if found {
+		ix.stats.CandidatesFound++
+	}
+	return best, found
+}
+
+// beginQuery resets the per-query dedup state and marks id itself.
+func (ix *Index) beginQuery(id int) {
+	ix.gen++
+	if ix.gen == 0 { // wrapped: clear stamps
+		for i := range ix.stamp {
+			ix.stamp[i] = 0
+		}
+		ix.gen = 1
+	}
+	ix.mark(int32(id))
+}
+
+func (ix *Index) seen(id int32) bool {
+	if int(id) < len(ix.stamp) {
+		return ix.stamp[id] == ix.gen
+	}
+	ix.growStamp(int(id))
+	return ix.stamp[id] == ix.gen
+}
+
+func (ix *Index) mark(id int32) {
+	if int(id) >= len(ix.stamp) {
+		ix.growStamp(int(id))
+	}
+	ix.stamp[id] = ix.gen
+}
+
+func (ix *Index) growStamp(id int) {
+	n := len(ix.stamp)*2 + 16
+	if n <= id {
+		n = id + 1
+	}
+	grown := make([]uint32, n)
+	copy(grown, ix.stamp)
+	ix.stamp = grown
+}
+
+// Stats returns the accumulated counters.
+func (ix *Index) Stats() IndexStats { return ix.stats }
+
+// BucketLoadHistogram returns bucket populations sorted descending,
+// feeding the Fig. 16 analysis of overpopulated buckets.
+func (ix *Index) BucketLoadHistogram() []int {
+	var loads []int
+	for _, bm := range ix.buckets {
+		for _, lst := range bm {
+			loads = append(loads, len(lst))
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(loads)))
+	return loads
+}
+
+// AdaptiveThreshold implements Equation 3: the similarity threshold as
+// a function of the number of functions x in the program. Small
+// programs keep a permissive 0.05; past 10^3.5 functions the threshold
+// rises logarithmically, saturating at 0.4 for 10^7 and above.
+func AdaptiveThreshold(numFuncs int) float64 {
+	x := float64(numFuncs)
+	switch {
+	case x <= 0:
+		return 0.05
+	case x < math.Pow(10, 3.5):
+		return 0.05
+	case x > 1e7:
+		return 0.4
+	default:
+		return (math.Log10(x) - 3.0) / 10
+	}
+}
+
+// AdaptiveBands implements Equation 4: the smallest band count giving
+// at least 90% discovery probability for pairs slightly above the
+// threshold t, with r fixed at 2. Programs under 5000 functions use
+// exactly 100 bands (the paper's static default).
+func AdaptiveBands(t float64, numFuncs int) int {
+	if numFuncs < 5000 {
+		return 100
+	}
+	p := math.Pow(t+0.1, 2)
+	b := int(math.Ceil(math.Log(0.1) / math.Log(1.0-p)))
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// AdaptiveParams bundles Equations 3 and 4: threshold, bands, and the
+// fingerprint size k = 2b implied by r=2.
+func AdaptiveParams(numFuncs int) (t float64, params Params, k int) {
+	t = AdaptiveThreshold(numFuncs)
+	b := AdaptiveBands(t, numFuncs)
+	params = Params{Rows: 2, Bands: b, BucketCap: DefaultBucketCap}
+	return t, params, 2 * b
+}

@@ -1,0 +1,187 @@
+package merge
+
+import (
+	"testing"
+
+	"f3m/internal/ir"
+)
+
+// Invoke-bearing functions exercise the terminator-merging and
+// dispatch-block paths that regular calls do not (invoke is a
+// terminator with two successors).
+const invokeSrc = `
+define i32 @risky(i32 %x) {
+entry:
+  ret i32 %x
+}
+define i32 @fa(i32 %x) {
+entry:
+  %r = invoke i32 @risky(i32 %x) to label %ok unwind label %bad
+ok:
+  %s = add i32 %r, 10
+  ret i32 %s
+bad:
+  ret i32 -1
+}
+define i32 @fb(i32 %x) {
+entry:
+  %r = invoke i32 @risky(i32 %x) to label %ok unwind label %bad
+ok:
+  %s = add i32 %r, 20
+  ret i32 %s
+bad:
+  ret i32 -2
+}
+define i32 @callA(i32 %x) {
+entry:
+  %r = call i32 @fa(i32 %x)
+  ret i32 %r
+}
+define i32 @callB(i32 %x) {
+entry:
+  %r = call i32 @fb(i32 %x)
+  ret i32 %r
+}`
+
+func TestMergeInvokeFunctions(t *testing.T) {
+	_, res := checkMergeEndToEnd(t, invokeSrc, tuples)
+	// Both invokes should have merged into one.
+	invokes := 0
+	res.Merged.Instructions(func(in *ir.Instr) {
+		if in.Op == ir.OpInvoke {
+			invokes++
+		}
+	})
+	if invokes != 1 {
+		t.Errorf("merged function has %d invokes, want 1\n%s", invokes, ir.FuncString(res.Merged))
+	}
+	if !res.Profitable {
+		t.Errorf("near-identical invoke functions should merge profitably (A=%d B=%d merged=%d)",
+			res.CostA, res.CostB, res.CostMerged)
+	}
+}
+
+// TestMergeInvokeAtCallSites checks Commit rewrites invoke call sites
+// of the merged originals correctly (the invoke's successor operands
+// must be preserved through the operand surgery).
+func TestMergeInvokeAtCallSites(t *testing.T) {
+	src := `
+define i32 @fa(i32 %x) {
+entry:
+  %r = mul i32 %x, 3
+  ret i32 %r
+}
+define i32 @fb(i32 %x) {
+entry:
+  %r = mul i32 %x, 5
+  ret i32 %r
+}
+define i32 @callA(i32 %x) {
+entry:
+  %r = invoke i32 @fa(i32 %x) to label %ok unwind label %bad
+ok:
+  ret i32 %r
+bad:
+  ret i32 -7
+}
+define i32 @callB(i32 %x) {
+entry:
+  %r = invoke i32 @fb(i32 %x) to label %ok unwind label %bad
+ok:
+  ret i32 %r
+bad:
+  ret i32 -8
+}`
+	work, res := checkMergeEndToEnd(t, src, tuples)
+	// The rewritten invoke must now target the merged function and
+	// keep its successors.
+	callA := work.Func("callA")
+	var inv *ir.Instr
+	callA.Instructions(func(in *ir.Instr) {
+		if in.Op == ir.OpInvoke {
+			inv = in
+		}
+	})
+	if inv == nil {
+		t.Fatal("callA lost its invoke")
+	}
+	if inv.Operands[0] != ir.Value(res.Merged) {
+		t.Errorf("invoke callee = %v, want merged", inv.Operands[0].Ident())
+	}
+	if len(inv.Successors()) != 2 {
+		t.Errorf("invoke successors = %d, want 2", len(inv.Successors()))
+	}
+}
+
+// TestMergeGuardedTerminators exercises the path where the two
+// functions' terminators cannot merge (different return structure).
+func TestMergeGuardedTerminators(t *testing.T) {
+	src := `
+define i32 @fa(i32 %x) {
+entry:
+  %a = add i32 %x, 1
+  %b = mul i32 %a, 2
+  ret i32 %b
+}
+define i32 @fb(i32 %x) {
+entry:
+  %a = add i32 %x, 1
+  %b = mul i32 %a, 2
+  %c = icmp sgt i32 %b, 10
+  br i1 %c, label %hi, label %lo
+hi:
+  ret i32 %b
+lo:
+  ret i32 0
+}
+define i32 @callA(i32 %x) {
+entry:
+  %r = call i32 @fa(i32 %x)
+  ret i32 %r
+}
+define i32 @callB(i32 %x) {
+entry:
+  %r = call i32 @fb(i32 %x)
+  ret i32 %r
+}`
+	checkMergeEndToEnd(t, src, tuples)
+}
+
+// TestMergeGlobalsAndCalls: bodies referencing globals and calling
+// other functions must keep those references identical post-merge.
+func TestMergeGlobalsAndCalls(t *testing.T) {
+	src := `
+global @acc i32 = 0
+define i32 @helper(i32 %x) {
+entry:
+  %r = ashr i32 %x, 1
+  ret i32 %r
+}
+define i32 @fa(i32 %x) {
+entry:
+  %h = call i32 @helper(i32 %x)
+  %g = load i32, i32* @acc
+  %s = add i32 %h, %g
+  store i32 %s, i32* @acc
+  ret i32 %s
+}
+define i32 @fb(i32 %x) {
+entry:
+  %h = call i32 @helper(i32 %x)
+  %g = load i32, i32* @acc
+  %s = sub i32 %h, %g
+  store i32 %s, i32* @acc
+  ret i32 %s
+}
+define i32 @callA(i32 %x) {
+entry:
+  %r = call i32 @fa(i32 %x)
+  ret i32 %r
+}
+define i32 @callB(i32 %x) {
+entry:
+  %r = call i32 @fb(i32 %x)
+  ret i32 %r
+}`
+	checkMergeEndToEnd(t, src, tuples)
+}

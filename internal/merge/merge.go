@@ -1,0 +1,289 @@
+// Package merge generates merged functions from aligned pairs, the
+// code-generation stage F3M inherits from HyFM (Section III-E). Given
+// two functions it:
+//
+//  1. clones and demotes them to phi-free form (RegToMem), the shape
+//     the block-level merger consumes;
+//  2. pairs similar basic blocks and aligns each pair's instructions;
+//  3. emits one function parameterized by a function identifier:
+//     matched instructions become shared code whose differing operands
+//     are reconciled with selects on the identifier, mismatched runs
+//     become guarded diamonds, and differing control-flow targets
+//     become identifier dispatch blocks;
+//  4. repairs any SSA dominance violations through stack demotion with
+//     the Section III-E placement fixes, then re-promotes and cleans
+//     up (Mem2Reg, SimplifyCFG, DCE);
+//  5. prices the result with a code-size model deciding profitability.
+//
+// Committing a profitable merge rewrites every call site and replaces
+// address-taken originals with thunks.
+package merge
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"f3m/internal/ir"
+	"f3m/internal/passes"
+)
+
+// Options configures code generation and the profitability model.
+type Options struct {
+	// MinBlockRatio is the alignment ratio a block pair must reach to
+	// be merged as a unit (blocks below it are emitted separately).
+	MinBlockRatio float64
+
+	// SkipCleanup disables the post-merge Mem2Reg/SimplifyCFG/DCE
+	// passes; useful for inspecting raw merger output in tests.
+	SkipCleanup bool
+
+	// CallSiteCount, when set, reports how many direct call sites
+	// reference a function. Profitability then charges the argument
+	// growth Commit would cause at those sites (the function
+	// identifier plus undef placeholders for unshared parameters).
+	CallSiteCount func(*ir.Function) int
+
+	// Index, when set, supplies live call-site and address-taken
+	// information and lets Commit rewrite call sites without walking
+	// the whole module (essential for large-module runs). It takes
+	// precedence over CallSiteCount.
+	Index *CallIndex
+}
+
+// DefaultOptions mirror the defaults used by the pipeline.
+func DefaultOptions() Options {
+	return Options{MinBlockRatio: 0.5}
+}
+
+// ErrIncompatible marks function pairs the merger does not support.
+var ErrIncompatible = errors.New("merge: incompatible function pair")
+
+// Result describes one attempted merge.
+type Result struct {
+	// Merged is the generated function, already inserted in the module
+	// under a fresh name. The caller either Commits it or Discards it.
+	Merged *ir.Function
+
+	// Profitable reports whether replacing the originals with Merged
+	// shrinks the size model.
+	Profitable bool
+
+	// CostA, CostB and CostMerged are size-model values.
+	CostA, CostB, CostMerged int
+
+	// CallOverhead is the size-model cost the call-site rewrite adds
+	// (0 when Options.CallSiteCount is unset).
+	CallOverhead int
+
+	// AlignDur and CodegenDur break the merge attempt into the two
+	// stages the paper's Figures 3 and 13 report.
+	AlignDur, CodegenDur time.Duration
+
+	fa, fb *ir.Function
+
+	// paramMapA/B map merged-parameter index (>= 1; 0 is the function
+	// identifier) to the original argument index on each side.
+	paramMapA, paramMapB map[int]int
+
+	// idx is the optional live call index Commit maintains.
+	idx *CallIndex
+}
+
+// SizeSaving is the size-model benefit of committing (positive =
+// smaller binary).
+func (r *Result) SizeSaving() int { return r.CostA + r.CostB - r.CostMerged - r.CallOverhead }
+
+// Cost is the code-size model: a weighted instruction count. Every
+// instruction costs one unit; calls cost an extra unit per argument
+// (they lower to argument-passing code).
+func Cost(f *ir.Function) int {
+	c := 0
+	f.Instructions(func(in *ir.Instr) {
+		c++
+		if in.Op == ir.OpCall || in.Op == ir.OpInvoke {
+			c += len(in.CallArgs())
+		}
+	})
+	return c
+}
+
+// Pair merges functions fa and fb of module m. The returned Result
+// holds the merged function regardless of profitability; on failure an
+// error is returned and the module is left unchanged.
+func Pair(m *ir.Module, fa, fb *ir.Function, opts Options) (*Result, error) {
+	if fa == fb {
+		return nil, fmt.Errorf("%w: cannot merge a function with itself", ErrIncompatible)
+	}
+	if fa.IsDecl() || fb.IsDecl() {
+		return nil, fmt.Errorf("%w: declarations", ErrIncompatible)
+	}
+	if fa.ReturnType() != fb.ReturnType() {
+		return nil, fmt.Errorf("%w: return types %s vs %s", ErrIncompatible, fa.ReturnType(), fb.ReturnType())
+	}
+	if fa.Sig.Variadic || fb.Sig.Variadic {
+		return nil, fmt.Errorf("%w: variadic", ErrIncompatible)
+	}
+
+	// Phi-free working copies.
+	ca := ir.CloneFunc(m, fa, m.UniqueFuncName(fa.Name()+".tmpA"))
+	cb := ir.CloneFunc(m, fb, m.UniqueFuncName(fb.Name()+".tmpB"))
+	passes.RegToMem(ca)
+	passes.RegToMem(cb)
+	defer m.RemoveFunc(ca)
+	defer m.RemoveFunc(cb)
+
+	g := newMergeGen(m, ca, cb, opts)
+	merged, err := g.run(m.UniqueFuncName(mergedName(fa, fb)))
+	if err != nil {
+		if merged != nil {
+			m.RemoveFunc(merged)
+		}
+		return nil, err
+	}
+
+	res := &Result{
+		Merged:     merged,
+		CostA:      Cost(fa),
+		CostB:      Cost(fb),
+		CostMerged: Cost(merged),
+		fa:         fa,
+		fb:         fb,
+		paramMapA:  g.paramMapA,
+		paramMapB:  g.paramMapB,
+		AlignDur:   g.alignDur,
+		CodegenDur: g.codegenDur,
+	}
+	countSites := opts.CallSiteCount
+	if opts.Index != nil {
+		countSites = opts.Index.NumCallSites
+	}
+	if countSites != nil {
+		extraA := len(merged.Params) - len(fa.Params)
+		extraB := len(merged.Params) - len(fb.Params)
+		res.CallOverhead = countSites(fa)*extraA + countSites(fb)*extraB
+	}
+	res.idx = opts.Index
+	res.Profitable = res.CostMerged+res.CallOverhead < res.CostA+res.CostB
+	return res, nil
+}
+
+func mergedName(fa, fb *ir.Function) string {
+	return "merged." + fa.Name() + "." + fb.Name()
+}
+
+// Discard removes an uncommitted merged function from the module.
+func Discard(m *ir.Module, r *Result) {
+	m.RemoveFunc(r.Merged)
+}
+
+// Commit replaces fa and fb with the merged function: direct calls are
+// rewritten to pass the function identifier and remapped arguments;
+// address-taken originals are kept as thunks; otherwise the originals
+// are deleted.
+func Commit(m *ir.Module, r *Result) {
+	g := r.Merged
+	if r.idx != nil {
+		r.idx.AddFunction(g)
+	}
+	rewrite := func(orig *ir.Function, id bool) {
+		paramMap := r.paramMapB
+		if id {
+			paramMap = r.paramMapA
+		}
+		rewriteCall := func(call *ir.Instr) {
+			args := call.CallArgs()
+			newArgs := make([]ir.Value, len(g.Params))
+			newArgs[0] = ir.ConstBool(m.Ctx, id)
+			for i := 1; i < len(g.Params); i++ {
+				if oi, ok := paramMap[i]; ok {
+					newArgs[i] = args[oi]
+				} else {
+					newArgs[i] = ir.ConstUndef(g.Params[i].Ty)
+				}
+			}
+			rest := call.Operands[1+len(args):] // invoke successors, if any
+			call.Operands = append(append([]ir.Value{g}, newArgs...), rest...)
+		}
+		if r.idx != nil {
+			r.idx.rewriteCalls(orig, rewriteCall)
+			addrTaken := r.idx.HasNonCallUses(orig)
+			r.idx.RemoveFunction(orig)
+			if addrTaken {
+				makeThunk(m, orig, g, id, paramMap)
+				r.idx.AddFunction(orig)
+			} else {
+				m.RemoveFunc(orig)
+			}
+			return
+		}
+		m.ReplaceAllCalls(orig, rewriteCall)
+		if hasNonCallUses(m, orig) {
+			makeThunk(m, orig, g, id, paramMap)
+		} else {
+			m.RemoveFunc(orig)
+		}
+	}
+	rewrite(r.fa, true)
+	rewrite(r.fb, false)
+}
+
+// hasNonCallUses reports whether f appears as an operand anywhere other
+// than the callee slot of a call/invoke.
+func hasNonCallUses(m *ir.Module, f *ir.Function) bool {
+	found := false
+	for _, fn := range m.Funcs {
+		fn.Instructions(func(in *ir.Instr) {
+			for i, op := range in.Operands {
+				if op != ir.Value(f) {
+					continue
+				}
+				isCallee := (in.Op == ir.OpCall || in.Op == ir.OpInvoke) && i == 0
+				if !isCallee {
+					found = true
+				}
+			}
+		})
+	}
+	return found
+}
+
+// makeThunk rewrites orig's body into a tail call of the merged
+// function so remaining address-taken references stay valid.
+func makeThunk(m *ir.Module, orig, g *ir.Function, id bool, paramMap map[int]int) {
+	orig.Blocks = nil
+	entry := orig.NewBlock("entry")
+	bd := ir.NewBuilder(entry)
+	args := make([]ir.Value, len(g.Params))
+	args[0] = ir.ConstBool(m.Ctx, id)
+	for i := 1; i < len(g.Params); i++ {
+		if oi, ok := paramMap[i]; ok {
+			args[i] = orig.Params[oi]
+		} else {
+			args[i] = ir.ConstUndef(g.Params[i].Ty)
+		}
+	}
+	call := bd.Call(g, args...)
+	if orig.ReturnType().IsVoid() {
+		bd.Ret(nil)
+	} else {
+		bd.Ret(call)
+	}
+}
+
+// side selects which original function a value mapping refers to.
+type side int
+
+const (
+	sideA side = iota
+	sideB
+)
+
+// ParamMapForTest exposes the merged-parameter provenance for
+// differential tests.
+func (r *Result) ParamMapForTest(first bool) map[int]int {
+	if first {
+		return r.paramMapA
+	}
+	return r.paramMapB
+}

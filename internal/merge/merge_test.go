@@ -1,0 +1,556 @@
+package merge
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"f3m/internal/interp"
+	"f3m/internal/ir"
+)
+
+func mustParse(t testing.TB, src string) *ir.Module {
+	t.Helper()
+	m, err := ir.ParseModule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// runFn executes fn(args...) with int args and returns the integer
+// result.
+func runFn(t *testing.T, m *ir.Module, fn string, args ...int64) int64 {
+	t.Helper()
+	f := m.Func(fn)
+	if f == nil {
+		t.Fatalf("no function @%s", fn)
+	}
+	mach := interp.NewMachine(m)
+	vals := make([]interp.Val, len(args))
+	for i, a := range args {
+		vals[i] = interp.IntVal(f.Params[i].Ty, a)
+	}
+	out, err := mach.Call(f, vals...)
+	if err != nil {
+		t.Fatalf("@%s%v: %v", fn, args, err)
+	}
+	return out.I
+}
+
+// checkMergeEndToEnd parses src (which must define @fa, @fb and wrapper
+// callers @callA/@callB of the same arities), merges fa with fb,
+// commits, and verifies the wrappers behave identically before and
+// after on the given argument tuples. It returns the committed module
+// and result for extra assertions.
+func checkMergeEndToEnd(t *testing.T, src string, argTuples [][]int64) (*ir.Module, *Result) {
+	t.Helper()
+	ref := mustParse(t, src)
+	work := mustParse(t, src)
+
+	res, err := Pair(work, work.Func("fa"), work.Func("fb"), DefaultOptions())
+	if err != nil {
+		t.Fatalf("Pair: %v", err)
+	}
+	if err := ir.VerifyFunc(res.Merged); err != nil {
+		t.Fatalf("merged invalid: %v\n%s", err, ir.FuncString(res.Merged))
+	}
+	Commit(work, res)
+	if err := ir.VerifyModule(work); err != nil {
+		t.Fatalf("module invalid after commit: %v", err)
+	}
+	for _, args := range argTuples {
+		for _, wrapper := range []string{"callA", "callB"} {
+			want := runFn(t, ref, wrapper, args...)
+			got := runFn(t, work, wrapper, args...)
+			if got != want {
+				t.Errorf("%s%v = %d, want %d\nmerged:\n%s",
+					wrapper, args, got, want, ir.FuncString(res.Merged))
+			}
+		}
+	}
+	return work, res
+}
+
+var tuples = [][]int64{{0}, {1}, {-1}, {7}, {42}, {-100}}
+
+const identicalSrc = `
+define i32 @fa(i32 %x) {
+entry:
+  %a = add i32 %x, 10
+  %b = mul i32 %a, 3
+  %c = icmp sgt i32 %b, 50
+  br i1 %c, label %hi, label %lo
+hi:
+  %h = sub i32 %b, 50
+  br label %done
+lo:
+  br label %done
+done:
+  %r = phi i32 [%h, %hi], [%b, %lo]
+  ret i32 %r
+}
+define i32 @fb(i32 %x) {
+entry:
+  %a = add i32 %x, 10
+  %b = mul i32 %a, 3
+  %c = icmp sgt i32 %b, 50
+  br i1 %c, label %hi, label %lo
+hi:
+  %h = sub i32 %b, 50
+  br label %done
+lo:
+  br label %done
+done:
+  %r = phi i32 [%h, %hi], [%b, %lo]
+  ret i32 %r
+}
+define i32 @callA(i32 %x) {
+entry:
+  %r = call i32 @fa(i32 %x)
+  ret i32 %r
+}
+define i32 @callB(i32 %x) {
+entry:
+  %r = call i32 @fb(i32 %x)
+  ret i32 %r
+}`
+
+func TestMergeIdenticalFunctions(t *testing.T) {
+	work, res := checkMergeEndToEnd(t, identicalSrc, tuples)
+	if !res.Profitable {
+		t.Errorf("identical functions should be profitable: A=%d B=%d merged=%d",
+			res.CostA, res.CostB, res.CostMerged)
+	}
+	// Identical bodies should merge with almost no overhead.
+	if res.CostMerged > res.CostA+3 {
+		t.Errorf("merged cost %d too high vs single %d\n%s",
+			res.CostMerged, res.CostA, ir.FuncString(res.Merged))
+	}
+	if work.Func("fa") != nil || work.Func("fb") != nil {
+		t.Error("originals should be removed after Commit")
+	}
+}
+
+const constDiffSrc = `
+define i32 @fa(i32 %x) {
+entry:
+  %a = add i32 %x, 10
+  %b = mul i32 %a, 3
+  ret i32 %b
+}
+define i32 @fb(i32 %x) {
+entry:
+  %a = add i32 %x, 20
+  %b = mul i32 %a, 5
+  ret i32 %b
+}
+define i32 @callA(i32 %x) {
+entry:
+  %r = call i32 @fa(i32 %x)
+  ret i32 %r
+}
+define i32 @callB(i32 %x) {
+entry:
+  %r = call i32 @fb(i32 %x)
+  ret i32 %r
+}`
+
+func TestMergeConstantDifferences(t *testing.T) {
+	_, res := checkMergeEndToEnd(t, constDiffSrc, tuples)
+	// Differing constants must be reconciled with selects on the id.
+	selects := 0
+	res.Merged.Instructions(func(in *ir.Instr) {
+		if in.Op == ir.OpSelect {
+			selects++
+		}
+	})
+	if selects != 2 {
+		t.Errorf("selects = %d, want 2\n%s", selects, ir.FuncString(res.Merged))
+	}
+}
+
+const guardedSrc = `
+define i32 @fa(i32 %x) {
+entry:
+  %a = add i32 %x, 1
+  %b = mul i32 %a, 2
+  %c = sub i32 %b, 3
+  ret i32 %c
+}
+define i32 @fb(i32 %x) {
+entry:
+  %a = add i32 %x, 1
+  %s = shl i32 %a, 2
+  %y = xor i32 %s, 9
+  %b = mul i32 %y, 2
+  %c = sub i32 %b, 3
+  ret i32 %c
+}
+define i32 @callA(i32 %x) {
+entry:
+  %r = call i32 @fa(i32 %x)
+  ret i32 %r
+}
+define i32 @callB(i32 %x) {
+entry:
+  %r = call i32 @fb(i32 %x)
+  ret i32 %r
+}`
+
+func TestMergeGuardedRegion(t *testing.T) {
+	_, res := checkMergeEndToEnd(t, guardedSrc, tuples)
+	// fb's extra shl/xor must execute only under the B identifier, so
+	// the merged function needs at least one conditional branch on it.
+	condbrs := 0
+	res.Merged.Instructions(func(in *ir.Instr) {
+		if in.Op == ir.OpCondBr {
+			condbrs++
+		}
+	})
+	if condbrs == 0 {
+		t.Errorf("expected guarded control flow\n%s", ir.FuncString(res.Merged))
+	}
+}
+
+const loopSrc = `
+define i32 @fa(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [0, %entry], [%i2, %body]
+  %acc = phi i32 [0, %entry], [%acc2, %body]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %acc2 = add i32 %acc, %i
+  %i2 = add i32 %i, 1
+  br label %head
+exit:
+  ret i32 %acc
+}
+define i32 @fb(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [0, %entry], [%i2, %body]
+  %acc = phi i32 [1, %entry], [%acc2, %body]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %acc2 = mul i32 %acc, 2
+  %i2 = add i32 %i, 1
+  br label %head
+exit:
+  ret i32 %acc
+}
+define i32 @callA(i32 %x) {
+entry:
+  %r = call i32 @fa(i32 %x)
+  ret i32 %r
+}
+define i32 @callB(i32 %x) {
+entry:
+  %r = call i32 @fb(i32 %x)
+  ret i32 %r
+}`
+
+func TestMergeLoops(t *testing.T) {
+	checkMergeEndToEnd(t, loopSrc, [][]int64{{0}, {1}, {3}, {10}})
+}
+
+const divergentSrc = `
+define i32 @fa(i32 %x) {
+entry:
+  %c = icmp eq i32 %x, 0
+  br i1 %c, label %zero, label %nz
+zero:
+  ret i32 -7
+nz:
+  %d = sdiv i32 100, %x
+  ret i32 %d
+}
+define i32 @fb(i32 %x) {
+entry:
+  %y = shl i32 %x, 1
+  %z = xor i32 %y, 1234
+  %w = ashr i32 %z, 2
+  ret i32 %w
+}
+define i32 @callA(i32 %x) {
+entry:
+  %r = call i32 @fa(i32 %x)
+  ret i32 %r
+}
+define i32 @callB(i32 %x) {
+entry:
+  %r = call i32 @fb(i32 %x)
+  ret i32 %r
+}`
+
+func TestMergeDivergentFunctions(t *testing.T) {
+	// Correctness must hold even for a hopeless pair; profitability
+	// should reject it.
+	_, res := checkMergeEndToEnd(t, divergentSrc, tuples)
+	if res.Profitable {
+		t.Errorf("divergent pair reported profitable: A=%d B=%d merged=%d",
+			res.CostA, res.CostB, res.CostMerged)
+	}
+}
+
+const paramShuffleSrc = `
+define i32 @fa(i32 %x, i64 %y) {
+entry:
+  %yt = trunc i64 %y to i32
+  %r = add i32 %x, %yt
+  ret i32 %r
+}
+define i32 @fb(i64 %p, i32 %q) {
+entry:
+  %pt = trunc i64 %p to i32
+  %r = add i32 %q, %pt
+  ret i32 %r
+}
+define i32 @callA(i32 %x) {
+entry:
+  %w = sext i32 %x to i64
+  %r = call i32 @fa(i32 %x, i64 %w)
+  ret i32 %r
+}
+define i32 @callB(i32 %x) {
+entry:
+  %w = sext i32 %x to i64
+  %r = call i32 @fb(i64 %w, i32 %x)
+  ret i32 %r
+}`
+
+func TestMergeParamShuffle(t *testing.T) {
+	_, res := checkMergeEndToEnd(t, paramShuffleSrc, tuples)
+	// i32+i64 pairs on both sides: merged should have fid + 2 params.
+	if len(res.Merged.Params) != 3 {
+		t.Errorf("merged params = %d, want 3", len(res.Merged.Params))
+	}
+}
+
+const arityDiffSrc = `
+define i32 @fa(i32 %x) {
+entry:
+  %r = add i32 %x, 1
+  ret i32 %r
+}
+define i32 @fb(i32 %x, i32 %y) {
+entry:
+  %s = add i32 %x, %y
+  %r = add i32 %s, 1
+  ret i32 %r
+}
+define i32 @callA(i32 %x) {
+entry:
+  %r = call i32 @fa(i32 %x)
+  ret i32 %r
+}
+define i32 @callB(i32 %x) {
+entry:
+  %r = call i32 @fb(i32 %x, i32 5)
+  ret i32 %r
+}`
+
+func TestMergeArityDifference(t *testing.T) {
+	_, res := checkMergeEndToEnd(t, arityDiffSrc, tuples)
+	if len(res.Merged.Params) != 3 {
+		t.Errorf("merged params = %d, want 3 (fid, x, y)", len(res.Merged.Params))
+	}
+}
+
+const recursionSrc = `
+define i32 @fa(i32 %n) {
+entry:
+  %c = icmp sle i32 %n, 0
+  br i1 %c, label %base, label %rec
+base:
+  ret i32 0
+rec:
+  %n1 = sub i32 %n, 1
+  %r = call i32 @fa(i32 %n1)
+  %s = add i32 %r, %n
+  ret i32 %s
+}
+define i32 @fb(i32 %n) {
+entry:
+  %c = icmp sle i32 %n, 0
+  br i1 %c, label %base, label %rec
+base:
+  ret i32 1
+rec:
+  %n1 = sub i32 %n, 1
+  %r = call i32 @fb(i32 %n1)
+  %s = mul i32 %r, 2
+  ret i32 %s
+}
+define i32 @callA(i32 %x) {
+entry:
+  %r = call i32 @fa(i32 %x)
+  ret i32 %r
+}
+define i32 @callB(i32 %x) {
+entry:
+  %r = call i32 @fb(i32 %x)
+  ret i32 %r
+}`
+
+func TestMergeRecursive(t *testing.T) {
+	// Self-calls inside the merged body must be rewritten by Commit to
+	// call the merged function with the proper identifier.
+	checkMergeEndToEnd(t, recursionSrc, [][]int64{{0}, {1}, {5}, {8}})
+}
+
+const addrTakenSrc = `
+define i32 @fa(i32 %x) {
+entry:
+  %r = add i32 %x, 7
+  ret i32 %r
+}
+define i32 @fb(i32 %x) {
+entry:
+  %r = add i32 %x, 9
+  ret i32 %r
+}
+define i32 @apply(i32(i32)* %fp, i32 %x) {
+entry:
+  %r = call i32 %fp(i32 %x)
+  ret i32 %r
+}
+define i32 @callA(i32 %x) {
+entry:
+  %r = call i32 @apply(i32(i32)* @fa, i32 %x)
+  ret i32 %r
+}
+define i32 @callB(i32 %x) {
+entry:
+  %r = call i32 @fb(i32 %x)
+  ret i32 %r
+}`
+
+func TestMergeAddressTakenBecomesThunk(t *testing.T) {
+	work, res := checkMergeEndToEnd(t, addrTakenSrc, tuples)
+	// fa is address-taken: it must survive as a thunk delegating to
+	// the merged function.
+	fa := work.Func("fa")
+	if fa == nil {
+		t.Fatal("address-taken fa was removed")
+	}
+	if fa.NumInstrs() > 2 {
+		t.Errorf("fa should be a 2-instruction thunk, has %d:\n%s", fa.NumInstrs(), ir.FuncString(fa))
+	}
+	foundCall := false
+	fa.Instructions(func(in *ir.Instr) {
+		if in.Op == ir.OpCall && in.Operands[0] == ir.Value(res.Merged) {
+			foundCall = true
+		}
+	})
+	if !foundCall {
+		t.Error("thunk does not call the merged function")
+	}
+	if work.Func("fb") != nil {
+		t.Error("non-address-taken fb should be removed")
+	}
+}
+
+func TestMergeIncompatiblePairs(t *testing.T) {
+	src := `
+define i32 @reti(i32 %x) {
+entry:
+  ret i32 %x
+}
+define double @retd(double %x) {
+entry:
+  ret double %x
+}
+declare i32 @decl(i32)
+define i32 @vararg(i32 %x, ...) {
+entry:
+  ret i32 %x
+}`
+	m := mustParse(t, src)
+	cases := []struct{ a, b string }{
+		{"reti", "retd"},
+		{"reti", "decl"},
+		{"reti", "vararg"},
+		{"reti", "reti"},
+	}
+	for _, tc := range cases {
+		if _, err := Pair(m, m.Func(tc.a), m.Func(tc.b), DefaultOptions()); !errors.Is(err, ErrIncompatible) {
+			t.Errorf("Pair(%s,%s) error = %v, want ErrIncompatible", tc.a, tc.b, err)
+		}
+	}
+	// Temporary clones must not leak into the module.
+	for _, f := range m.Funcs {
+		if strings.Contains(f.Name(), ".tmp") || strings.HasPrefix(f.Name(), "merged.") {
+			t.Errorf("leaked temporary @%s", f.Name())
+		}
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	m := mustParse(t, constDiffSrc)
+	before := len(m.Funcs)
+	res, err := Pair(m, m.Func("fa"), m.Func("fb"), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	Discard(m, res)
+	if len(m.Funcs) != before {
+		t.Errorf("function count %d after discard, want %d", len(m.Funcs), before)
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeMemoryFunctions(t *testing.T) {
+	src := `
+global @gtab [8 x i32]
+define i32 @fa(i32 %i) {
+entry:
+  %i64 = sext i32 %i to i64
+  %p = getelementptr [8 x i32]* @gtab, i64 0, i64 %i64
+  store i32 %i, i32* %p
+  %v = load i32, i32* %p
+  %r = add i32 %v, 1
+  ret i32 %r
+}
+define i32 @fb(i32 %i) {
+entry:
+  %i64 = sext i32 %i to i64
+  %p = getelementptr [8 x i32]* @gtab, i64 0, i64 %i64
+  store i32 %i, i32* %p
+  %v = load i32, i32* %p
+  %r = add i32 %v, 2
+  ret i32 %r
+}
+define i32 @callA(i32 %x) {
+entry:
+  %r = call i32 @fa(i32 %x)
+  ret i32 %r
+}
+define i32 @callB(i32 %x) {
+entry:
+  %r = call i32 @fb(i32 %x)
+  ret i32 %r
+}`
+	checkMergeEndToEnd(t, src, [][]int64{{0}, {3}, {7}})
+}
+
+func TestMergedNameIsFresh(t *testing.T) {
+	m := mustParse(t, constDiffSrc)
+	res1, err := Pair(m, m.Func("fa"), m.Func("fb"), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Func(res1.Merged.Name()) != res1.Merged {
+		t.Error("merged function not registered under its name")
+	}
+}

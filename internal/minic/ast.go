@@ -1,0 +1,245 @@
+package minic
+
+// CType is a frontend type: a base scalar plus pointer depth.
+type CType struct {
+	Base string // "int", "long", "char", "double", "void"
+	Ptr  int    // pointer indirections
+}
+
+// IsVoid reports the void type (with no indirections).
+func (t CType) IsVoid() bool { return t.Base == "void" && t.Ptr == 0 }
+
+// IsPointer reports whether the type has pointer indirections.
+func (t CType) IsPointer() bool { return t.Ptr > 0 }
+
+// IsFloat reports the double scalar type.
+func (t CType) IsFloat() bool { return t.Base == "double" && t.Ptr == 0 }
+
+// IsInt reports integer scalar types.
+func (t CType) IsInt() bool {
+	return t.Ptr == 0 && (t.Base == "int" || t.Base == "long" || t.Base == "char")
+}
+
+// Elem returns the pointee type.
+func (t CType) Elem() CType { return CType{Base: t.Base, Ptr: t.Ptr - 1} }
+
+// String renders the type.
+func (t CType) String() string {
+	s := t.Base
+	for i := 0; i < t.Ptr; i++ {
+		s += "*"
+	}
+	return s
+}
+
+// File is a parsed translation unit.
+type File struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl is a module-level variable.
+type GlobalDecl struct {
+	Pos  Pos
+	Name string
+	Type CType
+	// ArrayLen > 0 declares a global array.
+	ArrayLen int
+	// Init is an optional constant initializer (int/float literal).
+	Init Expr
+}
+
+// FuncDecl is a function definition or prototype.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Ret    CType
+	Params []Param
+	// Body is nil for prototypes.
+	Body *BlockStmt
+}
+
+// Param is a function parameter.
+type Param struct {
+	Pos  Pos
+	Name string
+	Type CType
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is a `{ ... }` statement list with its own scope.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// DeclStmt declares a local variable, optionally an array, optionally
+// initialized.
+type DeclStmt struct {
+	Pos      Pos
+	Name     string
+	Type     CType
+	ArrayLen int
+	Init     Expr
+}
+
+// AssignStmt stores Value into the lvalue Target. Op is "" for plain
+// assignment or the arithmetic operator of a compound assignment
+// ("+=", "<<=", ...), already stripped of the '='.
+type AssignStmt struct {
+	Pos    Pos
+	Target Expr // Ident, Index or Deref
+	Op     string
+	Value  Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt or nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body *BlockStmt
+}
+
+// DoWhileStmt is a do { } while (cond); loop (body runs at least once).
+type DoWhileStmt struct {
+	Pos  Pos
+	Body *BlockStmt
+	Cond Expr
+}
+
+// ForStmt is a C-style for loop; Init and Post are optional simple
+// statements (decl/assign/expr), Cond is optional.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body *BlockStmt
+}
+
+// ReturnStmt returns an optional value.
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt jumps to the innermost loop's post/condition.
+type ContinueStmt struct{ Pos Pos }
+
+// ExprStmt evaluates an expression for effect (calls).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoWhileStmt) stmtNode()  {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()     {}
+
+// Expr is an expression node. Types are filled in by the checker.
+type Expr interface {
+	exprNode()
+	// CT returns the checked type (valid after Check).
+	CT() CType
+	// P returns the source position.
+	P() Pos
+}
+
+type exprBase struct {
+	Pos Pos
+	Ty  CType
+}
+
+func (e *exprBase) CT() CType { return e.Ty }
+func (e *exprBase) P() Pos    { return e.Pos }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Value int64
+}
+
+// FloatLit is a floating literal.
+type FloatLit struct {
+	exprBase
+	Value float64
+}
+
+// Ident references a variable or parameter.
+type Ident struct {
+	exprBase
+	Name string
+}
+
+// Unary is -x, !x, ~x, *p (deref) or &x (address-of).
+type Unary struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// Binary is a two-operand operator, including comparisons and the
+// short-circuit && and ||.
+type Binary struct {
+	exprBase
+	Op   string
+	L, R Expr
+}
+
+// Call invokes a named function.
+type Call struct {
+	exprBase
+	Name string
+	Args []Expr
+}
+
+// Index is a[i] over a pointer or local array.
+type Index struct {
+	exprBase
+	Arr Expr
+	Idx Expr
+}
+
+// Ternary is cond ? then : else, evaluated with short-circuit
+// semantics (only the taken arm runs).
+type Ternary struct {
+	exprBase
+	Cond, Then, Else Expr
+}
+
+// Cast is an implicit numeric conversion inserted by the checker.
+type Cast struct {
+	exprBase
+	X Expr
+}
+
+func (*IntLit) exprNode()   {}
+func (*FloatLit) exprNode() {}
+func (*Ident) exprNode()    {}
+func (*Unary) exprNode()    {}
+func (*Binary) exprNode()   {}
+func (*Call) exprNode()     {}
+func (*Index) exprNode()    {}
+func (*Ternary) exprNode()  {}
+func (*Cast) exprNode()     {}

@@ -1,0 +1,495 @@
+package minic
+
+import (
+	"f3m/internal/ir"
+)
+
+// rank orders the numeric conversion ladder char < int < long < double.
+func rank(t CType) int {
+	switch t.Base {
+	case "char":
+		return 1
+	case "int":
+		return 2
+	case "long":
+		return 3
+	case "double":
+		return 4
+	}
+	return 0
+}
+
+// convert coerces v (of type from) to type to, inserting the numeric
+// conversion instructions. Pointer types must match exactly.
+func (lw *lowerer) convert(v ir.Value, from, to CType, pos Pos) (ir.Value, error) {
+	if from == to {
+		return v, nil
+	}
+	if from.IsPointer() || to.IsPointer() {
+		return nil, errf(pos, "cannot convert %s to %s", from, to)
+	}
+	if from.IsVoid() || to.IsVoid() {
+		return nil, errf(pos, "cannot use void value")
+	}
+	toTy, err := lw.irType(to, pos)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case from.IsFloat() && to.IsInt():
+		return lw.bd.Cast(ir.OpFPToSI, v, toTy), nil
+	case from.IsInt() && to.IsFloat():
+		return lw.bd.Cast(ir.OpSIToFP, v, toTy), nil
+	case rank(from) < rank(to):
+		return lw.bd.Cast(ir.OpSExt, v, toTy), nil
+	default:
+		return lw.bd.Cast(ir.OpTrunc, v, toTy), nil
+	}
+}
+
+// promote widens both operands of a binary operator to the common type.
+func (lw *lowerer) promote(l ir.Value, lt CType, r ir.Value, rt CType, pos Pos) (ir.Value, ir.Value, CType, error) {
+	if lt == rt {
+		return l, r, lt, nil
+	}
+	var common CType
+	if rank(lt) >= rank(rt) {
+		common = lt
+	} else {
+		common = rt
+	}
+	lc, err := lw.convert(l, lt, common, pos)
+	if err != nil {
+		return nil, nil, CType{}, err
+	}
+	rc, err := lw.convert(r, rt, common, pos)
+	if err != nil {
+		return nil, nil, CType{}, err
+	}
+	return lc, rc, common, nil
+}
+
+// condValue lowers an expression as a branch condition (compare != 0).
+func (lw *lowerer) condValue(e Expr) (ir.Value, error) {
+	v, vt, err := lw.lowerExpr(e)
+	if err != nil {
+		return nil, err
+	}
+	return lw.truthy(v, vt, e.P())
+}
+
+func (lw *lowerer) truthy(v ir.Value, vt CType, pos Pos) (ir.Value, error) {
+	if v.Type() == lw.mod.Ctx.I1 {
+		return v, nil
+	}
+	switch {
+	case vt.IsPointer():
+		return lw.bd.ICmp(ir.PredNE, v, ir.ConstNull(v.Type())), nil
+	case vt.IsFloat():
+		return lw.bd.FCmp(ir.PredONE, v, ir.ConstFloat(v.Type(), 0)), nil
+	case vt.IsInt():
+		return lw.bd.ICmp(ir.PredNE, v, ir.ConstInt(v.Type(), 0)), nil
+	}
+	return nil, errf(pos, "value of type %s is not a condition", vt)
+}
+
+// boolToInt widens an i1 to the C int type.
+func (lw *lowerer) boolToInt(v ir.Value) ir.Value {
+	return lw.bd.Cast(ir.OpZExt, v, lw.mod.Ctx.I32)
+}
+
+// lvalue computes the address of an assignable expression and its
+// element type.
+func (lw *lowerer) lvalue(e Expr) (ir.Value, CType, error) {
+	switch x := e.(type) {
+	case *Ident:
+		if lv := lw.lookup(x.Name); lv != nil {
+			if lv.arrayLen > 0 {
+				return nil, CType{}, errf(x.Pos, "cannot assign to array %q", x.Name)
+			}
+			return lv.slot, lv.ty, nil
+		}
+		if g := lw.globals[x.Name]; g != nil {
+			if g.ArrayLen > 0 {
+				return nil, CType{}, errf(x.Pos, "cannot assign to array %q", x.Name)
+			}
+			return lw.mod.Global(x.Name), g.Type, nil
+		}
+		return nil, CType{}, errf(x.Pos, "undefined variable %q", x.Name)
+	case *Index:
+		return lw.indexAddr(x)
+	case *Unary:
+		if x.Op == "*" {
+			v, vt, err := lw.lowerExpr(x.X)
+			if err != nil {
+				return nil, CType{}, err
+			}
+			if !vt.IsPointer() {
+				return nil, CType{}, errf(x.Pos, "dereference of non-pointer %s", vt)
+			}
+			return v, vt.Elem(), nil
+		}
+	}
+	return nil, CType{}, errf(e.P(), "expression is not assignable")
+}
+
+// indexAddr computes &a[i] for pointers, local arrays and global
+// arrays.
+func (lw *lowerer) indexAddr(x *Index) (ir.Value, CType, error) {
+	c := lw.mod.Ctx
+	idxV, idxT, err := lw.lowerExpr(x.Idx)
+	if err != nil {
+		return nil, CType{}, err
+	}
+	if !idxT.IsInt() {
+		return nil, CType{}, errf(x.Idx.P(), "index must be an integer, got %s", idxT)
+	}
+	idx64, err := lw.convert(idxV, idxT, CType{Base: "long"}, x.Idx.P())
+	if err != nil {
+		return nil, CType{}, err
+	}
+
+	// Local or global arrays index through their aggregate slot.
+	if id, ok := x.Arr.(*Ident); ok {
+		if lv := lw.lookup(id.Name); lv != nil && lv.arrayLen > 0 {
+			addr := lw.bd.GEP(lv.slot, ir.ConstInt(c.I64, 0), idx64)
+			return addr, lv.ty, nil
+		}
+		if lv := lw.lookup(id.Name); lv == nil {
+			if g := lw.globals[id.Name]; g != nil && g.ArrayLen > 0 {
+				addr := lw.bd.GEP(lw.mod.Global(id.Name), ir.ConstInt(c.I64, 0), idx64)
+				return addr, g.Type, nil
+			}
+		}
+	}
+	arrV, arrT, err := lw.lowerExpr(x.Arr)
+	if err != nil {
+		return nil, CType{}, err
+	}
+	if !arrT.IsPointer() {
+		return nil, CType{}, errf(x.Arr.P(), "cannot index %s", arrT)
+	}
+	addr := lw.bd.GEP(arrV, idx64)
+	return addr, arrT.Elem(), nil
+}
+
+// lowerExpr lowers an rvalue expression, returning the IR value and
+// its C type.
+func (lw *lowerer) lowerExpr(e Expr) (ir.Value, CType, error) {
+	c := lw.mod.Ctx
+	switch x := e.(type) {
+	case *IntLit:
+		// Literals that do not fit in int are long, as in C.
+		if x.Value > 1<<31-1 || x.Value < -(1<<31) {
+			return ir.ConstInt(c.I64, x.Value), CType{Base: "long"}, nil
+		}
+		return ir.ConstInt(c.I32, x.Value), CType{Base: "int"}, nil
+	case *FloatLit:
+		return ir.ConstFloat(c.F64, x.Value), CType{Base: "double"}, nil
+
+	case *Ident:
+		if lv := lw.lookup(x.Name); lv != nil {
+			if lv.arrayLen > 0 {
+				// Array decays to pointer to first element.
+				addr := lw.bd.GEP(lv.slot, ir.ConstInt(c.I64, 0), ir.ConstInt(c.I64, 0))
+				return addr, CType{Base: lv.ty.Base, Ptr: lv.ty.Ptr + 1}, nil
+			}
+			return lw.bd.Load(lv.slot), lv.ty, nil
+		}
+		if g := lw.globals[x.Name]; g != nil {
+			gv := lw.mod.Global(x.Name)
+			if g.ArrayLen > 0 {
+				addr := lw.bd.GEP(gv, ir.ConstInt(c.I64, 0), ir.ConstInt(c.I64, 0))
+				return addr, CType{Base: g.Type.Base, Ptr: g.Type.Ptr + 1}, nil
+			}
+			return lw.bd.Load(gv), g.Type, nil
+		}
+		return nil, CType{}, errf(x.Pos, "undefined variable %q", x.Name)
+
+	case *Unary:
+		return lw.lowerUnary(x)
+
+	case *Binary:
+		return lw.lowerBinary(x)
+
+	case *Call:
+		fd := lw.funcs[x.Name]
+		if fd == nil {
+			return nil, CType{}, errf(x.Pos, "call of undefined function %q", x.Name)
+		}
+		if len(x.Args) != len(fd.Params) {
+			return nil, CType{}, errf(x.Pos, "%q takes %d arguments, got %d", x.Name, len(fd.Params), len(x.Args))
+		}
+		args := make([]ir.Value, len(x.Args))
+		for i, a := range x.Args {
+			v, vt, err := lw.lowerExpr(a)
+			if err != nil {
+				return nil, CType{}, err
+			}
+			v, err = lw.convert(v, vt, fd.Params[i].Type, a.P())
+			if err != nil {
+				return nil, CType{}, err
+			}
+			args[i] = v
+		}
+		call := lw.bd.Call(lw.mod.Func(x.Name), args...)
+		return call, fd.Ret, nil
+
+	case *Index:
+		addr, elemT, err := lw.indexAddr(x)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		return lw.bd.Load(addr), elemT, nil
+
+	case *Ternary:
+		return lw.lowerTernary(x)
+
+	case *Cast:
+		v, vt, err := lw.lowerExpr(x.X)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		cv, err := lw.convert(v, vt, x.Ty, x.Pos)
+		return cv, x.Ty, err
+	}
+	return nil, CType{}, errf(e.P(), "unhandled expression %T", e)
+}
+
+func (lw *lowerer) lowerUnary(x *Unary) (ir.Value, CType, error) {
+	c := lw.mod.Ctx
+	switch x.Op {
+	case "-":
+		v, vt, err := lw.lowerExpr(x.X)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		if vt.IsFloat() {
+			return lw.bd.Binary(ir.OpFSub, ir.ConstFloat(v.Type(), 0), v), vt, nil
+		}
+		if !vt.IsInt() {
+			return nil, CType{}, errf(x.Pos, "cannot negate %s", vt)
+		}
+		return lw.bd.Sub(ir.ConstInt(v.Type(), 0), v), vt, nil
+	case "!":
+		cond, err := lw.condValue(x.X)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		inv := lw.bd.ICmp(ir.PredEQ, cond, ir.ConstBool(c, false))
+		return lw.boolToInt(inv), CType{Base: "int"}, nil
+	case "~":
+		v, vt, err := lw.lowerExpr(x.X)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		if !vt.IsInt() {
+			return nil, CType{}, errf(x.Pos, "cannot complement %s", vt)
+		}
+		return lw.bd.Binary(ir.OpXor, v, ir.ConstInt(v.Type(), -1)), vt, nil
+	case "*":
+		v, vt, err := lw.lowerExpr(x.X)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		if !vt.IsPointer() {
+			return nil, CType{}, errf(x.Pos, "dereference of non-pointer %s", vt)
+		}
+		return lw.bd.Load(v), vt.Elem(), nil
+	case "&":
+		addr, elemT, err := lw.lvalue(x.X)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		return addr, CType{Base: elemT.Base, Ptr: elemT.Ptr + 1}, nil
+	}
+	return nil, CType{}, errf(x.Pos, "unhandled unary %q", x.Op)
+}
+
+var cmpPreds = map[string][2]ir.Pred{
+	// integer, float
+	"<":  {ir.PredSLT, ir.PredOLT},
+	"<=": {ir.PredSLE, ir.PredOLE},
+	">":  {ir.PredSGT, ir.PredOGT},
+	">=": {ir.PredSGE, ir.PredOGE},
+	"==": {ir.PredEQ, ir.PredOEQ},
+	"!=": {ir.PredNE, ir.PredONE},
+}
+
+var intBinOps = map[string]ir.Opcode{
+	"+": ir.OpAdd, "-": ir.OpSub, "*": ir.OpMul, "/": ir.OpSDiv, "%": ir.OpSRem,
+	"&": ir.OpAnd, "|": ir.OpOr, "^": ir.OpXor, "<<": ir.OpShl, ">>": ir.OpAShr,
+}
+
+var fltBinOps = map[string]ir.Opcode{
+	"+": ir.OpFAdd, "-": ir.OpFSub, "*": ir.OpFMul, "/": ir.OpFDiv,
+}
+
+func (lw *lowerer) lowerBinary(x *Binary) (ir.Value, CType, error) {
+	if x.Op == "&&" || x.Op == "||" {
+		return lw.lowerShortCircuit(x)
+	}
+
+	l, lt, err := lw.lowerExpr(x.L)
+	if err != nil {
+		return nil, CType{}, err
+	}
+	r, rt, err := lw.lowerExpr(x.R)
+	if err != nil {
+		return nil, CType{}, err
+	}
+
+	if preds, isCmp := cmpPreds[x.Op]; isCmp {
+		if lt.IsPointer() || rt.IsPointer() {
+			if lt != rt || (x.Op != "==" && x.Op != "!=") {
+				return nil, CType{}, errf(x.Pos, "invalid pointer comparison %s %s %s", lt, x.Op, rt)
+			}
+			b := lw.bd.ICmp(preds[0], l, r)
+			return lw.boolToInt(b), CType{Base: "int"}, nil
+		}
+		lc, rc, common, err := lw.promote(l, lt, r, rt, x.Pos)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		var b *ir.Instr
+		if common.IsFloat() {
+			b = lw.bd.FCmp(preds[1], lc, rc)
+		} else {
+			b = lw.bd.ICmp(preds[0], lc, rc)
+		}
+		return lw.boolToInt(b), CType{Base: "int"}, nil
+	}
+
+	return lw.applyBinOp(x.Op, l, lt, r, rt, x.Pos)
+}
+
+// applyBinOp lowers an arithmetic or bitwise operator over already
+// evaluated operands (shared by binary expressions and compound
+// assignments).
+func (lw *lowerer) applyBinOp(op string, l ir.Value, lt CType, r ir.Value, rt CType, pos Pos) (ir.Value, CType, error) {
+	// Pointer arithmetic: ptr + int / ptr - int.
+	if lt.IsPointer() && rt.IsInt() && (op == "+" || op == "-") {
+		off, err := lw.convert(r, rt, CType{Base: "long"}, pos)
+		if err != nil {
+			return nil, CType{}, err
+		}
+		if op == "-" {
+			off = lw.bd.Sub(ir.ConstInt(lw.mod.Ctx.I64, 0), off)
+		}
+		return lw.bd.GEP(l, off), lt, nil
+	}
+
+	lc, rc, common, err := lw.promote(l, lt, r, rt, pos)
+	if err != nil {
+		return nil, CType{}, err
+	}
+	if common.IsFloat() {
+		fop, ok := fltBinOps[op]
+		if !ok {
+			return nil, CType{}, errf(pos, "operator %q not defined on %s", op, common)
+		}
+		return lw.bd.Binary(fop, lc, rc), common, nil
+	}
+	if !common.IsInt() {
+		return nil, CType{}, errf(pos, "operator %q not defined on %s", op, common)
+	}
+	iop, ok := intBinOps[op]
+	if !ok {
+		return nil, CType{}, errf(pos, "unhandled operator %q", op)
+	}
+	return lw.bd.Binary(iop, lc, rc), common, nil
+}
+
+// lowerTernary lowers cond ? a : b with control flow and a phi, so
+// only the selected arm evaluates (C semantics).
+func (lw *lowerer) lowerTernary(x *Ternary) (ir.Value, CType, error) {
+	cond, err := lw.condValue(x.Cond)
+	if err != nil {
+		return nil, CType{}, err
+	}
+	thenB := lw.fn.NewBlock("")
+	elseB := lw.fn.NewBlock("")
+	joinB := lw.fn.NewBlock("")
+	lw.bd.CondBr(cond, thenB, elseB)
+
+	lw.bd.SetBlock(thenB)
+	tv, tt, err := lw.lowerExpr(x.Then)
+	if err != nil {
+		return nil, CType{}, err
+	}
+	thenEnd := lw.bd.Cur // the arm may have opened more blocks
+
+	lw.bd.SetBlock(elseB)
+	ev, et, err := lw.lowerExpr(x.Else)
+	if err != nil {
+		return nil, CType{}, err
+	}
+	elseEnd := lw.bd.Cur
+
+	var common CType
+	switch {
+	case tt == et:
+		common = tt
+	case tt.IsPointer() || et.IsPointer() || tt.IsVoid() || et.IsVoid():
+		return nil, CType{}, errf(x.Pos, "ternary arms have incompatible types %s and %s", tt, et)
+	case rank(tt) >= rank(et):
+		common = tt
+	default:
+		common = et
+	}
+
+	lw.bd.SetBlock(thenEnd)
+	tv, err = lw.convert(tv, tt, common, x.Then.P())
+	if err != nil {
+		return nil, CType{}, err
+	}
+	lw.bd.Br(joinB)
+
+	lw.bd.SetBlock(elseEnd)
+	ev, err = lw.convert(ev, et, common, x.Else.P())
+	if err != nil {
+		return nil, CType{}, err
+	}
+	lw.bd.Br(joinB)
+
+	lw.bd.SetBlock(joinB)
+	cty, err := lw.irType(common, x.Pos)
+	if err != nil {
+		return nil, CType{}, err
+	}
+	phi := lw.bd.Phi(cty)
+	phi.AddIncoming(tv, thenEnd)
+	phi.AddIncoming(ev, elseEnd)
+	return phi, common, nil
+}
+
+// lowerShortCircuit lowers && and || with control flow and a phi.
+func (lw *lowerer) lowerShortCircuit(x *Binary) (ir.Value, CType, error) {
+	c := lw.mod.Ctx
+	lcond, err := lw.condValue(x.L)
+	if err != nil {
+		return nil, CType{}, err
+	}
+	lblock := lw.bd.Cur
+	rhsB := lw.fn.NewBlock("")
+	joinB := lw.fn.NewBlock("")
+	if x.Op == "&&" {
+		lw.bd.CondBr(lcond, rhsB, joinB)
+	} else {
+		lw.bd.CondBr(lcond, joinB, rhsB)
+	}
+
+	lw.bd.SetBlock(rhsB)
+	rcond, err := lw.condValue(x.R)
+	if err != nil {
+		return nil, CType{}, err
+	}
+	rblock := lw.bd.Cur // condValue may have emitted blocks
+	lw.bd.Br(joinB)
+
+	lw.bd.SetBlock(joinB)
+	phi := lw.bd.Phi(c.I1)
+	phi.AddIncoming(ir.ConstBool(c, x.Op == "||"), lblock)
+	phi.AddIncoming(rcond, rblock)
+	return lw.boolToInt(phi), CType{Base: "int"}, nil
+}

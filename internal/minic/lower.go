@@ -1,0 +1,539 @@
+package minic
+
+import (
+	"fmt"
+
+	"f3m/internal/ir"
+	"f3m/internal/passes"
+)
+
+// Compile parses, checks and lowers a translation unit into an IR
+// module in SSA form (locals are promoted with Mem2Reg and the CFG
+// cleaned up, approximating -Os shape).
+func Compile(name, src string) (*ir.Module, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(name, file)
+}
+
+// MustCompile is Compile panicking on error, for tests and examples.
+func MustCompile(name, src string) *ir.Module {
+	m, err := Compile(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Lower translates a parsed file into an IR module.
+func Lower(name string, file *File) (*ir.Module, error) {
+	lw := &lowerer{
+		mod:     ir.NewModule(name),
+		funcs:   make(map[string]*FuncDecl),
+		globals: make(map[string]*GlobalDecl),
+	}
+	return lw.lowerFile(file)
+}
+
+type lowerer struct {
+	mod     *ir.Module
+	funcs   map[string]*FuncDecl
+	globals map[string]*GlobalDecl
+
+	// per-function state
+	fn     *ir.Function
+	decl   *FuncDecl
+	bd     *ir.Builder
+	scopes []map[string]*local
+	// loop stack for break/continue targets
+	breaks    []*ir.Block
+	continues []*ir.Block
+}
+
+// local is a scoped variable bound to a stack slot.
+type local struct {
+	ty       CType
+	slot     ir.Value
+	arrayLen int // >0 marks a local array
+}
+
+func (lw *lowerer) irType(t CType, pos Pos) (*ir.Type, error) {
+	c := lw.mod.Ctx
+	var base *ir.Type
+	switch t.Base {
+	case "int":
+		base = c.I32
+	case "long":
+		base = c.I64
+	case "char":
+		base = c.I8
+	case "double":
+		base = c.F64
+	case "void":
+		base = c.Void
+	default:
+		return nil, errf(pos, "unknown type %q", t.Base)
+	}
+	for i := 0; i < t.Ptr; i++ {
+		base = c.Pointer(base)
+	}
+	return base, nil
+}
+
+func (lw *lowerer) lowerFile(file *File) (*ir.Module, error) {
+	// Declare globals and function signatures first so bodies can
+	// reference anything in the unit.
+	for _, g := range file.Globals {
+		lw.globals[g.Name] = g
+		ty, err := lw.irType(g.Type, g.Pos)
+		if err != nil {
+			return nil, err
+		}
+		var init *ir.Const
+		if g.ArrayLen > 0 {
+			ty = lw.mod.Ctx.Array(g.ArrayLen, ty)
+		} else if g.Init != nil {
+			c, err := constInit(ty, g.Init)
+			if err != nil {
+				return nil, err
+			}
+			init = c
+		}
+		lw.mod.NewGlobal(g.Name, ty, init)
+	}
+	for _, fn := range file.Funcs {
+		if prev, dup := lw.funcs[fn.Name]; dup && prev.Body != nil && fn.Body != nil {
+			return nil, errf(fn.Pos, "function %q redefined", fn.Name)
+		}
+		if _, dup := lw.funcs[fn.Name]; !dup {
+			lw.funcs[fn.Name] = fn
+			ret, err := lw.irType(fn.Ret, fn.Pos)
+			if err != nil {
+				return nil, err
+			}
+			var ptys []*ir.Type
+			var pnames []string
+			for _, prm := range fn.Params {
+				pt, err := lw.irType(prm.Type, prm.Pos)
+				if err != nil {
+					return nil, err
+				}
+				ptys = append(ptys, pt)
+				pnames = append(pnames, prm.Name)
+			}
+			lw.mod.NewFunc(fn.Name, lw.mod.Ctx.Func(ret, ptys...), pnames...)
+		} else if fn.Body != nil {
+			lw.funcs[fn.Name] = fn
+		}
+	}
+	for _, fn := range file.Funcs {
+		if fn.Body == nil {
+			continue
+		}
+		if err := lw.lowerFunc(fn); err != nil {
+			return nil, err
+		}
+	}
+	if err := ir.VerifyModule(lw.mod); err != nil {
+		return nil, fmt.Errorf("minic: internal error: lowered module invalid: %w", err)
+	}
+	return lw.mod, nil
+}
+
+func constInit(ty *ir.Type, e Expr) (*ir.Const, error) {
+	switch v := e.(type) {
+	case *IntLit:
+		if ty.IsFloat() {
+			return ir.ConstFloat(ty, float64(v.Value)), nil
+		}
+		return ir.ConstInt(ty, v.Value), nil
+	case *FloatLit:
+		if !ty.IsFloat() {
+			return nil, errf(v.Pos, "float initializer for integer global")
+		}
+		return ir.ConstFloat(ty, v.Value), nil
+	}
+	return nil, errf(e.P(), "global initializer must be a literal")
+}
+
+func (lw *lowerer) lowerFunc(fn *FuncDecl) error {
+	f := lw.mod.Func(fn.Name)
+	lw.fn, lw.decl = f, fn
+	entry := f.NewBlock("entry")
+	lw.bd = ir.NewBuilder(entry)
+	lw.scopes = []map[string]*local{{}}
+	lw.breaks, lw.continues = nil, nil
+
+	// Parameters are demoted to slots; Mem2Reg re-promotes.
+	for i, prm := range fn.Params {
+		ty, err := lw.irType(prm.Type, prm.Pos)
+		if err != nil {
+			return err
+		}
+		slot := lw.bd.Alloca(ty)
+		lw.bd.Store(f.Params[i], slot)
+		lw.scopes[0][prm.Name] = &local{ty: prm.Type, slot: slot}
+	}
+
+	// The body shares the parameter scope (as in C, where redeclaring a
+	// parameter in the outermost block is an error).
+	if err := lw.lowerStmts(fn.Body.Stmts); err != nil {
+		return err
+	}
+	// Implicit return on fallthrough.
+	if lw.bd.Cur.Term() == nil {
+		if fn.Ret.IsVoid() {
+			lw.bd.Ret(nil)
+		} else {
+			rt, _ := lw.irType(fn.Ret, fn.Pos)
+			lw.bd.Ret(zeroOf(rt))
+		}
+	}
+	// Unterminated blocks can remain when break/return leave dangling
+	// join blocks; terminate them as unreachable before cleanup.
+	for _, b := range f.Blocks {
+		if b.Term() == nil {
+			tb := ir.NewBuilder(b)
+			tb.Unreachable()
+		}
+	}
+
+	passes.Mem2Reg(f)
+	passes.ConstFold(f)
+	passes.SimplifyCFG(f)
+	passes.DCE(f)
+	if err := ir.VerifyFunc(f); err != nil {
+		return fmt.Errorf("minic: internal error: lowered @%s invalid: %w\n%s", fn.Name, err, ir.FuncString(f))
+	}
+	return nil
+}
+
+func zeroOf(t *ir.Type) ir.Value {
+	switch {
+	case t.IsFloat():
+		return ir.ConstFloat(t, 0)
+	case t.IsPointer():
+		return ir.ConstNull(t)
+	default:
+		return ir.ConstInt(t, 0)
+	}
+}
+
+// --- scopes ---
+
+func (lw *lowerer) pushScope() { lw.scopes = append(lw.scopes, map[string]*local{}) }
+func (lw *lowerer) popScope()  { lw.scopes = lw.scopes[:len(lw.scopes)-1] }
+
+func (lw *lowerer) lookup(name string) *local {
+	for i := len(lw.scopes) - 1; i >= 0; i-- {
+		if v, ok := lw.scopes[i][name]; ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// --- statements ---
+
+func (lw *lowerer) lowerBlock(b *BlockStmt) error {
+	lw.pushScope()
+	defer lw.popScope()
+	return lw.lowerStmts(b.Stmts)
+}
+
+// lowerStmts lowers a statement list into the current scope.
+func (lw *lowerer) lowerStmts(stmts []Stmt) error {
+	for _, s := range stmts {
+		if err := lw.lowerStmt(s); err != nil {
+			return err
+		}
+		if lw.bd.Cur.Term() != nil {
+			// Statements after return/break are unreachable; stop
+			// emitting into a terminated block.
+			nb := lw.fn.NewBlock("")
+			lw.bd.SetBlock(nb)
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) lowerStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return lw.lowerBlock(st)
+	case *DeclStmt:
+		return lw.lowerDecl(st)
+	case *AssignStmt:
+		return lw.lowerAssign(st)
+	case *IfStmt:
+		return lw.lowerIf(st)
+	case *WhileStmt:
+		return lw.lowerWhile(st)
+	case *DoWhileStmt:
+		return lw.lowerDoWhile(st)
+	case *ForStmt:
+		return lw.lowerFor(st)
+	case *ReturnStmt:
+		return lw.lowerReturn(st)
+	case *BreakStmt:
+		if len(lw.breaks) == 0 {
+			return errf(st.Pos, "break outside loop")
+		}
+		lw.bd.Br(lw.breaks[len(lw.breaks)-1])
+		return nil
+	case *ContinueStmt:
+		if len(lw.continues) == 0 {
+			return errf(st.Pos, "continue outside loop")
+		}
+		lw.bd.Br(lw.continues[len(lw.continues)-1])
+		return nil
+	case *ExprStmt:
+		_, _, err := lw.lowerExpr(st.X)
+		return err
+	}
+	return errf(Pos{}, "unhandled statement %T", s)
+}
+
+func (lw *lowerer) lowerDecl(d *DeclStmt) error {
+	if lw.scopes[len(lw.scopes)-1][d.Name] != nil {
+		return errf(d.Pos, "variable %q redeclared", d.Name)
+	}
+	ty, err := lw.irType(d.Type, d.Pos)
+	if err != nil {
+		return err
+	}
+	if d.Type.IsVoid() {
+		return errf(d.Pos, "cannot declare void variable")
+	}
+	lv := &local{ty: d.Type}
+	if d.ArrayLen > 0 {
+		// Arrays of pointers are not supported; base scalars only.
+		lv.arrayLen = d.ArrayLen
+		lv.slot = allocaIn(lw.fn, lw.mod.Ctx.Array(d.ArrayLen, ty))
+	} else {
+		lv.slot = allocaIn(lw.fn, ty)
+	}
+	lw.scopes[len(lw.scopes)-1][d.Name] = lv
+	if d.Init != nil {
+		if d.ArrayLen > 0 {
+			return errf(d.Pos, "cannot initialize array declaration")
+		}
+		v, vt, err := lw.lowerExpr(d.Init)
+		if err != nil {
+			return err
+		}
+		v, err = lw.convert(v, vt, d.Type, d.Init.P())
+		if err != nil {
+			return err
+		}
+		lw.bd.Store(v, lv.slot)
+	}
+	return nil
+}
+
+// allocaIn places an alloca at the entry block head, the canonical
+// position for Mem2Reg.
+func allocaIn(f *ir.Function, ty *ir.Type) ir.Value {
+	slot := &ir.Instr{
+		Op:      ir.OpAlloca,
+		Ty:      f.Parent.Ctx.Pointer(ty),
+		AllocTy: ty,
+		Nam:     f.FreshName("v"),
+	}
+	f.Entry().InsertAt(0, slot)
+	return slot
+}
+
+func (lw *lowerer) lowerAssign(a *AssignStmt) error {
+	addr, elemTy, err := lw.lvalue(a.Target)
+	if err != nil {
+		return err
+	}
+	v, vt, err := lw.lowerExpr(a.Value)
+	if err != nil {
+		return err
+	}
+	if a.Op != "" {
+		// Compound assignment: the target address is evaluated once
+		// (as in C), loaded, combined, stored back.
+		cur := ir.Value(lw.bd.Load(addr))
+		nv, nt, err := lw.applyBinOp(a.Op, cur, elemTy, v, vt, a.Pos)
+		if err != nil {
+			return err
+		}
+		v, vt = nv, nt
+	}
+	v, err = lw.convert(v, vt, elemTy, a.Value.P())
+	if err != nil {
+		return err
+	}
+	lw.bd.Store(v, addr)
+	return nil
+}
+
+// lowerDoWhile lowers do { body } while (cond); — the body runs before
+// the first condition check.
+func (lw *lowerer) lowerDoWhile(s *DoWhileStmt) error {
+	body := lw.fn.NewBlock("")
+	check := lw.fn.NewBlock("")
+	exit := lw.fn.NewBlock("")
+	lw.bd.Br(body)
+
+	lw.breaks = append(lw.breaks, exit)
+	lw.continues = append(lw.continues, check)
+	lw.bd.SetBlock(body)
+	if err := lw.lowerBlock(s.Body); err != nil {
+		return err
+	}
+	if lw.bd.Cur.Term() == nil {
+		lw.bd.Br(check)
+	}
+	lw.breaks = lw.breaks[:len(lw.breaks)-1]
+	lw.continues = lw.continues[:len(lw.continues)-1]
+
+	lw.bd.SetBlock(check)
+	cond, err := lw.condValue(s.Cond)
+	if err != nil {
+		return err
+	}
+	lw.bd.CondBr(cond, body, exit)
+
+	lw.bd.SetBlock(exit)
+	return nil
+}
+
+func (lw *lowerer) lowerIf(s *IfStmt) error {
+	cond, err := lw.condValue(s.Cond)
+	if err != nil {
+		return err
+	}
+	thenB := lw.fn.NewBlock("")
+	joinB := lw.fn.NewBlock("")
+	elseB := joinB
+	if s.Else != nil {
+		elseB = lw.fn.NewBlock("")
+	}
+	lw.bd.CondBr(cond, thenB, elseB)
+
+	lw.bd.SetBlock(thenB)
+	if err := lw.lowerBlock(s.Then); err != nil {
+		return err
+	}
+	if lw.bd.Cur.Term() == nil {
+		lw.bd.Br(joinB)
+	}
+	if s.Else != nil {
+		lw.bd.SetBlock(elseB)
+		if err := lw.lowerStmt(s.Else); err != nil {
+			return err
+		}
+		if lw.bd.Cur.Term() == nil {
+			lw.bd.Br(joinB)
+		}
+	}
+	lw.bd.SetBlock(joinB)
+	return nil
+}
+
+func (lw *lowerer) lowerWhile(s *WhileStmt) error {
+	head := lw.fn.NewBlock("")
+	body := lw.fn.NewBlock("")
+	exit := lw.fn.NewBlock("")
+	lw.bd.Br(head)
+
+	lw.bd.SetBlock(head)
+	cond, err := lw.condValue(s.Cond)
+	if err != nil {
+		return err
+	}
+	lw.bd.CondBr(cond, body, exit)
+
+	lw.breaks = append(lw.breaks, exit)
+	lw.continues = append(lw.continues, head)
+	lw.bd.SetBlock(body)
+	if err := lw.lowerBlock(s.Body); err != nil {
+		return err
+	}
+	if lw.bd.Cur.Term() == nil {
+		lw.bd.Br(head)
+	}
+	lw.breaks = lw.breaks[:len(lw.breaks)-1]
+	lw.continues = lw.continues[:len(lw.continues)-1]
+
+	lw.bd.SetBlock(exit)
+	return nil
+}
+
+func (lw *lowerer) lowerFor(s *ForStmt) error {
+	lw.pushScope() // the init declaration scopes over the loop
+	defer lw.popScope()
+	if s.Init != nil {
+		if err := lw.lowerStmt(s.Init); err != nil {
+			return err
+		}
+	}
+	head := lw.fn.NewBlock("")
+	body := lw.fn.NewBlock("")
+	post := lw.fn.NewBlock("")
+	exit := lw.fn.NewBlock("")
+	lw.bd.Br(head)
+
+	lw.bd.SetBlock(head)
+	if s.Cond != nil {
+		cond, err := lw.condValue(s.Cond)
+		if err != nil {
+			return err
+		}
+		lw.bd.CondBr(cond, body, exit)
+	} else {
+		lw.bd.Br(body)
+	}
+
+	lw.breaks = append(lw.breaks, exit)
+	lw.continues = append(lw.continues, post)
+	lw.bd.SetBlock(body)
+	if err := lw.lowerBlock(s.Body); err != nil {
+		return err
+	}
+	if lw.bd.Cur.Term() == nil {
+		lw.bd.Br(post)
+	}
+	lw.breaks = lw.breaks[:len(lw.breaks)-1]
+	lw.continues = lw.continues[:len(lw.continues)-1]
+
+	lw.bd.SetBlock(post)
+	if s.Post != nil {
+		if err := lw.lowerStmt(s.Post); err != nil {
+			return err
+		}
+	}
+	lw.bd.Br(head)
+
+	lw.bd.SetBlock(exit)
+	return nil
+}
+
+func (lw *lowerer) lowerReturn(s *ReturnStmt) error {
+	if lw.decl.Ret.IsVoid() {
+		if s.Value != nil {
+			return errf(s.Pos, "void function returns a value")
+		}
+		lw.bd.Ret(nil)
+		return nil
+	}
+	if s.Value == nil {
+		return errf(s.Pos, "non-void function returns nothing")
+	}
+	v, vt, err := lw.lowerExpr(s.Value)
+	if err != nil {
+		return err
+	}
+	v, err = lw.convert(v, vt, lw.decl.Ret, s.Value.P())
+	if err != nil {
+		return err
+	}
+	lw.bd.Ret(v)
+	return nil
+}

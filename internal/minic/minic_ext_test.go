@@ -1,0 +1,177 @@
+package minic
+
+import "testing"
+
+// Tests for the extended surface: compound assignment, ++/--, ternary
+// and do-while.
+
+func TestCompoundAssignment(t *testing.T) {
+	src := `
+int f(int x) {
+  int a = x;
+  a += 5;
+  a *= 2;
+  a -= 3;
+  a /= 2;
+  a %= 100;
+  a <<= 1;
+  a >>= 1;
+  a |= 8;
+  a &= 127;
+  a ^= 3;
+  return a;
+}`
+	x := int64(10)
+	a := x
+	a += 5
+	a *= 2
+	a -= 3
+	a /= 2
+	a %= 100
+	a <<= 1
+	a >>= 1
+	a |= 8
+	a &= 127
+	a ^= 3
+	if got := compileAndRun(t, src, "f", x); got != a {
+		t.Errorf("f(%d) = %d, want %d", x, got, a)
+	}
+}
+
+func TestCompoundAssignmentOnArrayEvaluatesIndexOnce(t *testing.T) {
+	src := `
+int calls = 0;
+int idx(void) { calls += 1; return 2; }
+
+int f(int x) {
+  int buf[4];
+  buf[2] = x;
+  buf[idx()] += 10;
+  return buf[2] * 100 + calls;
+}`
+	// idx() must run exactly once: result (x+10)*100 + 1.
+	if got := compileAndRun(t, src, "f", 5); got != 1501 {
+		t.Errorf("f(5) = %d, want 1501", got)
+	}
+}
+
+func TestIncrementDecrement(t *testing.T) {
+	src := `
+int f(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i++) {
+    acc++;
+    acc++;
+  }
+  acc--;
+  return acc;
+}`
+	if got := compileAndRun(t, src, "f", 5); got != 9 {
+		t.Errorf("f(5) = %d, want 9", got)
+	}
+}
+
+func TestTernary(t *testing.T) {
+	src := `
+int max(int a, int b) { return a > b ? a : b; }
+int f(int x) {
+  return max(x, 10) + (x < 0 ? -1 : 1);
+}`
+	if got := compileAndRun(t, src, "f", 42); got != 43 {
+		t.Errorf("f(42) = %d, want 43", got)
+	}
+	if got := compileAndRun(t, src, "f", -5); got != 9 {
+		t.Errorf("f(-5) = %d, want 9", got)
+	}
+}
+
+func TestTernaryShortCircuits(t *testing.T) {
+	src := `
+int g = 0;
+int bump(int v) { g += 1; return v; }
+
+int f(int x) {
+  int r = x > 0 ? bump(1) : bump(2);
+  return r * 10 + g;
+}`
+	// Only one arm may evaluate: g == 1 either way.
+	if got := compileAndRun(t, src, "f", 5); got != 11 {
+		t.Errorf("f(5) = %d, want 11", got)
+	}
+	if got := compileAndRun(t, src, "f", -5); got != 21 {
+		t.Errorf("f(-5) = %d, want 21", got)
+	}
+}
+
+func TestTernaryTypePromotion(t *testing.T) {
+	src := `
+long f(int x) {
+  long big = 5000000000;
+  return x > 0 ? big : x;
+}`
+	if got := compileAndRun(t, src, "f", 1); got != 5000000000 {
+		t.Errorf("f(1) = %d", got)
+	}
+	if got := compileAndRun(t, src, "f", -7); got != -7 {
+		t.Errorf("f(-7) = %d", got)
+	}
+}
+
+func TestDoWhile(t *testing.T) {
+	src := `
+int f(int n) {
+  int acc = 0;
+  int i = 0;
+  do {
+    acc += i;
+    i++;
+  } while (i < n);
+  return acc;
+}`
+	// Body runs at least once: f(0) = 0 (acc += 0 once).
+	if got := compileAndRun(t, src, "f", 0); got != 0 {
+		t.Errorf("f(0) = %d, want 0", got)
+	}
+	if got := compileAndRun(t, src, "f", 5); got != 10 {
+		t.Errorf("f(5) = %d, want 10", got)
+	}
+}
+
+func TestDoWhileBreakContinue(t *testing.T) {
+	src := `
+int f(int n) {
+  int acc = 0;
+  int i = 0;
+  do {
+    i++;
+    if (i == 3) { continue; }
+    if (i > n) { break; }
+    acc += i;
+  } while (1);
+  return acc;
+}`
+	// i=1,2 added; 3 skipped; 4,5 added; 6 > 5 breaks => 1+2+4+5 = 12
+	if got := compileAndRun(t, src, "f", 5); got != 12 {
+		t.Errorf("f(5) = %d, want 12", got)
+	}
+}
+
+func TestConstantFoldedSource(t *testing.T) {
+	// Literal arithmetic must fold away entirely.
+	src := `
+int f(int x) {
+  return x + (3 * 7 + 2 - 1 << 1);
+}`
+	m, err := Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Func("f")
+	// Only add + ret should survive.
+	if f.NumInstrs() != 2 {
+		t.Errorf("instrs = %d, want 2 (const expr folded)", f.NumInstrs())
+	}
+	if got := compileAndRun(t, src, "f", 1); got != 1+(3*7+2-1)<<1+0 && got != 1+((3*7+2-1)<<1) {
+		t.Errorf("f(1) = %d", got)
+	}
+}

@@ -1,0 +1,397 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"f3m/internal/interp"
+	"f3m/internal/ir"
+)
+
+// compileAndRun compiles src and evaluates fn(args...) as integers.
+func compileAndRun(t *testing.T, src, fn string, args ...int64) int64 {
+	t.Helper()
+	m, err := Compile("test", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	f := m.Func(fn)
+	if f == nil {
+		t.Fatalf("no function @%s", fn)
+	}
+	mach := interp.NewMachine(m)
+	vals := make([]interp.Val, len(args))
+	for i, a := range args {
+		if f.Params[i].Ty.IsFloat() {
+			vals[i] = interp.FloatVal(f.Params[i].Ty, float64(a))
+		} else {
+			vals[i] = interp.IntVal(f.Params[i].Ty, a)
+		}
+	}
+	out, err := mach.Call(f, vals...)
+	if err != nil {
+		t.Fatalf("run @%s%v: %v\n%s", fn, args, err, ir.FuncString(f))
+	}
+	return out.I
+}
+
+func TestArithmetic(t *testing.T) {
+	src := `
+int calc(int a, int b) {
+  return (a + b) * 3 - a % b + (a / b);
+}`
+	// a=17,b=5: (22)*3 - 2 + 3 = 67
+	if got := compileAndRun(t, src, "calc", 17, 5); got != 67 {
+		t.Errorf("calc(17,5) = %d, want 67", got)
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	src := `
+int sign(int x) {
+  if (x > 0) { return 1; }
+  else if (x < 0) { return -1; }
+  else { return 0; }
+}`
+	for _, tc := range []struct{ in, want int64 }{{5, 1}, {-5, -1}, {0, 0}} {
+		if got := compileAndRun(t, src, "sign", tc.in); got != tc.want {
+			t.Errorf("sign(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	src := `
+int sumto(int n) {
+  int acc = 0;
+  int i = 0;
+  while (i < n) {
+    acc = acc + i;
+    i = i + 1;
+  }
+  return acc;
+}`
+	if got := compileAndRun(t, src, "sumto", 10); got != 45 {
+		t.Errorf("sumto(10) = %d, want 45", got)
+	}
+}
+
+func TestForLoopBreakContinue(t *testing.T) {
+	src := `
+int f(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    if (i == 7) { break; }
+    if (i % 2 == 0) { continue; }
+    acc = acc + i;
+  }
+  return acc;
+}`
+	// odd i below 7: 1+3+5 = 9
+	if got := compileAndRun(t, src, "f", 100); got != 9 {
+		t.Errorf("f(100) = %d, want 9", got)
+	}
+}
+
+func TestRecursionFib(t *testing.T) {
+	src := `
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}`
+	if got := compileAndRun(t, src, "fib", 10); got != 55 {
+		t.Errorf("fib(10) = %d, want 55", got)
+	}
+}
+
+func TestLocalArrays(t *testing.T) {
+	src := `
+int f(int n) {
+  int buf[8];
+  for (int i = 0; i < 8; i = i + 1) {
+    buf[i] = i * n;
+  }
+  int acc = 0;
+  for (int i = 0; i < 8; i = i + 1) {
+    acc = acc + buf[i];
+  }
+  return acc;
+}`
+	// n * (0+..+7) = 28n
+	if got := compileAndRun(t, src, "f", 3); got != 84 {
+		t.Errorf("f(3) = %d, want 84", got)
+	}
+}
+
+func TestGlobals(t *testing.T) {
+	src := `
+int counter = 5;
+int tab[4];
+
+int bump(int d) {
+  counter = counter + d;
+  tab[1] = counter;
+  return tab[1];
+}`
+	if got := compileAndRun(t, src, "bump", 3); got != 8 {
+		t.Errorf("bump(3) = %d, want 8", got)
+	}
+}
+
+func TestPointers(t *testing.T) {
+	src := `
+int deref(int *p) { return *p; }
+
+void setit(int *p, int v) { *p = v; }
+
+int f(int x) {
+  int local = x;
+  setit(&local, x * 2);
+  return deref(&local) + 1;
+}`
+	if got := compileAndRun(t, src, "f", 10); got != 21 {
+		t.Errorf("f(10) = %d, want 21", got)
+	}
+}
+
+func TestPointerIndexing(t *testing.T) {
+	src := `
+int sum(int *p, int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    acc = acc + p[i];
+  }
+  return acc;
+}
+int f(void) {
+  int buf[5];
+  for (int i = 0; i < 5; i = i + 1) { buf[i] = i + 1; }
+  return sum(buf, 5);
+}`
+	if got := compileAndRun(t, src, "f"); got != 15 {
+		t.Errorf("f() = %d, want 15", got)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	src := `
+int g = 0;
+int bump(void) { g = g + 1; return 1; }
+
+int f(int x) {
+  if (x > 0 && bump() > 0) { }
+  if (x > 100 && bump() > 0) { }
+  if (x > 0 || bump() > 0) { }
+  return g;
+}`
+	// x=5: first if evaluates bump (g=1); second short-circuits;
+	// third short-circuits. g = 1.
+	if got := compileAndRun(t, src, "f", 5); got != 1 {
+		t.Errorf("f(5) = %d, want 1", got)
+	}
+	// x=-5: first and second short-circuit; third evaluates bump.
+	if got := compileAndRun(t, src, "f", -5); got != 1 {
+		t.Errorf("f(-5) = %d, want 1", got)
+	}
+}
+
+func TestTypePromotion(t *testing.T) {
+	src := `
+long widen(int a, long b) {
+  return a + b;
+}
+int narrow(long x) {
+  int y = x;
+  return y;
+}
+int f(int a) {
+  return narrow(widen(a, 1000000000000));
+}`
+	// (5 + 10^12) truncated to i32: (10^12+5) mod 2^32 = 3567587333 -> signed -727379963+... compute: 10^12 = 0xE8D4A51000; low 32 bits 0xD4A51005 -> signed -727379963. Plus? widen adds first: 10^12+5 => low32 = 0xD4A51005 (+5 => 0xD4A5100A?) compute in test below.
+	got := compileAndRun(t, src, "f", 5)
+	wide := int64(1000000000000) + 5
+	want := int64(int32(wide)) // truncation to int
+	if got != want {
+		t.Errorf("f(5) = %d, want %d", got, want)
+	}
+}
+
+func TestDoubleArithmetic(t *testing.T) {
+	src := `
+double scale(double x, double y) {
+  return x * y + 0.5;
+}
+int f(int a) {
+  double d = scale(a, 2.0);
+  return d;
+}`
+	// a=10: 20.5 -> fptosi -> 20
+	if got := compileAndRun(t, src, "f", 10); got != 20 {
+		t.Errorf("f(10) = %d, want 20", got)
+	}
+}
+
+func TestUnaryOps(t *testing.T) {
+	src := `
+int f(int x) {
+  return -x + !x + ~x;
+}`
+	// x=4: -4 + 0 + (-5) = -9
+	if got := compileAndRun(t, src, "f", 4); got != -9 {
+		t.Errorf("f(4) = %d, want -9", got)
+	}
+	// x=0: 0 + 1 + (-1) = 0
+	if got := compileAndRun(t, src, "f", 0); got != 0 {
+		t.Errorf("f(0) = %d, want 0", got)
+	}
+}
+
+func TestShiftsAndBitwise(t *testing.T) {
+	src := `
+int f(int x) {
+  return ((x << 3) >> 1) ^ (x & 12) | (x % 3);
+}`
+	x := int64(13)
+	want := ((x << 3) >> 1) ^ (x & 12) | (x % 3)
+	if got := compileAndRun(t, src, "f", x); got != want {
+		t.Errorf("f(%d) = %d, want %d", x, got, want)
+	}
+}
+
+func TestCharType(t *testing.T) {
+	src := `
+int f(char c) {
+  char d = c + 1;
+  return d;
+}`
+	if got := compileAndRun(t, src, "f", int64('a')); got != int64('b') {
+		t.Errorf("f('a') = %d, want 'b'", got)
+	}
+	// i8 overflow wraps.
+	if got := compileAndRun(t, src, "f", 127); got != -128 {
+		t.Errorf("f(127) = %d, want -128", got)
+	}
+}
+
+func TestPrototypesAndMutualRecursion(t *testing.T) {
+	src := `
+int isOdd(int n);
+
+int isEven(int n) {
+  if (n == 0) { return 1; }
+  return isOdd(n - 1);
+}
+int isOdd(int n) {
+  if (n == 0) { return 0; }
+  return isEven(n - 1);
+}`
+	if got := compileAndRun(t, src, "isEven", 10); got != 1 {
+		t.Errorf("isEven(10) = %d", got)
+	}
+	if got := compileAndRun(t, src, "isOdd", 10); got != 0 {
+		t.Errorf("isOdd(10) = %d", got)
+	}
+}
+
+func TestVoidFunction(t *testing.T) {
+	src := `
+int g = 0;
+void set(int v) { g = v; return; }
+int f(int x) { set(x * 2); return g; }`
+	if got := compileAndRun(t, src, "f", 21); got != 42 {
+		t.Errorf("f(21) = %d, want 42", got)
+	}
+}
+
+func TestSSAFormAfterLowering(t *testing.T) {
+	src := `
+int f(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i = i + 1) { acc = acc + i; }
+  return acc;
+}`
+	m, err := Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Func("f")
+	// Mem2Reg must have removed the scalar slots and built phis.
+	hasPhi, hasAlloca := false, false
+	f.Instructions(func(in *ir.Instr) {
+		if in.Op == ir.OpPhi {
+			hasPhi = true
+		}
+		if in.Op == ir.OpAlloca {
+			hasAlloca = true
+		}
+	})
+	if !hasPhi {
+		t.Errorf("expected phis after Mem2Reg:\n%s", ir.FuncString(f))
+	}
+	if hasAlloca {
+		t.Errorf("scalar slots survived Mem2Reg:\n%s", ir.FuncString(f))
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`int f() { return x; }`, "undefined variable"},
+		{`int f() { return g(); }`, "undefined function"},
+		{`int f(int a) { int a = 1; return a; }`, "redeclared"},
+		{`int f() { break; }`, "break outside loop"},
+		{`int f() { continue; }`, "continue outside loop"},
+		{`void f() { return 1; }`, "void function returns a value"},
+		{`int f() { return; }`, "returns nothing"},
+		{`int f(int x) { 5 = x; }`, "not assignable"},
+		{`int f(int *p, double d) { return p + d; }`, "cannot convert"},
+		{`int f(double d) { return d % 2.0; }`, "not defined on double"},
+		{`int f(int a) { return a +; }`, "unexpected token"},
+		{`int f(int a) { if a { return 1; } }`, `expected "("`},
+		{`int f(int a`, "expected"},
+		{`int f(int x) { int v[4]; v = 1; return 0; }`, "cannot assign to array"},
+		{`int f(int x) { return x[3]; }`, "cannot index"},
+	}
+	for _, tc := range cases {
+		_, err := Compile("t", tc.src)
+		if err == nil {
+			t.Errorf("no error for %q", tc.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("error for %q = %q, want substring %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("int f() { return @; }"); err == nil {
+		t.Error("expected lex error for @")
+	}
+	if _, err := Lex("/* unterminated"); err == nil {
+		t.Error("expected lex error for unterminated comment")
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+// line comment
+int f(int x) {
+  /* block
+     comment */
+  return x; // trailing
+}`
+	if got := compileAndRun(t, src, "f", 7); got != 7 {
+		t.Errorf("f(7) = %d", got)
+	}
+}
+
+func TestCharLiteral(t *testing.T) {
+	src := `
+int f(int x) { return x + 'A'; }`
+	if got := compileAndRun(t, src, "f", 1); got != 66 {
+		t.Errorf("f(1) = %d, want 66", got)
+	}
+}

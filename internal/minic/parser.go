@@ -1,0 +1,552 @@
+package minic
+
+import "strconv"
+
+// Parse lexes and parses a translation unit.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseFile()
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) tok() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(text string) bool {
+	t := p.tok()
+	return (t.Kind == TokPunct || t.Kind == TokKeyword) && t.Text == text
+}
+
+func (p *parser) accept(text string) bool {
+	if p.at(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return errf(p.tok().Pos, "expected %q, found %q", text, p.tok().Text)
+	}
+	return nil
+}
+
+func (p *parser) atType() bool {
+	t := p.tok()
+	if t.Kind != TokKeyword {
+		return false
+	}
+	switch t.Text {
+	case "int", "long", "char", "double", "void":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseType() (CType, error) {
+	if !p.atType() {
+		return CType{}, errf(p.tok().Pos, "expected type, found %q", p.tok().Text)
+	}
+	ty := CType{Base: p.next().Text}
+	for p.accept("*") {
+		ty.Ptr++
+	}
+	return ty, nil
+}
+
+func (p *parser) parseFile() (*File, error) {
+	f := &File{}
+	for p.tok().Kind != TokEOF {
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		nameTok := p.tok()
+		if nameTok.Kind != TokIdent {
+			return nil, errf(nameTok.Pos, "expected name, found %q", nameTok.Text)
+		}
+		p.next()
+		if p.at("(") {
+			fn, err := p.parseFuncRest(ty, nameTok)
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+			continue
+		}
+		g := &GlobalDecl{Pos: nameTok.Pos, Name: nameTok.Text, Type: ty}
+		if p.accept("[") {
+			lenTok := p.tok()
+			if lenTok.Kind != TokInt {
+				return nil, errf(lenTok.Pos, "expected array length")
+			}
+			n, _ := strconv.Atoi(lenTok.Text)
+			g.ArrayLen = n
+			p.next()
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+		} else if p.accept("=") {
+			init, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			g.Init = init
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		f.Globals = append(f.Globals, g)
+	}
+	return f, nil
+}
+
+func (p *parser) parseFuncRest(ret CType, nameTok Token) (*FuncDecl, error) {
+	fn := &FuncDecl{Pos: nameTok.Pos, Name: nameTok.Text, Ret: ret}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if p.accept("void") {
+		// (void) parameter list
+	} else {
+		for !p.at(")") {
+			if len(fn.Params) > 0 {
+				if err := p.expect(","); err != nil {
+					return nil, err
+				}
+			}
+			pty, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			pn := p.tok()
+			if pn.Kind != TokIdent {
+				return nil, errf(pn.Pos, "expected parameter name")
+			}
+			p.next()
+			fn.Params = append(fn.Params, Param{Pos: pn.Pos, Name: pn.Text, Type: pty})
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if p.accept(";") {
+		return fn, nil // prototype
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) parseBlock() (*BlockStmt, error) {
+	pos := p.tok().Pos
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: pos}
+	for !p.accept("}") {
+		if p.tok().Kind == TokEOF {
+			return nil, errf(p.tok().Pos, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.tok()
+	switch {
+	case p.at("{"):
+		return p.parseBlock()
+	case p.at("if"):
+		return p.parseIf()
+	case p.at("do"):
+		p.next()
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("while"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &DoWhileStmt{Pos: t.Pos, Body: body, Cond: cond}, p.expect(";")
+	case p.at("while"):
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Pos: t.Pos, Cond: cond, Body: body}, nil
+	case p.at("for"):
+		return p.parseFor()
+	case p.at("return"):
+		p.next()
+		rs := &ReturnStmt{Pos: t.Pos}
+		if !p.at(";") {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			rs.Value = v
+		}
+		return rs, p.expect(";")
+	case p.at("break"):
+		p.next()
+		return &BreakStmt{Pos: t.Pos}, p.expect(";")
+	case p.at("continue"):
+		p.next()
+		return &ContinueStmt{Pos: t.Pos}, p.expect(";")
+	case p.atType():
+		return p.parseDecl(true)
+	default:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		return s, p.expect(";")
+	}
+}
+
+// parseDecl parses "type name [= expr];" or "type name[N];".
+func (p *parser) parseDecl(wantSemi bool) (Stmt, error) {
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	nameTok := p.tok()
+	if nameTok.Kind != TokIdent {
+		return nil, errf(nameTok.Pos, "expected variable name")
+	}
+	p.next()
+	d := &DeclStmt{Pos: nameTok.Pos, Name: nameTok.Text, Type: ty}
+	if p.accept("[") {
+		lenTok := p.tok()
+		if lenTok.Kind != TokInt {
+			return nil, errf(lenTok.Pos, "expected array length")
+		}
+		n, _ := strconv.Atoi(lenTok.Text)
+		d.ArrayLen = n
+		p.next()
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	} else if p.accept("=") {
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = init
+	}
+	if wantSemi {
+		return d, p.expect(";")
+	}
+	return d, nil
+}
+
+// parseSimpleStmt parses an assignment or expression statement (no
+// trailing semicolon).
+func (p *parser) parseSimpleStmt() (Stmt, error) {
+	pos := p.tok().Pos
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("=") {
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos: pos, Target: lhs, Value: rhs}, nil
+	}
+	for _, op := range []string{"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="} {
+		if p.accept(op) {
+			rhs, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Pos: pos, Target: lhs, Op: op[:len(op)-1], Value: rhs}, nil
+		}
+	}
+	if p.accept("++") {
+		return &AssignStmt{Pos: pos, Target: lhs, Op: "+",
+			Value: &IntLit{exprBase: exprBase{Pos: pos}, Value: 1}}, nil
+	}
+	if p.accept("--") {
+		return &AssignStmt{Pos: pos, Target: lhs, Op: "-",
+			Value: &IntLit{exprBase: exprBase{Pos: pos}, Value: 1}}, nil
+	}
+	return &ExprStmt{Pos: pos, X: lhs}, nil
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	pos := p.tok().Pos
+	p.next() // if
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	is := &IfStmt{Pos: pos, Cond: cond, Then: then}
+	if p.accept("else") {
+		if p.at("if") {
+			els, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			is.Else = els
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			is.Else = els
+		}
+	}
+	return is, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	pos := p.tok().Pos
+	p.next() // for
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	fs := &ForStmt{Pos: pos}
+	if !p.at(";") {
+		var err error
+		if p.atType() {
+			fs.Init, err = p.parseDecl(false)
+		} else {
+			fs.Init, err = p.parseSimpleStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if !p.at(";") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fs.Cond = cond
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if !p.at(")") {
+		post, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		fs.Post = post
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fs.Body = body
+	return fs, nil
+}
+
+// Operator precedence, lowest first.
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	cond, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if !p.at("?") {
+		return cond, nil
+	}
+	pos := p.tok().Pos
+	p.next()
+	thenE, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(":"); err != nil {
+		return nil, err
+	}
+	elseE, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Ternary{exprBase: exprBase{Pos: pos}, Cond: cond, Then: thenE, Else: elseE}, nil
+}
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.tok()
+		if t.Kind != TokPunct {
+			return lhs, nil
+		}
+		prec, ok := precedence[t.Text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{exprBase: exprBase{Pos: t.Pos}, Op: t.Text, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.tok()
+	if t.Kind == TokPunct {
+		switch t.Text {
+		case "-", "!", "~", "*", "&":
+			p.next()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{exprBase: exprBase{Pos: t.Pos}, Op: t.Text, X: x}, nil
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at("["):
+			pos := p.tok().Pos
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			x = &Index{exprBase: exprBase{Pos: pos}, Arr: x, Idx: idx}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.tok()
+	switch t.Kind {
+	case TokInt:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "bad integer literal %q", t.Text)
+		}
+		return &IntLit{exprBase: exprBase{Pos: t.Pos}, Value: v}, nil
+	case TokFloat:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "bad float literal %q", t.Text)
+		}
+		return &FloatLit{exprBase: exprBase{Pos: t.Pos}, Value: v}, nil
+	case TokIdent:
+		p.next()
+		if p.at("(") {
+			p.next()
+			call := &Call{exprBase: exprBase{Pos: t.Pos}, Name: t.Text}
+			for !p.at(")") {
+				if len(call.Args) > 0 {
+					if err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			p.next() // )
+			return call, nil
+		}
+		return &Ident{exprBase: exprBase{Pos: t.Pos}, Name: t.Text}, nil
+	case TokPunct:
+		if t.Text == "(" {
+			p.next()
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return x, p.expect(")")
+		}
+	}
+	return nil, errf(t.Pos, "unexpected token %q", t.Text)
+}

@@ -1,0 +1,176 @@
+// Package minic is a small C-like frontend producing IR modules: a
+// lexer, recursive-descent parser, type checker and SSA-constructing
+// lowerer. It exists so the examples and tests can exercise function
+// merging on realistically shaped, human-written code instead of only
+// synthetic populations.
+//
+// The language: int (i32), long (i64), char (i8), double (f64), void,
+// pointers and local arrays; functions, globals; if/else, while, for,
+// break/continue, return; the usual C operators including
+// short-circuit && and ||; calls, indexing, address-of and dereference.
+package minic
+
+import "fmt"
+
+// TokKind classifies tokens.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokPunct   // operators and delimiters
+	TokKeyword // reserved words
+)
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Pos
+}
+
+// Pos is a line/column source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position for diagnostics.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a positioned frontend diagnostic.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("minic: %s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+var keywords = map[string]bool{
+	"int": true, "long": true, "char": true, "double": true, "void": true,
+	"if": true, "else": true, "while": true, "do": true, "for": true,
+	"return": true, "break": true, "continue": true,
+}
+
+// multiCharOps lists operators longer than one byte, longest first.
+var multiCharOps = []string{
+	"<<=", ">>=",
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+}
+
+// Lex tokenizes the source. It returns a positioned error on any byte
+// it cannot interpret.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	adv := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			adv(1)
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				adv(1)
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			adv(2)
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
+				adv(1)
+			}
+			if i+1 >= len(src) {
+				return nil, errf(Pos{line, col}, "unterminated block comment")
+			}
+			adv(2)
+		case isAlpha(c):
+			pos := Pos{line, col}
+			start := i
+			for i < len(src) && isAlnum(src[i]) {
+				adv(1)
+			}
+			text := src[start:i]
+			kind := TokIdent
+			if keywords[text] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: text, Pos: pos})
+		case isDigit(c):
+			pos := Pos{line, col}
+			start := i
+			isFloat := false
+			for i < len(src) && (isDigit(src[i]) || src[i] == '.') {
+				if src[i] == '.' {
+					isFloat = true
+				}
+				adv(1)
+			}
+			kind := TokInt
+			if isFloat {
+				kind = TokFloat
+			}
+			toks = append(toks, Token{Kind: kind, Text: src[start:i], Pos: pos})
+		case c == '\'':
+			pos := Pos{line, col}
+			if i+2 < len(src) && src[i+2] == '\'' {
+				toks = append(toks, Token{Kind: TokInt, Text: fmt.Sprint(int(src[i+1])), Pos: pos})
+				adv(3)
+				break
+			}
+			return nil, errf(pos, "bad character literal")
+		default:
+			pos := Pos{line, col}
+			matched := false
+			for _, op := range multiCharOps {
+				if len(src)-i >= len(op) && src[i:i+len(op)] == op {
+					toks = append(toks, Token{Kind: TokPunct, Text: op, Pos: pos})
+					adv(len(op))
+					matched = true
+					break
+				}
+			}
+			if matched {
+				break
+			}
+			if isPunct(c) {
+				toks = append(toks, Token{Kind: TokPunct, Text: string(c), Pos: pos})
+				adv(1)
+				break
+			}
+			return nil, errf(pos, "unexpected character %q", c)
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: Pos{line, col}})
+	return toks, nil
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlnum(c byte) bool { return isAlpha(c) || isDigit(c) }
+func isPunct(c byte) bool {
+	switch c {
+	case '+', '-', '*', '/', '%', '<', '>', '=', '!', '&', '|', '^', '~',
+		'(', ')', '{', '}', '[', ']', ';', ',', '?', ':':
+		return true
+	}
+	return false
+}

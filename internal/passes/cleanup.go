@@ -1,0 +1,212 @@
+package passes
+
+import (
+	"f3m/internal/ir"
+)
+
+// DCE removes instructions that have no side effects and no uses, plus
+// stack slots whose only uses are stores into them. It iterates to a
+// fixed point and returns the number of instructions removed.
+func DCE(f *ir.Function) int {
+	removed := 0
+	for {
+		uses := make(map[*ir.Instr]int)
+		onlyStoredTo := make(map[*ir.Instr]bool)
+		f.Instructions(func(in *ir.Instr) {
+			if in.Op == ir.OpAlloca {
+				onlyStoredTo[in] = true
+			}
+		})
+		f.Instructions(func(in *ir.Instr) {
+			for i, op := range in.Operands {
+				def, ok := op.(*ir.Instr)
+				if !ok {
+					continue
+				}
+				uses[def]++
+				if def.Op == ir.OpAlloca {
+					if !(in.Op == ir.OpStore && i == 1) {
+						onlyStoredTo[def] = false
+					}
+				}
+			}
+		})
+		n := 0
+		for _, b := range f.Blocks {
+			keep := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				dead := false
+				switch {
+				case in.Op == ir.OpAlloca && onlyStoredTo[in]:
+					dead = true
+				case in.Op == ir.OpStore:
+					if slot, ok := in.Operands[1].(*ir.Instr); ok && slot.Op == ir.OpAlloca && onlyStoredTo[slot] {
+						dead = true
+					}
+				case !in.Op.HasSideEffects() && in.Op != ir.OpAlloca:
+					dead = uses[in] == 0 && !in.Ty.IsVoid()
+				}
+				if dead {
+					n++
+					continue
+				}
+				keep = append(keep, in)
+			}
+			clearTail(b.Instrs, len(keep))
+			b.Instrs = keep
+		}
+		removed += n
+		if n == 0 {
+			return removed
+		}
+	}
+}
+
+// SimplifyCFG performs the clean-ups the merger's dispatch blocks make
+// profitable: removing unreachable blocks, folding conditional branches
+// with identical targets, forwarding through empty blocks, and merging
+// straight-line block pairs. Returns the number of rewrites applied.
+func SimplifyCFG(f *ir.Function) int {
+	total := 0
+	for {
+		n := removeUnreachable(f)
+		n += foldSameTargetCondBr(f)
+		n += forwardEmptyBlocks(f)
+		n += mergeStraightLine(f)
+		total += n
+		if n == 0 {
+			return total
+		}
+	}
+}
+
+func removeUnreachable(f *ir.Function) int {
+	dt := ir.NewDomTree(f)
+	var dead []*ir.Block
+	for _, b := range f.Blocks {
+		if !dt.Reachable(b) {
+			dead = append(dead, b)
+		}
+	}
+	if len(dead) == 0 {
+		return 0
+	}
+	deadSet := make(map[*ir.Block]bool, len(dead))
+	for _, b := range dead {
+		deadSet[b] = true
+	}
+	// Drop phi edges coming from removed blocks.
+	for _, b := range f.Blocks {
+		if deadSet[b] {
+			continue
+		}
+		for _, phi := range b.Phis() {
+			for i := 0; i < len(phi.IncomingBlocks); {
+				if deadSet[phi.IncomingBlocks[i]] {
+					phi.Operands = append(phi.Operands[:i], phi.Operands[i+1:]...)
+					phi.IncomingBlocks = append(phi.IncomingBlocks[:i], phi.IncomingBlocks[i+1:]...)
+					continue
+				}
+				i++
+			}
+		}
+	}
+	for _, b := range dead {
+		f.RemoveBlock(b)
+	}
+	return len(dead)
+}
+
+func foldSameTargetCondBr(f *ir.Function) int {
+	n := 0
+	ctx := f.Parent.Ctx
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil || t.Op != ir.OpCondBr {
+			continue
+		}
+		if t.Operands[1] != t.Operands[2] {
+			continue
+		}
+		dst := t.Operands[1].(*ir.Block)
+		// A phi in dst distinguishing the two edges would block this,
+		// but verifier rules forbid duplicate phi edges, so folding is
+		// always safe here.
+		br := &ir.Instr{Op: ir.OpBr, Ty: ctx.Void, Operands: []ir.Value{dst}, Parent: b}
+		b.Instrs[len(b.Instrs)-1] = br
+		n++
+	}
+	return n
+}
+
+// forwardEmptyBlocks retargets edges that go through a block containing
+// only an unconditional branch, when the final destination has no phis
+// (phis would need their incoming edges rewritten across two hops).
+func forwardEmptyBlocks(f *ir.Function) int {
+	n := 0
+	for _, mid := range f.Blocks {
+		if mid == f.Entry() || len(mid.Instrs) != 1 {
+			continue
+		}
+		t := mid.Term()
+		if t == nil || t.Op != ir.OpBr {
+			continue
+		}
+		dst := t.Operands[0].(*ir.Block)
+		if dst == mid || len(dst.Phis()) > 0 {
+			continue
+		}
+		for _, b := range f.Blocks {
+			if b == mid {
+				continue
+			}
+			if bt := b.Term(); bt != nil {
+				for i, op := range bt.Operands {
+					if op == ir.Value(mid) {
+						bt.Operands[i] = dst
+						n++
+					}
+				}
+			}
+		}
+	}
+	return n
+}
+
+// mergeStraightLine merges b into its unique predecessor when that
+// predecessor unconditionally branches to b and has no other successor.
+func mergeStraightLine(f *ir.Function) int {
+	preds := f.Preds()
+	for _, b := range f.Blocks {
+		if b == f.Entry() || len(preds[b]) != 1 {
+			continue
+		}
+		p := preds[b][0]
+		t := p.Term()
+		if t == nil || t.Op != ir.OpBr || p == b {
+			continue
+		}
+		// Single-pred phis become copies.
+		for _, phi := range b.Phis() {
+			replaceAllUses(f, phi, phi.Operands[0])
+		}
+		body := b.Instrs[b.FirstNonPhi():]
+		p.Instrs = p.Instrs[:len(p.Instrs)-1] // drop the br
+		for _, in := range body {
+			p.Append(in)
+		}
+		// Successor phis referencing b now come from p.
+		for _, s := range b.Succs() {
+			for _, phi := range s.Phis() {
+				for i, ib := range phi.IncomingBlocks {
+					if ib == b {
+						phi.IncomingBlocks[i] = p
+					}
+				}
+			}
+		}
+		f.RemoveBlock(b)
+		return 1 // block list changed; restart scan
+	}
+	return 0
+}

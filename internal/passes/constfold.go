@@ -1,0 +1,103 @@
+package passes
+
+import (
+	"f3m/internal/interp"
+	"f3m/internal/ir"
+)
+
+// ConstFold evaluates instructions whose operands are constants,
+// replacing their uses with the folded constant, and simplifies selects
+// with constant or degenerate conditions. Folding semantics are the
+// interpreter's own (interp.FoldBinary et al.), so folding can never
+// change observable behaviour. Folded instructions become dead; run DCE
+// afterwards to drop them. Returns the number of folds.
+func ConstFold(f *ir.Function) int {
+	ctx := f.Parent.Ctx
+	total := 0
+	for {
+		repl := make(map[ir.Value]ir.Value)
+		f.Instructions(func(in *ir.Instr) {
+			if in.Ty.IsVoid() || in.Op == ir.OpPhi {
+				return
+			}
+			switch {
+			case in.Op.IsBinary():
+				a, ok1 := in.Operands[0].(*ir.Const)
+				b, ok2 := in.Operands[1].(*ir.Const)
+				if ok1 && ok2 {
+					if c, ok := interp.FoldBinary(in.Op, in.Ty, a, b); ok {
+						repl[in] = c
+					}
+				}
+			case in.Op.IsCast():
+				if v, ok := in.Operands[0].(*ir.Const); ok {
+					if c, ok := interp.FoldCast(in.Op, in.Ty, v); ok {
+						repl[in] = c
+					}
+				}
+			case in.Op == ir.OpICmp || in.Op == ir.OpFCmp:
+				a, ok1 := in.Operands[0].(*ir.Const)
+				b, ok2 := in.Operands[1].(*ir.Const)
+				if ok1 && ok2 {
+					if c, ok := interp.FoldCmp(ctx, in.Op, in.Predicate, a, b); ok {
+						repl[in] = c
+					}
+				}
+			case in.Op == ir.OpSelect:
+				if c, ok := in.Operands[0].(*ir.Const); ok && !c.Undef {
+					if c.IntVal&1 != 0 {
+						repl[in] = in.Operands[1]
+					} else {
+						repl[in] = in.Operands[2]
+					}
+					return
+				}
+				// select %c, x, x == x
+				if sameValue(in.Operands[1], in.Operands[2]) {
+					repl[in] = in.Operands[1]
+				}
+			}
+		})
+		if len(repl) == 0 {
+			return total
+		}
+		total += len(repl)
+		f.Instructions(func(in *ir.Instr) {
+			for i, op := range in.Operands {
+				for {
+					nv, ok := repl[op]
+					if !ok {
+						break
+					}
+					op = nv
+				}
+				in.Operands[i] = op
+			}
+		})
+		// Physically drop the folded instructions: every use has been
+		// rewritten, and leaving them in place would make the next
+		// iteration rediscover the same folds forever.
+		for _, b := range f.Blocks {
+			keep := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				if _, dead := repl[in]; dead {
+					continue
+				}
+				keep = append(keep, in)
+			}
+			clearTail(b.Instrs, len(keep))
+			b.Instrs = keep
+		}
+	}
+}
+
+// sameValue reports definite value equality (identity, or equal
+// constants).
+func sameValue(a, b ir.Value) bool {
+	if a == b {
+		return true
+	}
+	ca, ok1 := a.(*ir.Const)
+	cb, ok2 := b.(*ir.Const)
+	return ok1 && ok2 && ir.ConstEqual(ca, cb)
+}

@@ -1,0 +1,113 @@
+package passes
+
+import (
+	"testing"
+
+	"f3m/internal/ir"
+)
+
+func TestConstFoldArithmetic(t *testing.T) {
+	src := `
+define i32 @f(i32 %x) {
+entry:
+  %a = add i32 6, 7
+  %b = mul i32 %a, 2
+  %r = add i32 %x, %b
+  ret i32 %r
+}`
+	m := mustParse(t, src)
+	f := m.Func("f")
+	n := ConstFold(f)
+	DCE(f)
+	if n != 2 {
+		t.Errorf("folded %d, want 2 (a then b)", n)
+	}
+	if f.NumInstrs() != 2 {
+		t.Errorf("instrs = %d, want 2\n%s", f.NumInstrs(), ir.FuncString(f))
+	}
+	if got := run(t, m, "f", 10); got != 36 {
+		t.Errorf("f(10) = %d, want 36", got)
+	}
+}
+
+func TestConstFoldRespectsWrapping(t *testing.T) {
+	src := `
+define i8 @f() {
+entry:
+  %a = add i8 100, 100
+  ret i8 %a
+}`
+	m := mustParse(t, src)
+	f := m.Func("f")
+	ConstFold(f)
+	DCE(f)
+	// 200 wraps to -56 in i8 — must match the interpreter.
+	ret := f.Entry().Term()
+	c, ok := ret.Operands[0].(*ir.Const)
+	if !ok {
+		t.Fatalf("ret not folded:\n%s", ir.FuncString(f))
+	}
+	if c.IntVal != -56 {
+		t.Errorf("folded value = %d, want -56 (i8 wrap)", c.IntVal)
+	}
+}
+
+func TestConstFoldSkipsDivByZero(t *testing.T) {
+	src := `
+define i32 @f() {
+entry:
+  %a = sdiv i32 5, 0
+  ret i32 %a
+}`
+	m := mustParse(t, src)
+	f := m.Func("f")
+	if n := ConstFold(f); n != 0 {
+		t.Errorf("folded %d, want 0 (division by zero must stay)", n)
+	}
+}
+
+func TestConstFoldCmpSelectCast(t *testing.T) {
+	src := `
+define i32 @f(i32 %x) {
+entry:
+  %c = icmp slt i32 3, 5
+  %s = select i1 %c, i32 10, i32 20
+  %w = sext i8 -1 to i32
+  %r1 = add i32 %s, %w
+  %same = select i1 %c, i32 %x, i32 %x
+  %r2 = add i32 %r1, %same
+  ret i32 %r2
+}`
+	m := mustParse(t, src)
+	f := m.Func("f")
+	ConstFold(f)
+	DCE(f)
+	// 10 + (-1) + x = 9 + x
+	if got := run(t, m, "f", 1); got != 10 {
+		t.Errorf("f(1) = %d, want 10", got)
+	}
+	// The compare, both selects and the cast should all be gone.
+	for _, in := range f.Entry().Instrs {
+		switch in.Op {
+		case ir.OpICmp, ir.OpSelect, ir.OpSExt:
+			t.Errorf("unfolded %s survived:\n%s", in.Op, ir.FuncString(f))
+		}
+	}
+}
+
+func TestConstFoldShiftSemantics(t *testing.T) {
+	src := `
+define i32 @f(i32 %x) {
+entry:
+  %a = shl i32 1, 35
+  ret i32 %a
+}`
+	m := mustParse(t, src)
+	f := m.Func("f")
+	want := run(t, m, "f", 0) // interpreter semantics (shift mod width)
+	ConstFold(f)
+	DCE(f)
+	if got := run(t, m, "f", 0); got != want {
+		t.Errorf("fold changed semantics: %d vs %d", got, want)
+	}
+}

@@ -1,0 +1,32 @@
+package passes
+
+import "f3m/internal/ir"
+
+// HoistAllocas moves every alloca to the head of the entry block, the
+// canonical position Mem2Reg expects. Merged code places allocas in
+// dispatch arms and guarded regions; hoisting them is safe because an
+// alloca has no operands and our slots are always written before read
+// on any path that reads them.
+func HoistAllocas(f *ir.Function) int {
+	if len(f.Blocks) == 0 {
+		return 0
+	}
+	var hoisted []*ir.Instr
+	for _, b := range f.Blocks {
+		keep := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpAlloca {
+				hoisted = append(hoisted, in)
+				continue
+			}
+			keep = append(keep, in)
+		}
+		clearTail(b.Instrs, len(keep))
+		b.Instrs = keep
+	}
+	entry := f.Entry()
+	for i := len(hoisted) - 1; i >= 0; i-- {
+		entry.InsertAt(0, hoisted[i])
+	}
+	return len(hoisted)
+}

@@ -1,0 +1,225 @@
+package passes
+
+import (
+	"f3m/internal/ir"
+)
+
+// Mem2Reg promotes entry-block stack slots whose only uses are
+// same-typed loads and stores back into SSA values, inserting phi nodes
+// on the iterated dominance frontier of the stores. It undoes RegToMem
+// and the demotions performed by RepairSSA, recovering the code size
+// that memory round-trips would otherwise cost the merged function.
+// It returns the number of slots promoted.
+func Mem2Reg(f *ir.Function) int {
+	if len(f.Blocks) == 0 {
+		return 0
+	}
+	entry := f.Entry()
+
+	slots := make(map[*ir.Instr]bool)
+	for _, in := range entry.Instrs {
+		if in.Op == ir.OpAlloca && promotable(f, in) {
+			slots[in] = true
+		}
+	}
+	if len(slots) == 0 {
+		return 0
+	}
+
+	dt := ir.NewDomTree(f)
+	df := dt.Frontier()
+
+	// children of the dominator tree, for the rename walk.
+	children := make(map[*ir.Block][]*ir.Block)
+	for _, b := range f.Blocks {
+		if id := dt.IDom(b); id != nil {
+			children[id] = append(children[id], b)
+		}
+	}
+
+	// Phi placement. phiFor[phi] identifies which slot a synthetic phi
+	// belongs to during renaming.
+	phiFor := make(map[*ir.Instr]*ir.Instr)
+	for slot := range slots {
+		var defBlocks []*ir.Block
+		seenDef := make(map[*ir.Block]bool)
+		f.Instructions(func(in *ir.Instr) {
+			if in.Op == ir.OpStore && in.Operands[1] == ir.Value(slot) && !seenDef[in.Parent] {
+				seenDef[in.Parent] = true
+				defBlocks = append(defBlocks, in.Parent)
+			}
+		})
+		placed := make(map[*ir.Block]bool)
+		work := append([]*ir.Block(nil), defBlocks...)
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, fr := range df[b] {
+				if placed[fr] {
+					continue
+				}
+				placed[fr] = true
+				phi := &ir.Instr{Op: ir.OpPhi, Ty: slot.AllocTy, Nam: f.FreshName(slot.Nam + ".phi")}
+				fr.InsertAt(0, phi)
+				phiFor[phi] = slot
+				if !seenDef[fr] {
+					seenDef[fr] = true
+					work = append(work, fr)
+				}
+			}
+		}
+	}
+
+	// repl maps eliminated loads to their replacement values; resolve
+	// follows chains lazily so elimination order does not matter.
+	repl := make(map[ir.Value]ir.Value)
+	var resolve func(v ir.Value) ir.Value
+	resolve = func(v ir.Value) ir.Value {
+		for {
+			r, ok := repl[v]
+			if !ok {
+				return v
+			}
+			v = r
+		}
+	}
+
+	// Rename walk over the dominator tree.
+	type state map[*ir.Instr]ir.Value // slot -> current value
+	var rename func(b *ir.Block, cur state)
+	rename = func(b *ir.Block, cur state) {
+		local := make(state, len(cur))
+		for k, v := range cur {
+			local[k] = v
+		}
+		keep := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			switch {
+			case in.Op == ir.OpPhi && phiFor[in] != nil:
+				local[phiFor[in]] = in
+				keep = append(keep, in)
+			case in.Op == ir.OpLoad && slotOf(in.Operands[0], slots) != nil:
+				slot := slotOf(in.Operands[0], slots)
+				v, ok := local[slot]
+				if !ok {
+					v = ir.ConstUndef(slot.AllocTy)
+				}
+				repl[in] = resolve(v)
+				// dropped from keep: load eliminated
+			case in.Op == ir.OpStore && slotOf(in.Operands[1], slots) != nil:
+				local[slotOf(in.Operands[1], slots)] = resolve(in.Operands[0])
+				// dropped from keep: store eliminated
+			case in.Op == ir.OpAlloca && slots[in]:
+				// dropped: the slot itself disappears
+			default:
+				keep = append(keep, in)
+			}
+		}
+		clearTail(b.Instrs, len(keep))
+		b.Instrs = keep
+
+		// Feed phi nodes of CFG successors.
+		for _, s := range b.Succs() {
+			for _, phi := range s.Phis() {
+				slot := phiFor[phi]
+				if slot == nil {
+					continue
+				}
+				v, ok := local[slot]
+				if !ok {
+					v = ir.ConstUndef(slot.AllocTy)
+				}
+				phi.AddIncoming(resolve(v), b)
+			}
+		}
+		for _, c := range children[b] {
+			rename(c, local)
+		}
+	}
+	rename(entry, make(state))
+
+	// Unreachable blocks were never renamed; scrub residual slot uses.
+	for _, b := range f.Blocks {
+		if dt.Reachable(b) {
+			continue
+		}
+		keep := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			switch {
+			case in.Op == ir.OpStore && slotOf(in.Operands[1], slots) != nil:
+				continue
+			case in.Op == ir.OpLoad && slotOf(in.Operands[0], slots) != nil:
+				repl[in] = ir.ConstUndef(in.Ty)
+				continue
+			case in.Op == ir.OpAlloca && slots[in]:
+				continue
+			}
+			keep = append(keep, in)
+		}
+		clearTail(b.Instrs, len(keep))
+		b.Instrs = keep
+	}
+
+	// Apply replacements everywhere in one pass.
+	f.Instructions(func(in *ir.Instr) {
+		for i, op := range in.Operands {
+			in.Operands[i] = resolve(op)
+		}
+	})
+	return len(slots)
+}
+
+// clearTail nils out the now-unused tail of a truncated instruction
+// slice so removed instructions can be collected.
+func clearTail(s []*ir.Instr, from int) {
+	for i := from; i < len(s); i++ {
+		s[i] = nil
+	}
+}
+
+// promotable reports whether a slot is used only by whole-slot loads
+// and stores (no GEPs, casts, calls or stores *of* the pointer).
+func promotable(f *ir.Function, slot *ir.Instr) bool {
+	if slot.AllocTy.IsAggregate() {
+		return false
+	}
+	ok := true
+	f.Instructions(func(in *ir.Instr) {
+		if !ok || in == slot {
+			return
+		}
+		uses := false
+		for _, op := range in.Operands {
+			if op == ir.Value(slot) {
+				uses = true
+			}
+		}
+		if !uses {
+			return
+		}
+		switch in.Op {
+		case ir.OpLoad:
+			if in.Ty != slot.AllocTy {
+				ok = false
+			}
+		case ir.OpStore:
+			// Must store *through* the slot, not store the pointer.
+			if in.Operands[0] == ir.Value(slot) || in.Operands[1] != ir.Value(slot) {
+				ok = false
+			}
+		default:
+			ok = false
+		}
+	})
+	return ok
+}
+
+// slotOf returns the promotable slot a pointer operand refers to, or
+// nil.
+func slotOf(v ir.Value, slots map[*ir.Instr]bool) *ir.Instr {
+	in, ok := v.(*ir.Instr)
+	if ok && slots[in] {
+		return in
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package passes_test
+
+import (
+	"testing"
+
+	"f3m/internal/interp"
+	"f3m/internal/ir"
+	"f3m/internal/irgen"
+	"f3m/internal/passes"
+)
+
+func mustParseX(t testing.TB, src string) *ir.Module {
+	t.Helper()
+	m, err := ir.ParseModule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func runX(t *testing.T, m *ir.Module, fn string, arg int64) int64 {
+	t.Helper()
+	f := m.Func(fn)
+	mach := interp.NewMachine(m)
+	out, err := mach.Call(f, interp.IntVal(f.Params[0].Ty, arg))
+	if err != nil {
+		t.Fatalf("run @%s(%d): %v", fn, arg, err)
+	}
+	return out.I
+}
+
+// TestPassesPreserveGeneratedSemantics runs RegToMem → Mem2Reg →
+// SimplifyCFG → DCE over whole generated modules and interprets every
+// function before and after: the strongest whole-population statement
+// that the scalar passes are semantics-preserving.
+func TestPassesPreserveGeneratedSemantics(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := irgen.Config{
+			Seed: seed, Families: 8, FamilySizeMin: 2, FamilySizeMax: 3,
+			Singletons: 8, BlocksMin: 2, BlocksMax: 7, InstrsMin: 3, InstrsMax: 10,
+			MutationMin: 0, MutationMax: 0.5, ConfuserFraction: 0.4,
+		}
+		ref := irgen.Generate(cfg).Module
+		work := irgen.Generate(cfg).Module
+
+		for _, f := range work.Funcs {
+			if f.IsDecl() {
+				continue
+			}
+			passes.RegToMem(f)
+			passes.Mem2Reg(f)
+			passes.SimplifyCFG(f)
+			passes.DCE(f)
+		}
+		if err := ir.VerifyModule(work); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		for _, rf := range ref.Funcs {
+			if rf.IsDecl() {
+				continue
+			}
+			wf := work.Func(rf.Name())
+			for _, salt := range []int64{0, 3, -11, 100} {
+				want, err1 := callWith(ref, rf, salt)
+				got, err2 := callWith(work, wf, salt)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("seed %d @%s salt %d: errors differ: %v vs %v",
+						seed, rf.Name(), salt, err1, err2)
+				}
+				if err1 == nil && (want.I != got.I || want.F != got.F) {
+					t.Fatalf("seed %d @%s salt %d: %v vs %v\nafter passes:\n%s",
+						seed, rf.Name(), salt, want, got, ir.FuncString(wf))
+				}
+			}
+		}
+	}
+}
+
+func callWith(m *ir.Module, f *ir.Function, salt int64) (interp.Val, error) {
+	mach := interp.NewMachine(m)
+	mach.StepLimit = 5_000_000
+	args := make([]interp.Val, len(f.Params))
+	for i, p := range f.Params {
+		if p.Ty.IsFloat() {
+			args[i] = interp.FloatVal(p.Ty, float64(salt)+0.25)
+		} else {
+			args[i] = interp.IntVal(p.Ty, salt+int64(i))
+		}
+	}
+	return mach.Call(f, args...)
+}
+
+// TestHoistAllocas verifies allocas migrate to the entry head and
+// semantics hold.
+func TestHoistAllocas(t *testing.T) {
+	src := `
+define i32 @f(i32 %x) {
+entry:
+  %c = icmp sgt i32 %x, 0
+  br i1 %c, label %a, label %b
+a:
+  %slot = alloca i32
+  store i32 %x, i32* %slot
+  %v = load i32, i32* %slot
+  ret i32 %v
+b:
+  ret i32 -1
+}`
+	m := mustParseX(t, src)
+	f := m.Func("f")
+	if n := passes.HoistAllocas(f); n != 1 {
+		t.Fatalf("hoisted %d, want 1", n)
+	}
+	if f.Entry().Instrs[0].Op != ir.OpAlloca {
+		t.Fatalf("alloca not at entry head:\n%s", ir.FuncString(f))
+	}
+	if err := ir.VerifyFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	if got := runX(t, m, "f", 7); got != 7 {
+		t.Errorf("f(7) = %d", got)
+	}
+	if got := runX(t, m, "f", -7); got != -1 {
+		t.Errorf("f(-7) = %d", got)
+	}
+	// Now the alloca is promotable.
+	if n := passes.Mem2Reg(f); n != 1 {
+		t.Errorf("Mem2Reg promoted %d, want 1", n)
+	}
+}
+
+// TestRepairSSAIsIdempotent: a second repair pass must find nothing.
+func TestRepairSSAIsIdempotent(t *testing.T) {
+	m := ir.NewModule("t")
+	c := m.Ctx
+	f := m.NewFunc("f", c.Func(c.I32, c.I32, c.I1), "x", "cond")
+	entry := f.NewBlock("entry")
+	armA := f.NewBlock("armA")
+	armB := f.NewBlock("armB")
+	join := f.NewBlock("join")
+
+	be := ir.NewBuilder(entry)
+	be.CondBr(f.Params[1], armA, armB)
+	ba := ir.NewBuilder(armA)
+	va := ba.Add(f.Params[0], ir.ConstInt(c.I32, 1))
+	ba.Br(join)
+	bb := ir.NewBuilder(armB)
+	vb := bb.Mul(f.Params[0], ir.ConstInt(c.I32, 3))
+	bb.Br(join)
+	bj := ir.NewBuilder(join)
+	use := bj.Add(va, vb) // both operands violate dominance
+	bj.Ret(use)
+
+	if n := passes.RepairSSA(f); n != 2 {
+		t.Errorf("first repair fixed %d values, want 2", n)
+	}
+	if err := ir.VerifyFunc(f); err != nil {
+		t.Fatalf("verify: %v\n%s", err, ir.FuncString(f))
+	}
+	if n := passes.RepairSSA(f); n != 0 {
+		t.Errorf("second repair fixed %d values, want 0", n)
+	}
+}

@@ -1,0 +1,218 @@
+// Package stats provides the small statistical toolkit the experiments
+// use: Pearson correlation (the R values of Figures 4 and 10), 1-D and
+// 2-D histograms (Figures 6 and the heatmaps), and mean / confidence
+// interval summaries (the error bars of the timing figures).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Pearson returns the linear correlation coefficient of the paired
+// samples. It returns 0 when either side has zero variance.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var v float64
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	return math.Sqrt(v / float64(len(xs)-1))
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the
+// mean under the normal approximation (the paper repeats runs and
+// reports 95% CIs).
+func CI95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Median returns the middle value (average of the two middles for even
+// counts).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// GeoMean returns the geometric mean of positive values; non-positive
+// entries are skipped.
+func GeoMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Histogram is a fixed-range 1-D histogram.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int64
+	Total  int64
+}
+
+// NewHistogram builds a histogram with the given number of bins over
+// [lo, hi].
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, bins)}
+}
+
+// Add records a sample; values outside the range clamp to the edge
+// bins.
+func (h *Histogram) Add(x float64) {
+	h.Counts[h.bin(x)]++
+	h.Total++
+}
+
+func (h *Histogram) bin(x float64) int {
+	if h.Hi <= h.Lo {
+		return 0
+	}
+	i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	return i
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Heatmap is a fixed-range 2-D histogram, the structure behind the
+// paper's Figures 4 and 10 (similarity x alignment-ratio density).
+type Heatmap struct {
+	XLo, XHi, YLo, YHi float64
+	NX, NY             int
+	Counts             []int64
+	Total              int64
+}
+
+// NewHeatmap builds an nx-by-ny heatmap over the given ranges.
+func NewHeatmap(xlo, xhi float64, nx int, ylo, yhi float64, ny int) *Heatmap {
+	return &Heatmap{XLo: xlo, XHi: xhi, YLo: ylo, YHi: yhi, NX: nx, NY: ny, Counts: make([]int64, nx*ny)}
+}
+
+// Add records a point.
+func (m *Heatmap) Add(x, y float64) {
+	ix := clampBin(x, m.XLo, m.XHi, m.NX)
+	iy := clampBin(y, m.YLo, m.YHi, m.NY)
+	m.Counts[iy*m.NX+ix]++
+	m.Total++
+}
+
+// At returns the count of cell (ix, iy).
+func (m *Heatmap) At(ix, iy int) int64 { return m.Counts[iy*m.NX+ix] }
+
+func clampBin(v, lo, hi float64, n int) int {
+	if hi <= lo {
+		return 0
+	}
+	i := int(float64(n) * (v - lo) / (hi - lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Render draws the heatmap as rows of density characters (top row =
+// highest y), a terminal stand-in for the paper's color plots.
+func (m *Heatmap) Render() string {
+	shades := []byte(" .:-=+*#%@")
+	var max int64
+	for _, c := range m.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for iy := m.NY - 1; iy >= 0; iy-- {
+		for ix := 0; ix < m.NX; ix++ {
+			c := m.At(ix, iy)
+			s := 0
+			if max > 0 && c > 0 {
+				// Log scale: heatmaps of pair densities span many
+				// orders of magnitude.
+				s = 1 + int(float64(len(shades)-2)*math.Log1p(float64(c))/math.Log1p(float64(max)))
+				if s >= len(shades) {
+					s = len(shades) - 1
+				}
+			}
+			b.WriteByte(shades[s])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Summary formats a mean ± CI pair.
+func Summary(xs []float64) string {
+	return fmt.Sprintf("%.4g ± %.2g", Mean(xs), CI95(xs))
+}

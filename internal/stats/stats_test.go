@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if r := Pearson(xs, ys); math.Abs(r-1) > 1e-12 {
+		t.Errorf("perfect positive R = %v", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if r := Pearson(xs, neg); math.Abs(r+1) > 1e-12 {
+		t.Errorf("perfect negative R = %v", r)
+	}
+	flat := []float64{3, 3, 3, 3, 3}
+	if r := Pearson(xs, flat); r != 0 {
+		t.Errorf("zero-variance R = %v", r)
+	}
+	if r := Pearson(nil, nil); r != 0 {
+		t.Errorf("empty R = %v", r)
+	}
+}
+
+func TestPearsonNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var xs, ys, zs []float64
+	for i := 0; i < 2000; i++ {
+		x := rng.NormFloat64()
+		xs = append(xs, x)
+		ys = append(ys, 2*x+0.5*rng.NormFloat64()) // strong correlation
+		zs = append(zs, rng.NormFloat64())         // none
+	}
+	if r := Pearson(xs, ys); r < 0.9 {
+		t.Errorf("correlated R = %v, want > 0.9", r)
+	}
+	if r := Pearson(xs, zs); math.Abs(r) > 0.1 {
+		t.Errorf("uncorrelated R = %v, want ≈ 0", r)
+	}
+}
+
+func TestPearsonBounds(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cnt := int(n%50) + 2
+		xs := make([]float64, cnt)
+		ys := make([]float64, cnt)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		r := Pearson(xs, ys)
+		return r >= -1.0000001 && r <= 1.0000001
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanMedianStd(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if m := Mean(xs); m != 2.5 {
+		t.Errorf("mean = %v", m)
+	}
+	if m := Median(xs); m != 2.5 {
+		t.Errorf("median = %v", m)
+	}
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %v", m)
+	}
+	if s := StdDev(xs); math.Abs(s-1.2909944) > 1e-6 {
+		t.Errorf("stddev = %v", s)
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 || StdDev(nil) != 0 || CI95(nil) != 0 {
+		t.Error("empty inputs should give 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 100}); math.Abs(g-10) > 1e-9 {
+		t.Errorf("geomean = %v, want 10", g)
+	}
+	if g := GeoMean([]float64{2, 0, 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("geomean skipping zero = %v, want 4", g)
+	}
+}
+
+func TestCI95ShrinksWithSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	small := make([]float64, 10)
+	big := make([]float64, 1000)
+	for i := range small {
+		small[i] = rng.NormFloat64()
+	}
+	for i := range big {
+		big[i] = rng.NormFloat64()
+	}
+	if CI95(big) >= CI95(small) {
+		t.Errorf("CI95 should shrink: %v vs %v", CI95(big), CI95(small))
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	for _, v := range []float64{0.05, 0.15, 0.15, 0.95, 1.5, -1} {
+		h.Add(v)
+	}
+	if h.Total != 6 {
+		t.Errorf("total = %d", h.Total)
+	}
+	if h.Counts[0] != 2 { // 0.05 and clamped -1
+		t.Errorf("bin0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[1] != 2 {
+		t.Errorf("bin1 = %d, want 2", h.Counts[1])
+	}
+	if h.Counts[9] != 2 { // 0.95 and clamped 1.5
+		t.Errorf("bin9 = %d, want 2", h.Counts[9])
+	}
+	if c := h.BinCenter(0); math.Abs(c-0.05) > 1e-12 {
+		t.Errorf("center = %v", c)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	m := NewHeatmap(0, 1, 10, 0, 1, 10)
+	m.Add(0.05, 0.05)
+	m.Add(0.05, 0.05)
+	m.Add(0.95, 0.95)
+	if m.At(0, 0) != 2 {
+		t.Errorf("cell(0,0) = %d", m.At(0, 0))
+	}
+	if m.At(9, 9) != 1 {
+		t.Errorf("cell(9,9) = %d", m.At(9, 9))
+	}
+	r := m.Render()
+	lines := 0
+	for _, c := range r {
+		if c == '\n' {
+			lines++
+		}
+	}
+	if lines != 10 {
+		t.Errorf("render lines = %d", lines)
+	}
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Replace one experiment's section in full_experiments.txt with a
+freshly generated one (used to redo timing-sensitive figures that ran
+under CPU contention)."""
+import sys
+
+
+def main():
+    if len(sys.argv) != 4:
+        print("usage: splice_experiments.py <full.txt> <section.txt> <exp-id>")
+        sys.exit(1)
+    full_path, section_path, exp = sys.argv[1], sys.argv[2], sys.argv[3]
+    full = open(full_path).read()
+    section = open(section_path).read().rstrip() + "\n"
+
+    start_marker = f"== {exp}:"
+    start = full.find(start_marker)
+    if start < 0:
+        print(f"section {exp} not found")
+        sys.exit(1)
+    end_marker = f"({exp} took "
+    end = full.find(end_marker, start)
+    if end < 0:
+        print(f"end of section {exp} not found")
+        sys.exit(1)
+    end = full.find("\n", end) + 1
+
+    # Preserve the original "took" line's format by appending our own.
+    open(full_path, "w").write(full[:start] + section + full[end:])
+    print(f"spliced {exp}")
+
+
+if __name__ == "__main__":
+    main()

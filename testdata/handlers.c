@@ -1,0 +1,24 @@
+// Near-duplicate protocol handlers: prime function-merging input.
+int stats[8];
+
+int checksum(int *p, int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i = i + 1) { acc = acc ^ p[i] * 31; }
+  return acc;
+}
+
+int handle_ping(int token, int len) {
+  int buf[4];
+  for (int i = 0; i < 4; i = i + 1) { buf[i] = token + i * 3; }
+  stats[0] = stats[0] + 1;
+  if (len > 64) { return -1; }
+  return checksum(buf, 4) & 65535;
+}
+
+int handle_pong(int token, int len) {
+  int buf[4];
+  for (int i = 0; i < 4; i = i + 1) { buf[i] = token + i * 5; }
+  stats[1] = stats[1] + 1;
+  if (len > 128) { return -2; }
+  return checksum(buf, 4) & 65535;
+}
