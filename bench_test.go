@@ -9,6 +9,7 @@ package f3m_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"f3m/internal/core"
 	"f3m/internal/experiments"
@@ -122,7 +123,7 @@ func BenchmarkRanking(b *testing.B) {
 		})
 
 		b.Run(fmt.Sprintf("F3M-LSH/n=%d", n), func(b *testing.B) {
-			cfg := &fingerprint.Config{K: 200, ShingleSize: 2, Seed: 0xF3}
+			cfg := (&fingerprint.Config{K: 200, ShingleSize: 2, Seed: 0xF3}).Prepare()
 			for it := 0; it < b.N; it++ {
 				ix := lsh.NewIndex(lsh.DefaultParams())
 				sigs := make([]fingerprint.MinHash, len(pop.Seqs))
@@ -138,7 +139,7 @@ func BenchmarkRanking(b *testing.B) {
 
 		b.Run(fmt.Sprintf("F3M-adaptive/n=%d", n), func(b *testing.B) {
 			t, params, k := lsh.AdaptiveParams(n)
-			cfg := &fingerprint.Config{K: k, ShingleSize: 2, Seed: 0xF3}
+			cfg := (&fingerprint.Config{K: k, ShingleSize: 2, Seed: 0xF3}).Prepare()
 			for it := 0; it < b.N; it++ {
 				ix := lsh.NewIndex(params)
 				sigs := make([]fingerprint.MinHash, len(pop.Seqs))
@@ -151,6 +152,44 @@ func BenchmarkRanking(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkParallelPreprocessRank measures the stages the
+// core.Config.Workers knob parallelizes — MinHash fingerprinting + LSH
+// build (preprocess) and candidate ranking — on the largest generated
+// module the pipeline benchmarks use. The per-op `preprocess+rank-ms`
+// metric is the one to compare across worker counts (total ns/op also
+// includes the deliberately sequential merge/commit loop, which Workers
+// does not touch); the determinism tests in internal/core assert the
+// merge decisions are byte-identical across worker counts, and the
+// `merges` metric makes that visible here too. Worker fan-out only
+// pays on a multicore machine (GOMAXPROCS > 1); on a single CPU the
+// goroutine scheduling shows up as pure overhead.
+func BenchmarkParallelPreprocessRank(b *testing.B) {
+	spec := irgen.SuiteSpec{Name: "parallel", Funcs: 4000, AvgInstrs: 25, CloneFraction: 0.4}
+	for _, strat := range []core.Strategy{core.F3MStatic, core.HyFM} {
+		for _, w := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/workers=%d", strat, w), func(b *testing.B) {
+				var stage time.Duration
+				merges := 0
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					m := irgen.Generate(spec.Config(11)).Module
+					cfg := core.DefaultConfig(strat)
+					cfg.Workers = w
+					b.StartTimer()
+					rep, err := core.Run(m, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					stage += rep.Times.Preprocess + rep.Times.RankSuccess + rep.Times.RankFail
+					merges = rep.Merges
+				}
+				b.ReportMetric(float64(stage.Milliseconds())/float64(b.N), "preprocess+rank-ms")
+				b.ReportMetric(float64(merges), "merges")
+			})
+		}
 	}
 }
 

@@ -11,6 +11,7 @@
 //	-seed S                        generation seed
 //	-threshold T                   similarity threshold (-1 = strategy default)
 //	-k K                           MinHash fingerprint size (0 = default)
+//	-workers N                     preprocess/rank parallelism (0 = GOMAXPROCS, 1 = sequential)
 //	-emit                          print the optimized module to stdout
 //	-v                             per-pair merge log
 package main
@@ -41,6 +42,7 @@ func run() error {
 	seed := flag.Int64("seed", 1, "synthetic generation seed")
 	threshold := flag.Float64("threshold", -1, "similarity threshold (-1 = strategy default)")
 	k := flag.Int("k", 0, "MinHash fingerprint size (0 = default)")
+	workers := flag.Int("workers", 0, "preprocess/rank parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	emit := flag.Bool("emit", false, "print the optimized module")
 	verbose := flag.Bool("v", false, "log every selected pair")
 	flag.Parse()
@@ -65,6 +67,7 @@ func run() error {
 	cfg := core.DefaultConfig(strat)
 	cfg.Threshold = *threshold
 	cfg.K = *k
+	cfg.Workers = *workers
 	rep, err := core.Run(mod, cfg)
 	if err != nil {
 		return err

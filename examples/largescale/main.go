@@ -73,7 +73,7 @@ func rankExhaustive(pop *irgen.EncodedPopulation) time.Duration {
 // rankLSH mimics F3M: MinHash fingerprints indexed through LSH, one
 // query per function.
 func rankLSH(pop *irgen.EncodedPopulation, k int, params lsh.Params, threshold float64) time.Duration {
-	cfg := &fingerprint.Config{K: k, ShingleSize: 2, Seed: 0xF3}
+	cfg := (&fingerprint.Config{K: k, ShingleSize: 2, Seed: 0xF3}).Prepare()
 	sigs := make([]fingerprint.MinHash, len(pop.Seqs))
 	start := time.Now()
 	ix := lsh.NewIndex(params)

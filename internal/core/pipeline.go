@@ -77,6 +77,15 @@ type Config struct {
 	// Seed selects the MinHash hash family.
 	Seed uint64
 
+	// Workers is the degree of parallelism for the preprocessing and
+	// ranking stages: 0 (the default) uses GOMAXPROCS, 1 forces the
+	// sequential path, any other value sets the pool size. Every
+	// setting produces the identical Report — same pairs, merges and
+	// counters; only the StageTimes wall clocks differ. The
+	// merge/commit loop is always sequential, so module mutation
+	// semantics do not depend on Workers.
+	Workers int
+
 	// Hotness, when set, enables the profile-guided extension the
 	// paper sketches as future work (Section IV-F): among candidates
 	// of nearly equal similarity, the ranking prefers the least
@@ -224,20 +233,26 @@ func candidates(m *ir.Module) []*ir.Function {
 	return out
 }
 
+// mergePair is the merge entry point, indirected so tests can inject
+// failures into the error-propagation path.
+var mergePair = merge.Pair
+
 // attemptMerge runs align+codegen+profitability for one ranked pair and
-// commits on success, updating the report stages.
-func attemptMerge(m *ir.Module, fa, fb *ir.Function, cfg Config, rep *Report, rankDur time.Duration, sim float64) bool {
-	res, err := merge.Pair(m, fa, fb, cfg.MergeOpts)
+// commits on success, updating the report stages. Unexpected merge
+// errors (anything but ErrIncompatible) are returned to the caller
+// rather than panicking, so Run surfaces them through its error result.
+func attemptMerge(m *ir.Module, fa, fb *ir.Function, cfg Config, rep *Report, rankDur time.Duration, sim float64) (bool, error) {
+	res, err := mergePair(m, fa, fb, cfg.MergeOpts)
 	outcome := PairOutcome{A: fa.Name(), B: fb.Name(), Similarity: sim, Attempted: true}
 	if err != nil {
-		// Incompatible pairs cost ranking plus a trivial align check.
 		if !errors.Is(err, merge.ErrIncompatible) {
-			panic(fmt.Sprintf("core: merge failed: %v", err))
+			return false, fmt.Errorf("core: merging %s + %s: %w", fa.Name(), fb.Name(), err)
 		}
+		// Incompatible pairs cost ranking plus a trivial align check.
 		rep.Times.RankFail += rankDur
 		rep.Pairs = append(rep.Pairs, outcome)
 		rep.Attempts++
-		return false
+		return false, nil
 	}
 	rep.Attempts++
 	outcome.MergeDur = res.AlignDur + res.CodegenDur
@@ -250,14 +265,14 @@ func attemptMerge(m *ir.Module, fa, fb *ir.Function, cfg Config, rep *Report, ra
 		outcome.Profitable = true
 		outcome.Saving = res.SizeSaving()
 		rep.Pairs = append(rep.Pairs, outcome)
-		return true
+		return true, nil
 	}
 	merge.Discard(m, res)
 	rep.Times.RankFail += rankDur
 	rep.Times.AlignFail += res.AlignDur
 	rep.Times.CodegenFail += res.CodegenDur
 	rep.Pairs = append(rep.Pairs, outcome)
-	return false
+	return false, nil
 }
 
 // runHyFM is the baseline: exhaustive nearest-neighbour ranking over
@@ -267,30 +282,25 @@ func runHyFM(m *ir.Module, cfg Config) (*Report, error) {
 	rep.SizeBefore = ModuleCost(m)
 	cfg = withCallIndex(m, cfg)
 
+	workers := resolveWorkers(cfg.Workers)
 	start := time.Now()
 	funcs := candidates(m)
 	rep.NumFuncs = len(funcs)
 	fps := make([]*fingerprint.FreqVector, len(funcs))
-	for i, f := range funcs {
-		fps[i] = fingerprint.FreqFunc(f)
-	}
+	parallelFor(len(funcs), workers, func(i int) {
+		fps[i] = fingerprint.FreqFunc(funcs[i])
+	})
 	rep.Times.Preprocess = time.Since(start)
 
+	// The outer loop mutates merged[] and the module after each commit,
+	// so it stays sequential; each O(n) scan fans out across workers.
 	merged := make([]bool, len(funcs))
 	for i := range funcs {
 		if merged[i] {
 			continue
 		}
 		rankStart := time.Now()
-		best, bestDist := -1, int(^uint(0)>>1)
-		for j := range funcs {
-			if j == i || merged[j] {
-				continue
-			}
-			if d := fps[i].Distance(fps[j]); d < bestDist {
-				best, bestDist = j, d
-			}
-		}
+		best, _ := nearestNeighbour(fps, i, merged, workers)
 		rankDur := time.Since(rankStart)
 		if best < 0 {
 			rep.Times.RankFail += rankDur
@@ -298,7 +308,11 @@ func runHyFM(m *ir.Module, cfg Config) (*Report, error) {
 			continue
 		}
 		sim := fps[i].Similarity(fps[best])
-		if attemptMerge(m, funcs[i], funcs[best], cfg, rep, rankDur, sim) {
+		ok, err := attemptMerge(m, funcs[i], funcs[best], cfg, rep, rankDur, sim)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
 			merged[i], merged[best] = true, true
 		}
 	}
@@ -349,13 +363,17 @@ func runF3M(m *ir.Module, cfg Config) (*Report, error) {
 	}
 	rep.Threshold, rep.Bands, rep.K = threshold, bands, k
 
-	mhCfg := &fingerprint.Config{K: k, ShingleSize: 2, Seed: cfg.Seed}
+	// Fingerprinting is embarrassingly parallel per function (the
+	// prepared config is read-only), and the LSH build is sharded by
+	// band; both yield the same index state as the sequential path.
+	workers := resolveWorkers(cfg.Workers)
+	mhCfg := (&fingerprint.Config{K: k, ShingleSize: 2, Seed: cfg.Seed}).Prepare()
 	sigs := make([]fingerprint.MinHash, len(funcs))
+	parallelFor(len(funcs), workers, func(i int) {
+		sigs[i] = mhCfg.New(fingerprint.EncodeFunc(funcs[i]))
+	})
 	ix := lsh.NewIndex(lsh.Params{Rows: rows, Bands: bands, BucketCap: cfg.BucketCap})
-	for i, f := range funcs {
-		sigs[i] = mhCfg.New(fingerprint.EncodeFunc(f))
-		ix.Insert(i, sigs[i])
-	}
+	ix.BatchInsert(0, sigs, workers)
 	rep.Times.Preprocess = time.Since(start)
 
 	hotSkip := func(i int) bool {
@@ -372,7 +390,7 @@ func runF3M(m *ir.Module, cfg Config) (*Report, error) {
 		var best lsh.Candidate
 		var found bool
 		if cfg.Hotness == nil {
-			best, found = ix.BestWhere(i, sigs[i], threshold, accept)
+			best, found = ix.BestWhereN(i, sigs[i], threshold, accept, workers)
 		} else {
 			// Profile-guided selection needs the candidate list: among
 			// candidates within the similarity slack of the best, pick
@@ -408,7 +426,11 @@ func runF3M(m *ir.Module, cfg Config) (*Report, error) {
 			rep.Pairs = append(rep.Pairs, PairOutcome{A: funcs[i].Name()})
 			continue
 		}
-		if attemptMerge(m, funcs[i], funcs[best.ID], cfg, rep, rankDur, best.Similarity) {
+		ok, err := attemptMerge(m, funcs[i], funcs[best.ID], cfg, rep, rankDur, best.Similarity)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
 			merged[i], merged[best.ID] = true, true
 			ix.Remove(i, sigs[i])
 			ix.Remove(best.ID, sigs[best.ID])

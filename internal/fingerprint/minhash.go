@@ -79,20 +79,34 @@ type Config struct {
 
 // DefaultConfig returns the paper's defaults: k=200, shingle size 2.
 func DefaultConfig() *Config {
-	return &Config{K: 200, ShingleSize: 2, Seed: 0xF3F3F3F3}
+	return (&Config{K: 200, ShingleSize: 2, Seed: 0xF3F3F3F3}).Prepare()
 }
 
 // WithK returns a copy of the config with a different fingerprint size.
 func (c *Config) WithK(k int) *Config {
-	return &Config{K: k, ShingleSize: c.ShingleSize, Seed: c.Seed}
+	return (&Config{K: k, ShingleSize: c.ShingleSize, Seed: c.Seed}).Prepare()
 }
 
-// laneSeeds returns (and caches) the xor seeds for the config.
-func (c *Config) laneSeeds() []uint32 {
+// Prepare derives the lane seeds eagerly and returns c. A prepared
+// Config is read-only afterwards and therefore safe to share across
+// goroutines; the constructors call it, and hand-built literals should
+// too before concurrent use.
+func (c *Config) Prepare() *Config {
 	if len(c.seeds) != c.K {
 		c.seeds = Seeds(c.K, c.Seed)
 	}
-	return c.seeds
+	return c
+}
+
+// laneSeeds returns the xor seeds for the config. An unprepared config
+// derives them on the fly rather than caching, so that sharing one
+// *Config across goroutines never races (Prepare avoids the repeated
+// derivation).
+func (c *Config) laneSeeds() []uint32 {
+	if s := c.seeds; len(s) == c.K {
+		return s
+	}
+	return Seeds(c.K, c.Seed)
 }
 
 // MinHash is a MinHash fingerprint: lane i holds the minimum of

@@ -1,0 +1,58 @@
+package fingerprint
+
+// Regression tests for the lane-seed lazy-init race: a *Config shared
+// across goroutines must be safe whether or not Prepare ran (run with
+// `go test -race`, as scripts/check.sh does).
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestPrepareCachesSeeds(t *testing.T) {
+	c := (&Config{K: 50, ShingleSize: 2, Seed: 7}).Prepare()
+	if len(c.seeds) != 50 {
+		t.Fatalf("Prepare cached %d seeds, want 50", len(c.seeds))
+	}
+	if !reflect.DeepEqual(c.seeds, Seeds(50, 7)) {
+		t.Error("prepared seeds differ from Seeds(k, master)")
+	}
+	// Constructors must hand out prepared configs.
+	if len(DefaultConfig().seeds) != 200 {
+		t.Error("DefaultConfig not prepared")
+	}
+	if got := DefaultConfig().WithK(32); len(got.seeds) != 32 {
+		t.Error("WithK not prepared")
+	}
+}
+
+// TestConfigConcurrentNew hammers one shared config from many
+// goroutines — both a prepared one and a raw literal (which must derive
+// seeds without caching rather than racing on the write).
+func TestConfigConcurrentNew(t *testing.T) {
+	seq := make([]Encoded, 64)
+	for i := range seq {
+		seq[i] = Encoded(i * 2654435761)
+	}
+	for name, cfg := range map[string]*Config{
+		"prepared": (&Config{K: 80, ShingleSize: 2, Seed: 3}).Prepare(),
+		"literal":  {K: 80, ShingleSize: 2, Seed: 3},
+	} {
+		want := cfg.New(seq)
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for r := 0; r < 50; r++ {
+					if got := cfg.New(seq); !reflect.DeepEqual(got, want) {
+						t.Errorf("%s: concurrent New diverged", name)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}

@@ -14,6 +14,7 @@ package lsh
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"f3m/internal/fingerprint"
 )
@@ -61,7 +62,9 @@ func (p Params) MatchProbability(s float64) float64 {
 	return 1 - math.Pow(1-math.Pow(s, float64(p.Rows)), float64(p.Bands))
 }
 
-// Index is the bucket structure. It is not safe for concurrent writes.
+// Index is the bucket structure. Its methods are not safe for
+// concurrent use; BatchInsert parallelizes the build internally while
+// keeping that single-threaded external contract.
 type Index struct {
 	params Params
 
@@ -144,15 +147,104 @@ func (ix *Index) Insert(id int, mh fingerprint.MinHash) {
 	ix.stats.Inserted++
 }
 
+// BatchInsert inserts sigs[i] under id base+i for every i, using up to
+// workers goroutines. The resulting index — bucket contents, the order
+// of ids within each bucket, and the stats counters — is byte-identical
+// to calling Insert sequentially in ascending id order, because the
+// build is sharded by band: band hashes are computed in parallel over
+// signatures, then each band map is populated by exactly one worker
+// scanning ids in ascending order. Per-worker stat partials are merged
+// deterministically at the end.
+//
+// BatchInsert must not run concurrently with other Index methods; once
+// it returns the index is ready for (sequential) queries as usual.
+func (ix *Index) BatchInsert(base int, sigs []fingerprint.MinHash, workers int) {
+	if workers > len(sigs) {
+		workers = len(sigs)
+	}
+	if workers <= 1 {
+		for i, mh := range sigs {
+			ix.Insert(base+i, mh)
+		}
+		return
+	}
+
+	// Phase 1: band hashes, parallel over signatures (disjoint writes).
+	hashes := make([][]uint32, len(sigs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(sigs); i += workers {
+				hashes[i] = ix.bandHashes(sigs[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Phase 2: bucket population, parallel over bands. Worker w owns
+	// bands w, w+workers, ... so no band map is touched by two
+	// goroutines, and each scans ids in ascending order.
+	type partial struct {
+		bucketsUsed, maxLoad int
+	}
+	parts := make([]partial, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := &parts[w]
+			for band := w; band < len(ix.buckets); band += workers {
+				bm := ix.buckets[band]
+				for i, hs := range hashes {
+					if band >= len(hs) {
+						continue // short fingerprint: fewer bands
+					}
+					lst := bm[hs[band]]
+					if len(lst) == 0 {
+						p.bucketsUsed++
+					}
+					lst = append(lst, int32(base+i))
+					bm[hs[band]] = lst
+					if len(lst) > p.maxLoad {
+						p.maxLoad = len(lst)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for i, mh := range sigs {
+		ix.sigs[int32(base+i)] = mh
+	}
+	ix.stats.Inserted += len(sigs)
+	for _, p := range parts {
+		ix.stats.BucketsUsed += p.bucketsUsed
+		if p.maxLoad > ix.stats.MaxBucketLoad {
+			ix.stats.MaxBucketLoad = p.maxLoad
+		}
+	}
+}
+
 // Remove deletes id from the index so already-merged functions stop
-// surfacing as candidates.
+// surfacing as candidates. Buckets emptied by the removal are deleted
+// from the band maps (large-module runs would otherwise accumulate
+// empty slices forever) and BucketsUsed is reconciled.
 func (ix *Index) Remove(id int, mh fingerprint.MinHash) {
 	delete(ix.sigs, int32(id))
 	for band, h := range ix.bandHashes(mh) {
 		lst := ix.buckets[band][h]
 		for i, v := range lst {
 			if v == int32(id) {
-				ix.buckets[band][h] = append(lst[:i], lst[i+1:]...)
+				lst = append(lst[:i], lst[i+1:]...)
+				if len(lst) == 0 {
+					delete(ix.buckets[band], h)
+					ix.stats.BucketsUsed--
+				} else {
+					ix.buckets[band][h] = lst
+				}
 				break
 			}
 		}
@@ -175,12 +267,12 @@ func (ix *Index) Query(id int, mh fingerprint.MinHash, minSim float64) []Candida
 	for band, h := range ix.bandHashes(mh) {
 		lst := ix.buckets[band][h]
 		checked := 0
-		for _, cand := range lst {
+		for ci, cand := range lst {
 			if ix.seen(cand) {
 				continue
 			}
 			if checked >= cap_ {
-				ix.stats.CapSkips += int64(len(lst) - checked)
+				ix.stats.CapSkips += ix.cappedSkips(lst[ci:])
 				break
 			}
 			checked++
@@ -211,22 +303,41 @@ func (ix *Index) Best(id int, mh fingerprint.MinHash, minSim float64) (Candidate
 
 // BestWhere returns the most similar candidate accepted by the filter
 // (nil accepts all). Unlike Query it neither materializes nor sorts the
-// candidate list, which is what makes per-function ranking cheap even
-// when buckets are crowded.
+// full scored candidate list, which is what makes per-function ranking
+// cheap even when buckets are crowded.
 func (ix *Index) BestWhere(id int, mh fingerprint.MinHash, minSim float64, accept func(int) bool) (Candidate, bool) {
+	return ix.BestWhereN(id, mh, minSim, accept, 1)
+}
+
+// minParallelCompares is the candidate count below which fanning the
+// Jaccard comparisons out is not worth the goroutine startup. Purely a
+// performance threshold: results and stats are identical either way.
+const minParallelCompares = 128
+
+// BestWhereN is BestWhere with the fingerprint comparisons — the bulk
+// of the ranking cost — spread across up to workers goroutines. The
+// result and every stats counter are byte-identical for any worker
+// count: a sequential pass performs the order-dependent accounting
+// (per-query dedup, cap skips, comparison counts) and fixes the
+// candidate list, the parallel pass only evaluates the pure Jaccard
+// similarities, and a final sequential fold applies the first-best
+// tie-break exactly as a plain loop would.
+func (ix *Index) BestWhereN(id int, mh fingerprint.MinHash, minSim float64, accept func(int) bool, workers int) (Candidate, bool) {
 	cap_ := ix.params.bucketCap()
 	ix.beginQuery(id)
-	best := Candidate{Similarity: -1}
-	found := false
+
+	// Pass 1 (sequential): dedup and cap accounting select which
+	// candidates get compared, in band order.
+	var cands []int32
 	for band, h := range ix.bandHashes(mh) {
 		lst := ix.buckets[band][h]
 		checked := 0
-		for _, cand := range lst {
+		for ci, cand := range lst {
 			if ix.seen(cand) {
 				continue
 			}
 			if checked >= cap_ {
-				ix.stats.CapSkips += int64(len(lst) - checked)
+				ix.stats.CapSkips += ix.cappedSkips(lst[ci:])
 				break
 			}
 			checked++
@@ -234,20 +345,42 @@ func (ix *Index) BestWhere(id int, mh fingerprint.MinHash, minSim float64, accep
 			if accept != nil && !accept(int(cand)) {
 				continue
 			}
-			ix.stats.Comparisons++
-			s := mh.Jaccard(ix.sigs[cand])
-			if s < minSim {
-				continue
-			}
-			if !found || s > best.Similarity || (s == best.Similarity && int(cand) < best.ID) {
-				best = Candidate{ID: int(cand), Similarity: s}
-				found = true
-				if s == 1 {
-					// A perfect match cannot be beaten; stop early.
-					ix.stats.CandidatesFound++
-					return best, true
+			cands = append(cands, cand)
+		}
+	}
+	ix.stats.Comparisons += int64(len(cands))
+
+	// Pass 2: similarity per candidate; pure reads, so freely parallel.
+	sims := make([]float64, len(cands))
+	if workers <= 1 || len(cands) < minParallelCompares {
+		for i, cand := range cands {
+			sims[i] = mh.Jaccard(ix.sigs[cand])
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(cands); i += workers {
+					sims[i] = mh.Jaccard(ix.sigs[cands[i]])
 				}
-			}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	// Pass 3 (sequential): first-best fold with the lowest-id tie-break.
+	best := Candidate{Similarity: -1}
+	found := false
+	for i, cand := range cands {
+		s := sims[i]
+		if s < minSim {
+			continue
+		}
+		if !found || s > best.Similarity || (s == best.Similarity && int(cand) < best.ID) {
+			best = Candidate{ID: int(cand), Similarity: s}
+			found = true
 		}
 	}
 	if found {
@@ -269,11 +402,27 @@ func (ix *Index) beginQuery(id int) {
 }
 
 func (ix *Index) seen(id int32) bool {
+	// Lookups never grow the stamp slice: an id beyond it has not been
+	// marked this query (only mark allocates).
 	if int(id) < len(ix.stamp) {
 		return ix.stamp[id] == ix.gen
 	}
-	ix.growStamp(int(id))
-	return ix.stamp[id] == ix.gen
+	return false
+}
+
+// cappedSkips counts the candidates in rest that the bucket cap
+// actually prevented from being checked. Ids already deduplicated by an
+// earlier bucket of the same query were never going to be compared, so
+// they do not count (naively charging len(rest) inflated the Fig. 16
+// counters).
+func (ix *Index) cappedSkips(rest []int32) int64 {
+	n := int64(0)
+	for _, cand := range rest {
+		if !ix.seen(cand) {
+			n++
+		}
+	}
+	return n
 }
 
 func (ix *Index) mark(id int32) {

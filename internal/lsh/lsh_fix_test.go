@@ -1,0 +1,255 @@
+package lsh
+
+// Regression tests for the accounting and memory bugs fixed alongside
+// the parallel pipeline, plus equivalence tests for the sharded
+// BatchInsert build.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"f3m/internal/fingerprint"
+)
+
+// capSig builds a K=4 fingerprint whose first band (lanes 0-1 under
+// r=2) is shared while the remaining lanes vary per id, so every id
+// collides in band 0 without being a perfect match (perfect matches
+// would trigger BestWhere's early exit before the cap).
+func capSig(id int) fingerprint.MinHash {
+	return fingerprint.MinHash{1, 2, uint32(100 + id), uint32(200 + id)}
+}
+
+// TestCapSkipsCountsOnlySkipped: with cap 2 and six colliding ids, the
+// query checks two candidates and the cap skips exactly the three
+// unchecked others — not the already-deduplicated remainder the old
+// `len(lst)-checked` accounting charged.
+func TestCapSkipsCountsOnlySkipped(t *testing.T) {
+	build := func() *Index {
+		ix := NewIndex(Params{Rows: 2, Bands: 1, BucketCap: 2})
+		for id := 0; id < 6; id++ {
+			ix.Insert(id, capSig(id))
+		}
+		return ix
+	}
+
+	ix := build()
+	ix.Query(0, capSig(0), 0)
+	if got := ix.Stats().CapSkips; got != 3 {
+		t.Errorf("Query CapSkips = %d, want 3 (ids 3,4,5)", got)
+	}
+
+	ix = build()
+	ix.BestWhere(0, capSig(0), 0, nil)
+	if got := ix.Stats().CapSkips; got != 3 {
+		t.Errorf("BestWhere CapSkips = %d, want 3 (ids 3,4,5)", got)
+	}
+}
+
+// TestCapSkipsIgnoresSeenInRemainder: with two identical bands, the
+// second band's bucket holds only ids the first band already checked or
+// skipped; candidates the dedup filter would have dropped anyway must
+// not count as cap skips.
+func TestCapSkipsIgnoresSeenInRemainder(t *testing.T) {
+	ix := NewIndex(Params{Rows: 2, Bands: 2, BucketCap: 2})
+	sig := fingerprint.MinHash{1, 2, 1, 2}
+	for id := 0; id < 6; id++ {
+		ix.Insert(id, sig)
+	}
+	// Band 0: ids 1,2 checked, unseen remainder {3,4,5} -> 3 skips.
+	// Band 1: ids 0,1,2 seen, ids 3,4 checked, remainder {5} -> 1 skip.
+	ix.Query(0, sig, 0)
+	if got := ix.Stats().CapSkips; got != 4 {
+		t.Errorf("CapSkips = %d, want 4 (3 in band 0, 1 in band 1)", got)
+	}
+}
+
+// TestRemoveReclaimsBuckets: removing every id must delete the emptied
+// bucket entries (no empty slices pinned in the band maps) and return
+// BucketsUsed to its pre-insert value.
+func TestRemoveReclaimsBuckets(t *testing.T) {
+	cfg := fingerprint.DefaultConfig()
+	rng := rand.New(rand.NewSource(17))
+	ix := NewIndex(DefaultParams())
+	sigs := make([]fingerprint.MinHash, 20)
+	for i := range sigs {
+		sigs[i] = cfg.New(randSeq(rng, 30, 50))
+		ix.Insert(i, sigs[i])
+	}
+	if ix.Stats().BucketsUsed == 0 {
+		t.Fatal("no buckets used after inserts")
+	}
+	for i := range sigs {
+		ix.Remove(i, sigs[i])
+	}
+	if got := ix.Stats().BucketsUsed; got != 0 {
+		t.Errorf("BucketsUsed = %d after removing everything, want 0", got)
+	}
+	if loads := ix.BucketLoadHistogram(); len(loads) != 0 {
+		t.Errorf("%d bucket entries linger after removing everything", len(loads))
+	}
+}
+
+// TestRemoveKeepsPopulatedBuckets: removing one of two co-bucketed ids
+// must keep the bucket alive and findable.
+func TestRemoveKeepsPopulatedBuckets(t *testing.T) {
+	ix := NewIndex(Params{Rows: 2, Bands: 1})
+	a := fingerprint.MinHash{1, 2, 7, 8}
+	b := fingerprint.MinHash{1, 2, 7, 9}
+	c := fingerprint.MinHash{1, 2, 7, 10}
+	ix.Insert(0, a)
+	ix.Insert(1, b)
+	ix.Insert(2, c)
+	ix.Remove(1, b)
+	if got := ix.Stats().BucketsUsed; got != 1 {
+		t.Errorf("BucketsUsed = %d, want 1 (bucket still holds ids 0,2)", got)
+	}
+	if _, ok := ix.Best(0, a, 0); !ok {
+		t.Error("surviving co-bucketed candidate not found after Remove")
+	}
+}
+
+// TestSeenDoesNotGrowStamp: the read path of the per-query dedup filter
+// must not allocate; only mark may grow the stamp slice.
+func TestSeenDoesNotGrowStamp(t *testing.T) {
+	ix := NewIndex(DefaultParams())
+	ix.beginQuery(0)
+	n := len(ix.stamp)
+	far := int32(n + 1000)
+	if ix.seen(far) {
+		t.Error("unmarked id reported seen")
+	}
+	if len(ix.stamp) != n {
+		t.Errorf("seen grew stamp: %d -> %d", n, len(ix.stamp))
+	}
+	ix.mark(far)
+	if !ix.seen(far) {
+		t.Error("marked id not reported seen")
+	}
+	if len(ix.stamp) <= int(far) {
+		t.Errorf("mark did not grow stamp to cover id %d", far)
+	}
+}
+
+// TestBatchInsertMatchesSequential: for any worker count the sharded
+// build must leave the index byte-identical to sequential insertion —
+// bucket contents and order, stats, and every query answer.
+func TestBatchInsertMatchesSequential(t *testing.T) {
+	cfg := fingerprint.DefaultConfig()
+	rng := rand.New(rand.NewSource(5))
+	sigs := make([]fingerprint.MinHash, 300)
+	base := randSeq(rng, 40, 30)
+	for i := range sigs {
+		// A mix of near-clones and unrelated sequences so buckets have
+		// realistic crowding.
+		if i%3 == 0 {
+			sigs[i] = cfg.New(mutate(rng, base, 3, 30))
+		} else {
+			sigs[i] = cfg.New(randSeq(rng, 40, 30))
+		}
+	}
+
+	seq := NewIndex(DefaultParams())
+	for i, s := range sigs {
+		seq.Insert(i, s)
+	}
+	buildStats := seq.stats
+	answers := make([][]Candidate, len(sigs))
+	for i := range sigs {
+		answers[i] = seq.Query(i, sigs[i], 0.2)
+	}
+	queryStats := seq.stats
+
+	for _, w := range []int{1, 2, 3, 8, 64} {
+		par := NewIndex(DefaultParams())
+		par.BatchInsert(0, sigs, w)
+		if !reflect.DeepEqual(seq.buckets, par.buckets) {
+			t.Fatalf("workers=%d: bucket maps differ from sequential build", w)
+		}
+		if par.stats != buildStats {
+			t.Fatalf("workers=%d: build stats %+v differ from sequential %+v", w, par.stats, buildStats)
+		}
+		for i := range sigs {
+			if got := par.Query(i, sigs[i], 0.2); !reflect.DeepEqual(got, answers[i]) {
+				t.Fatalf("workers=%d: query %d differs: %v vs %v", w, i, got, answers[i])
+			}
+		}
+		if par.stats != queryStats {
+			t.Fatalf("workers=%d: post-query stats %+v diverge from %+v", w, par.stats, queryStats)
+		}
+	}
+}
+
+// TestBestWhereNMatchesSequential: the fanned-out ranking query must
+// return the same winner and accumulate the same stats as the
+// sequential BestWhere for every worker count, including under an
+// accept filter.
+func TestBestWhereNMatchesSequential(t *testing.T) {
+	cfg := fingerprint.DefaultConfig()
+	rng := rand.New(rand.NewSource(23))
+	sigs := make([]fingerprint.MinHash, 400)
+	base := randSeq(rng, 40, 12) // small alphabet: crowded buckets
+	for i := range sigs {
+		sigs[i] = cfg.New(mutate(rng, base, rng.Intn(20), 12))
+	}
+	reject := func(id int) bool { return id%5 != 0 }
+
+	type outcome struct {
+		best  Candidate
+		found bool
+		stats IndexStats
+	}
+	runAll := func(workers int) []outcome {
+		ix := NewIndex(Params{Rows: 2, Bands: 100, BucketCap: 10})
+		ix.BatchInsert(0, sigs, workers)
+		out := make([]outcome, 0, 2*len(sigs))
+		for i := range sigs {
+			best, found := ix.BestWhereN(i, sigs[i], 0.3, nil, workers)
+			out = append(out, outcome{best, found, ix.stats})
+			best, found = ix.BestWhereN(i, sigs[i], 0.3, reject, workers)
+			out = append(out, outcome{best, found, ix.stats})
+		}
+		return out
+	}
+
+	want := runAll(1)
+	for _, w := range []int{2, 4, 9} {
+		got := runAll(w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: query %d: %+v, want %+v", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchInsertAppendsToExistingIndex: sharded insertion into a
+// non-empty index must extend buckets exactly like sequential Inserts.
+func TestBatchInsertAppendsToExistingIndex(t *testing.T) {
+	cfg := fingerprint.DefaultConfig()
+	rng := rand.New(rand.NewSource(9))
+	first := make([]fingerprint.MinHash, 50)
+	second := make([]fingerprint.MinHash, 50)
+	for i := range first {
+		first[i] = cfg.New(randSeq(rng, 30, 20))
+		second[i] = cfg.New(randSeq(rng, 30, 20))
+	}
+
+	seq := NewIndex(DefaultParams())
+	par := NewIndex(DefaultParams())
+	for i, s := range first {
+		seq.Insert(i, s)
+		par.Insert(i, s)
+	}
+	for i, s := range second {
+		seq.Insert(len(first)+i, s)
+	}
+	par.BatchInsert(len(first), second, 4)
+
+	if !reflect.DeepEqual(seq.buckets, par.buckets) {
+		t.Fatal("bucket maps differ after appending batch")
+	}
+	if seq.stats != par.stats {
+		t.Fatalf("stats differ: %+v vs %+v", par.stats, seq.stats)
+	}
+}

@@ -1,0 +1,22 @@
+#!/bin/sh
+# check.sh — the repository's verification gate.
+#
+# Runs static analysis and the full test suite under the race detector.
+# The -race run is what guards the parallel preprocessing/ranking
+# pipeline (core.Config.Workers): the determinism and worker-pool tests
+# drive every stage with multiple goroutines, so a reintroduced data
+# race in the fingerprint config, the LSH batch build, or the ranking
+# fan-out fails here even on a single-CPU machine.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "ok"
