@@ -17,6 +17,7 @@ import (
 	"f3m/internal/irgen"
 	"f3m/internal/lsh"
 	"f3m/internal/merge"
+	"f3m/internal/obs"
 )
 
 func benchOptions() experiments.Options {
@@ -190,6 +191,41 @@ func BenchmarkParallelPreprocessRank(b *testing.B) {
 				b.ReportMetric(float64(merges), "merges")
 			})
 		}
+	}
+}
+
+// BenchmarkObsOverhead measures what the observability layer costs the
+// whole pipeline: `off` is the default nil-handle configuration (the
+// hooks reduce to one nil check each and must stay within noise of the
+// pre-instrumentation pipeline), `traced` and `metered` enable the
+// tracer and the metrics registry. Compare ns/op of the three
+// sub-benchmarks; the acceptance bar is `off` within 2% of what
+// BenchmarkPipeline/F3M measured before the hooks existed, i.e.
+// disabled observability is free.
+func BenchmarkObsOverhead(b *testing.B) {
+	spec := irgen.SuiteSpec{Name: "bench", Funcs: 800, AvgInstrs: 22, CloneFraction: 0.45}
+	modes := []struct {
+		name string
+		set  func(*core.Config)
+	}{
+		{"off", func(*core.Config) {}},
+		{"traced", func(c *core.Config) { c.Tracer = obs.NewTracer() }},
+		{"metered", func(c *core.Config) { c.Metrics = obs.NewMetrics() }},
+		{"both", func(c *core.Config) { c.Tracer = obs.NewTracer(); c.Metrics = obs.NewMetrics() }},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m := irgen.Generate(spec.Config(3)).Module
+				cfg := core.DefaultConfig(core.F3MStatic)
+				mode.set(&cfg)
+				b.StartTimer()
+				if _, err := core.Run(m, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -3,17 +3,20 @@
 //
 // Usage:
 //
-//	f3m-experiments [-exp table1|fig3|...|all] [-quick] [-seed S]
+//	f3m-experiments [-exp table1|fig3|...|all] [-quick] [-seed S] [-cpuprofile FILE]
 //
 // Each experiment prints an aligned text table (heatmaps render as
 // ASCII density plots). EXPERIMENTS.md records how the outputs compare
-// to the paper's numbers.
+// to the paper's numbers. -cpuprofile captures a pprof CPU profile of
+// the selected experiments, the quickest way to see where a sweep
+// spends its time.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"f3m/internal/experiments"
@@ -24,7 +27,22 @@ func main() {
 	quick := flag.Bool("quick", false, "scaled-down workloads (seconds per experiment)")
 	seed := flag.Int64("seed", 20220402, "workload generation seed")
 	repeats := flag.Int("repeats", 0, "timed-run repeats (0 = default)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to FILE")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "f3m-experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "f3m-experiments:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	o := experiments.DefaultOptions()
 	o.Seed = *seed

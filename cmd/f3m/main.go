@@ -14,6 +14,10 @@
 //	-workers N                     preprocess/rank parallelism (0 = GOMAXPROCS, 1 = sequential)
 //	-emit                          print the optimized module to stdout
 //	-v                             per-pair merge log
+//	-trace                         print the stage-span trace after the report
+//	-metrics                       print the candidate funnel and metric registry
+//	-metrics-json FILE             write the deterministic metrics snapshot as JSON ("-" = stdout)
+//	-cpuprofile FILE               write a pprof CPU profile of the merging pass
 package main
 
 import (
@@ -21,12 +25,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 
 	"f3m/internal/core"
 	"f3m/internal/ir"
 	"f3m/internal/irgen"
 	"f3m/internal/minic"
+	"f3m/internal/obs"
 )
 
 func main() {
@@ -45,6 +51,10 @@ func run() error {
 	workers := flag.Int("workers", 0, "preprocess/rank parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	emit := flag.Bool("emit", false, "print the optimized module")
 	verbose := flag.Bool("v", false, "log every selected pair")
+	trace := flag.Bool("trace", false, "print the stage-span trace after the report")
+	metrics := flag.Bool("metrics", false, "print the candidate funnel and metric registry")
+	metricsJSON := flag.String("metrics-json", "", "write the deterministic metrics snapshot as JSON to FILE (\"-\" = stdout)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the merging pass to FILE")
 	flag.Parse()
 
 	var strat core.Strategy
@@ -68,6 +78,24 @@ func run() error {
 	cfg.Threshold = *threshold
 	cfg.K = *k
 	cfg.Workers = *workers
+	if *trace {
+		cfg.Tracer = obs.NewTracer()
+	}
+	if *metrics || *metricsJSON != "" {
+		cfg.Metrics = obs.NewMetrics()
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 	rep, err := core.Run(mod, cfg)
 	if err != nil {
 		return err
@@ -95,6 +123,30 @@ func run() error {
 			}
 			fmt.Printf("  %-30s + %-30s sim=%.3f %s\n", p.A, p.B, p.Similarity, status)
 		}
+	}
+	if *metrics {
+		fmt.Println()
+		rep.Metrics.WriteFunnel(os.Stdout)
+		fmt.Println()
+		rep.Metrics.WriteText(os.Stdout)
+	}
+	if *metricsJSON != "" {
+		w := os.Stdout
+		if *metricsJSON != "-" {
+			f, err := os.Create(*metricsJSON)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := rep.Metrics.WriteJSON(w); err != nil {
+			return err
+		}
+	}
+	if *trace {
+		fmt.Println()
+		cfg.Tracer.WriteText(os.Stdout)
 	}
 	if *emit {
 		if err := ir.WriteModule(os.Stdout, mod); err != nil {

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"f3m/internal/irgen"
+	"f3m/internal/obs"
+)
+
+// runWithObs runs a freshly generated module with tracing and metrics
+// enabled at the given worker count.
+func runWithObs(t *testing.T, strat Strategy, workers int) (*Report, *obs.Tracer) {
+	t.Helper()
+	gencfg := irgen.DefaultConfig(606)
+	gencfg.Callers = 0
+	m := irgen.Generate(gencfg).Module
+	cfg := DefaultConfig(strat)
+	cfg.Workers = workers
+	cfg.Tracer = obs.NewTracer()
+	cfg.Metrics = obs.NewMetrics()
+	rep, err := Run(m, cfg)
+	if err != nil {
+		t.Fatalf("%v workers=%d: %v", strat, workers, err)
+	}
+	return rep, cfg.Tracer
+}
+
+// TestMetricsDeterministicAcrossWorkers is the observability acceptance
+// criterion: the deterministic JSON export must be byte-identical for
+// every Workers setting, extending the PR-1 determinism contract to
+// the metrics registry. Volatile gauges (wall clocks, worker counts,
+// pool busy time) are excluded from this export by construction.
+func TestMetricsDeterministicAcrossWorkers(t *testing.T) {
+	for _, strat := range []Strategy{HyFM, F3MStatic, F3MAdaptive} {
+		var want []byte
+		for _, w := range []int{1, 2, 8} {
+			rep, _ := runWithObs(t, strat, w)
+			var buf bytes.Buffer
+			if err := rep.Metrics.WriteJSON(&buf); err != nil {
+				t.Fatalf("%v workers=%d: WriteJSON: %v", strat, w, err)
+			}
+			if want == nil {
+				want = buf.Bytes()
+				continue
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%v: workers=%d JSON metrics differ from workers=1:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+					strat, w, want, w, buf.Bytes())
+			}
+		}
+	}
+}
+
+// TestFunnelMatchesReport ties the funnel counters to the report fields
+// they must agree with: committed == Merges, fingerprinted == NumFuncs,
+// and (for F3M) compared == LSHStats.Comparisons.
+func TestFunnelMatchesReport(t *testing.T) {
+	for _, strat := range []Strategy{HyFM, F3MStatic, F3MAdaptive} {
+		rep, _ := runWithObs(t, strat, 1)
+		mx := rep.Metrics
+		if mx == nil {
+			t.Fatalf("%v: Report.Metrics not echoed", strat)
+		}
+		if got := mx.CounterValue(obs.FunnelCommitted); got != int64(rep.Merges) {
+			t.Errorf("%v: funnel.committed = %d, want Merges = %d", strat, got, rep.Merges)
+		}
+		if got := mx.CounterValue(obs.FunnelFingerprinted); got != int64(rep.NumFuncs) {
+			t.Errorf("%v: funnel.fingerprinted = %d, want NumFuncs = %d", strat, got, rep.NumFuncs)
+		}
+		if got := mx.CounterValue(obs.FunnelProfitable); got != int64(rep.Merges) {
+			t.Errorf("%v: funnel.profitable = %d, want %d", strat, got, rep.Merges)
+		}
+		if rep.Merges == 0 {
+			t.Errorf("%v: run merged nothing; funnel check is vacuous", strat)
+		}
+		if strat == HyFM {
+			continue
+		}
+		if got := mx.CounterValue(obs.FunnelCompared); got != rep.LSHStats.Comparisons {
+			t.Errorf("%v: funnel.compared = %d, want LSHStats.Comparisons = %d",
+				strat, got, rep.LSHStats.Comparisons)
+		}
+		if got := mx.CounterValue(obs.FunnelBucketed); got != int64(rep.LSHStats.Inserted) {
+			t.Errorf("%v: funnel.bucketed = %d, want LSHStats.Inserted = %d",
+				strat, got, rep.LSHStats.Inserted)
+		}
+		if got := mx.CounterValue("lsh.comparisons"); got != rep.LSHStats.Comparisons {
+			t.Errorf("%v: lsh.comparisons = %d, want %d", strat, got, rep.LSHStats.Comparisons)
+		}
+	}
+}
+
+// TestTracerRecordsPipelineSpans checks the stage spans a traced run
+// produces: the run/preprocess/merge-loop skeleton plus one attempt
+// span per ranked pair, all closed.
+func TestTracerRecordsPipelineSpans(t *testing.T) {
+	for _, strat := range []Strategy{HyFM, F3MStatic} {
+		rep, tr := runWithObs(t, strat, 1)
+		if tr.NumSpans() < 3+rep.Attempts {
+			t.Errorf("%v: %d spans recorded, want at least %d (run+preprocess+merge-loop+%d attempts)",
+				strat, tr.NumSpans(), 3+rep.Attempts, rep.Attempts)
+		}
+		var buf bytes.Buffer
+		tr.WriteText(&buf)
+		out := buf.String()
+		for _, name := range []string{"run", "preprocess", "merge-loop", "attempt"} {
+			if !bytes.Contains(buf.Bytes(), []byte(name)) {
+				t.Errorf("%v: trace output missing span %q:\n%s", strat, name, out)
+			}
+		}
+		if bytes.Contains(buf.Bytes(), []byte("unfinished")) {
+			t.Errorf("%v: trace has unfinished spans:\n%s", strat, out)
+		}
+	}
+}
+
+// TestObsDisabledByDefault: with no Tracer/Metrics configured the run
+// must not materialize a registry on the report.
+func TestObsDisabledByDefault(t *testing.T) {
+	gencfg := irgen.DefaultConfig(606)
+	gencfg.Callers = 0
+	m := irgen.Generate(gencfg).Module
+	rep, err := Run(m, DefaultConfig(F3MStatic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics != nil {
+		t.Errorf("Report.Metrics = %v, want nil when metrics are disabled", rep.Metrics)
+	}
+}

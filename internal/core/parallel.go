@@ -19,8 +19,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"f3m/internal/fingerprint"
+	"f3m/internal/obs"
 )
 
 // resolveWorkers maps the Config.Workers knob to a pool size: 0 (or
@@ -40,12 +42,28 @@ func resolveWorkers(w int) int {
 // counter. fn must be safe to call concurrently for distinct i. With
 // workers <= 1 it degenerates to a plain loop.
 func parallelFor(n, workers int, fn func(i int)) {
+	parallelForPool(n, workers, nil, fn)
+}
+
+// parallelForPool is parallelFor with worker-pool observability: when
+// busy is non-nil, each worker adds its active wall time (in
+// nanoseconds) to the gauge, so busy/(workers*stage wall clock) is the
+// pool utilization. The timing is two clock reads per worker, not per
+// item, and is skipped entirely when busy is nil.
+func parallelForPool(n, workers int, busy *obs.Gauge, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		var t0 time.Time
+		if busy != nil {
+			t0 = time.Now()
+		}
 		for i := 0; i < n; i++ {
 			fn(i)
+		}
+		if busy != nil {
+			busy.Add(float64(time.Since(t0)))
 		}
 		return
 	}
@@ -59,6 +77,11 @@ func parallelFor(n, workers int, fn func(i int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			var t0 time.Time
+			if busy != nil {
+				t0 = time.Now()
+				defer func() { busy.Add(float64(time.Since(t0))) }()
+			}
 			for {
 				hi := int(next.Add(int64(chunk)))
 				lo := hi - chunk
@@ -77,6 +100,20 @@ func parallelFor(n, workers int, fn func(i int)) {
 	wg.Wait()
 }
 
+// poolRun is the instrumented entry the pipeline stages use: it runs
+// fn over [0, n) like parallelFor and, when metrics are enabled,
+// records the stage's pool counters — items processed (deterministic)
+// plus the volatile worker count and summed busy time.
+func poolRun(n, workers int, mx *obs.Metrics, stage string, fn func(i int)) {
+	var busy *obs.Gauge
+	if mx != nil {
+		mx.Counter("pool." + stage + ".items").Add(int64(n))
+		mx.VolatileGauge("pool." + stage + ".workers").Set(float64(workers))
+		busy = mx.VolatileGauge("pool." + stage + ".busy_ns")
+	}
+	parallelForPool(n, workers, busy, fn)
+}
+
 // parallelScanMin is the population size below which the HyFM inner
 // scan is not worth fanning out (goroutine startup would dominate the
 // O(n) distance work). Purely a performance threshold: results are
@@ -88,25 +125,33 @@ const parallelScanMin = 512
 // across workers. Each worker keeps the first minimum of its contiguous
 // range; ranges are then reduced in ascending order with a strict
 // less-than, so the overall winner is the first index attaining the
-// minimal distance — exactly what the sequential scan selects.
-func nearestNeighbour(fps []*fingerprint.FreqVector, i int, merged []bool, workers int) (best, bestDist int) {
+// minimal distance — exactly what the sequential scan selects. The
+// third result counts the distance computations performed (the
+// candidate-funnel "compared" stage); it depends only on the merged
+// set, not the worker split.
+func nearestNeighbour(fps []*fingerprint.FreqVector, i int, merged []bool, workers int) (best, bestDist int, compared int64) {
 	n := len(fps)
-	scan := func(lo, hi int) (int, int) {
+	scan := func(lo, hi int) (int, int, int64) {
 		b, bd := -1, int(^uint(0)>>1)
+		cmp := int64(0)
 		for j := lo; j < hi; j++ {
 			if j == i || merged[j] {
 				continue
 			}
+			cmp++
 			if d := fps[i].Distance(fps[j]); d < bd {
 				b, bd = j, d
 			}
 		}
-		return b, bd
+		return b, bd, cmp
 	}
 	if workers <= 1 || n < parallelScanMin {
 		return scan(0, n)
 	}
-	type hit struct{ b, d int }
+	type hit struct {
+		b, d int
+		cmp  int64
+	}
 	hits := make([]hit, workers)
 	per := (n + workers - 1) / workers
 	var wg sync.WaitGroup
@@ -122,15 +167,16 @@ func nearestNeighbour(fps []*fingerprint.FreqVector, i int, merged []bool, worke
 			if lo > n {
 				lo = n
 			}
-			hits[w].b, hits[w].d = scan(lo, hi)
+			hits[w].b, hits[w].d, hits[w].cmp = scan(lo, hi)
 		}(w)
 	}
 	wg.Wait()
 	best, bestDist = -1, int(^uint(0)>>1)
 	for _, h := range hits {
+		compared += h.cmp
 		if h.b >= 0 && h.d < bestDist {
 			best, bestDist = h.b, h.d
 		}
 	}
-	return best, bestDist
+	return best, bestDist, compared
 }

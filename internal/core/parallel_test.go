@@ -210,11 +210,12 @@ func TestNearestNeighbourParallel(t *testing.T) {
 		merged[i] = rng.Intn(4) == 0
 	}
 	for _, i := range []int{0, 1, 7, n / 2, n - 1} {
-		wantB, wantD := nearestNeighbour(fps, i, merged, 1)
+		wantB, wantD, wantC := nearestNeighbour(fps, i, merged, 1)
 		for _, w := range []int{2, 3, 4, 16} {
-			gotB, gotD := nearestNeighbour(fps, i, merged, w)
-			if gotB != wantB || gotD != wantD {
-				t.Errorf("i=%d workers=%d: (%d,%d), want (%d,%d)", i, w, gotB, gotD, wantB, wantD)
+			gotB, gotD, gotC := nearestNeighbour(fps, i, merged, w)
+			if gotB != wantB || gotD != wantD || gotC != wantC {
+				t.Errorf("i=%d workers=%d: (%d,%d,%d), want (%d,%d,%d)",
+					i, w, gotB, gotD, gotC, wantB, wantD, wantC)
 			}
 		}
 	}

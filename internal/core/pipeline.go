@@ -23,6 +23,7 @@ import (
 	"f3m/internal/ir"
 	"f3m/internal/lsh"
 	"f3m/internal/merge"
+	"f3m/internal/obs"
 )
 
 // Strategy selects the ranking mechanism.
@@ -107,6 +108,20 @@ type Config struct {
 
 	// MergeOpts tune code generation and profitability.
 	MergeOpts merge.Options
+
+	// Tracer, when set, receives a span per pipeline stage and per
+	// merge attempt (see internal/obs). Nil — the default — disables
+	// tracing; the pipeline then pays one nil check per hook.
+	Tracer *obs.Tracer
+
+	// Metrics, when set, receives the candidate-funnel counters, LSH
+	// occupancy statistics, alignment-score histograms and pool
+	// utilization (see internal/obs). The deterministic subset of the
+	// registry — everything but wall-clock and worker-count gauges —
+	// is identical for every Workers setting, extending the
+	// determinism contract to the metrics export. Nil disables
+	// metrics collection.
+	Metrics *obs.Metrics
 }
 
 // DefaultConfig returns the configuration for a strategy with the
@@ -181,11 +196,20 @@ type Report struct {
 
 	// LSHStats carries bucket counters (F3M only).
 	LSHStats lsh.IndexStats
+
+	// Metrics echoes Config.Metrics after the run has published into
+	// it, so callers that handed a registry to Run can read the named
+	// counters straight off the report (the experiments harness does).
+	// Nil when metrics were disabled.
+	Metrics *obs.Metrics
 }
 
-// Reduction is the fractional code-size reduction achieved.
+// Reduction is the fractional code-size reduction achieved. Degenerate
+// size accounting — a non-positive starting size or a negative final
+// size, neither of which a real run produces — reports 0 rather than a
+// nonsensical (or infinite) ratio.
 func (r *Report) Reduction() float64 {
-	if r.SizeBefore == 0 {
+	if r.SizeBefore <= 0 || r.SizeAfter < 0 {
 		return 0
 	}
 	return 1 - float64(r.SizeAfter)/float64(r.SizeBefore)
@@ -237,11 +261,29 @@ func candidates(m *ir.Module) []*ir.Function {
 // failures into the error-propagation path.
 var mergePair = merge.Pair
 
+// Histogram bounds for the run-level metrics. Similarity and alignment
+// scores live in [0,1], so deciles; savings are integer size-model
+// units with a long tail, so powers of two; encoded lengths likewise.
+var (
+	decileBounds     = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	savingBounds     = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	encodedLenBounds = []float64{4, 8, 16, 32, 64, 128, 256, 512}
+)
+
 // attemptMerge runs align+codegen+profitability for one ranked pair and
-// commits on success, updating the report stages. Unexpected merge
-// errors (anything but ErrIncompatible) are returned to the caller
-// rather than panicking, so Run surfaces them through its error result.
-func attemptMerge(m *ir.Module, fa, fb *ir.Function, cfg Config, rep *Report, rankDur time.Duration, sim float64) (bool, error) {
+// commits on success, updating the report stages, the funnel counters
+// and the attempt span (a child of parent, which is nil when tracing
+// is off). Unexpected merge errors (anything but ErrIncompatible) are
+// returned to the caller rather than panicking, so Run surfaces them
+// through its error result.
+func attemptMerge(m *ir.Module, fa, fb *ir.Function, cfg Config, rep *Report, rankDur time.Duration, sim float64, parent *obs.Span) (bool, error) {
+	sp := parent.Child("attempt")
+	sp.SetAttr("a", fa.Name())
+	sp.SetAttr("b", fb.Name())
+	defer sp.End()
+	mx := cfg.Metrics
+	mx.Histogram("rank.similarity", decileBounds).Observe(sim)
+
 	res, err := mergePair(m, fa, fb, cfg.MergeOpts)
 	outcome := PairOutcome{A: fa.Name(), B: fb.Name(), Similarity: sim, Attempted: true}
 	if err != nil {
@@ -252,10 +294,14 @@ func attemptMerge(m *ir.Module, fa, fb *ir.Function, cfg Config, rep *Report, ra
 		rep.Times.RankFail += rankDur
 		rep.Pairs = append(rep.Pairs, outcome)
 		rep.Attempts++
+		mx.Counter("merge.incompatible").Inc()
+		sp.SetAttr("outcome", "incompatible")
 		return false, nil
 	}
 	rep.Attempts++
 	outcome.MergeDur = res.AlignDur + res.CodegenDur
+	mx.Counter(obs.FunnelAligned).Inc()
+	mx.Histogram("align.score", decileBounds).Observe(res.AlignScore)
 	if res.Profitable {
 		merge.Commit(m, res)
 		rep.Merges++
@@ -265,6 +311,11 @@ func attemptMerge(m *ir.Module, fa, fb *ir.Function, cfg Config, rep *Report, ra
 		outcome.Profitable = true
 		outcome.Saving = res.SizeSaving()
 		rep.Pairs = append(rep.Pairs, outcome)
+		mx.Counter(obs.FunnelProfitable).Inc()
+		mx.Counter(obs.FunnelCommitted).Inc()
+		mx.Histogram("merge.saving", savingBounds).Observe(float64(outcome.Saving))
+		sp.SetAttr("outcome", "committed")
+		sp.SetAttr("saving", outcome.Saving)
 		return true, nil
 	}
 	merge.Discard(m, res)
@@ -272,7 +323,36 @@ func attemptMerge(m *ir.Module, fa, fb *ir.Function, cfg Config, rep *Report, ra
 	rep.Times.AlignFail += res.AlignDur
 	rep.Times.CodegenFail += res.CodegenDur
 	rep.Pairs = append(rep.Pairs, outcome)
+	mx.Counter("merge.unprofitable").Inc()
+	sp.SetAttr("outcome", "unprofitable")
 	return false, nil
+}
+
+// publishRunMetrics records the run-level results into the registry
+// once a pass finishes: module sizes and effective parameters as
+// deterministic gauges, stage wall clocks and the worker count as
+// volatile ones (they differ across machines and Workers settings, so
+// the deterministic JSON export excludes them). It also echoes the
+// registry on the report. No-op when metrics are disabled.
+func publishRunMetrics(rep *Report, cfg Config, workers int) {
+	mx := cfg.Metrics
+	rep.Metrics = mx
+	if mx == nil {
+		return
+	}
+	mx.Gauge("core.funcs").Set(float64(rep.NumFuncs))
+	mx.Gauge("size.before").Set(float64(rep.SizeBefore))
+	mx.Gauge("size.after").Set(float64(rep.SizeAfter))
+	mx.Gauge("core.threshold").Set(rep.Threshold)
+	mx.Gauge("core.bands").Set(float64(rep.Bands))
+	mx.Gauge("core.k").Set(float64(rep.K))
+	mx.VolatileGauge("core.workers").Set(float64(workers))
+	t := rep.Times
+	mx.VolatileGauge("time.preprocess_ns").Set(float64(t.Preprocess))
+	mx.VolatileGauge("time.rank_ns").Set(float64(t.RankSuccess + t.RankFail))
+	mx.VolatileGauge("time.align_ns").Set(float64(t.AlignSuccess + t.AlignFail))
+	mx.VolatileGauge("time.codegen_ns").Set(float64(t.CodegenSuccess + t.CodegenFail))
+	mx.VolatileGauge("time.total_ns").Set(float64(t.Total()))
 }
 
 // runHyFM is the baseline: exhaustive nearest-neighbour ranking over
@@ -281,34 +361,45 @@ func runHyFM(m *ir.Module, cfg Config) (*Report, error) {
 	rep := &Report{Strategy: HyFM}
 	rep.SizeBefore = ModuleCost(m)
 	cfg = withCallIndex(m, cfg)
+	mx := cfg.Metrics
+
+	run := cfg.Tracer.StartSpan("run")
+	run.SetAttr("strategy", HyFM)
+	defer run.End()
 
 	workers := resolveWorkers(cfg.Workers)
 	start := time.Now()
+	pre := run.Child("preprocess")
 	funcs := candidates(m)
 	rep.NumFuncs = len(funcs)
 	fps := make([]*fingerprint.FreqVector, len(funcs))
-	parallelFor(len(funcs), workers, func(i int) {
+	poolRun(len(funcs), workers, mx, "fingerprint", func(i int) {
 		fps[i] = fingerprint.FreqFunc(funcs[i])
 	})
+	mx.Counter(obs.FunnelFingerprinted).Add(int64(len(funcs)))
+	pre.End()
 	rep.Times.Preprocess = time.Since(start)
 
 	// The outer loop mutates merged[] and the module after each commit,
 	// so it stays sequential; each O(n) scan fans out across workers.
+	loop := run.Child("merge-loop")
 	merged := make([]bool, len(funcs))
 	for i := range funcs {
 		if merged[i] {
 			continue
 		}
 		rankStart := time.Now()
-		best, _ := nearestNeighbour(fps, i, merged, workers)
+		best, _, compared := nearestNeighbour(fps, i, merged, workers)
 		rankDur := time.Since(rankStart)
+		mx.Counter(obs.FunnelCompared).Add(compared)
 		if best < 0 {
 			rep.Times.RankFail += rankDur
 			rep.Pairs = append(rep.Pairs, PairOutcome{A: funcs[i].Name()})
 			continue
 		}
+		mx.Counter(obs.FunnelAboveThreshold).Inc()
 		sim := fps[i].Similarity(fps[best])
-		ok, err := attemptMerge(m, funcs[i], funcs[best], cfg, rep, rankDur, sim)
+		ok, err := attemptMerge(m, funcs[i], funcs[best], cfg, rep, rankDur, sim, loop)
 		if err != nil {
 			return nil, err
 		}
@@ -316,7 +407,9 @@ func runHyFM(m *ir.Module, cfg Config) (*Report, error) {
 			merged[i], merged[best] = true, true
 		}
 	}
+	loop.End()
 	rep.SizeAfter = ModuleCost(m)
+	publishRunMetrics(rep, cfg, workers)
 	return rep, nil
 }
 
@@ -325,8 +418,14 @@ func runF3M(m *ir.Module, cfg Config) (*Report, error) {
 	rep := &Report{Strategy: cfg.Strategy}
 	rep.SizeBefore = ModuleCost(m)
 	cfg = withCallIndex(m, cfg)
+	mx := cfg.Metrics
+
+	run := cfg.Tracer.StartSpan("run")
+	run.SetAttr("strategy", cfg.Strategy)
+	defer run.End()
 
 	start := time.Now()
+	pre := run.Child("preprocess")
 	funcs := candidates(m)
 	rep.NumFuncs = len(funcs)
 
@@ -366,20 +465,33 @@ func runF3M(m *ir.Module, cfg Config) (*Report, error) {
 	// Fingerprinting is embarrassingly parallel per function (the
 	// prepared config is read-only), and the LSH build is sharded by
 	// band; both yield the same index state as the sequential path.
+	// The encoded-length histogram records integers from parallel
+	// code, which keeps its float sum schedule-independent.
 	workers := resolveWorkers(cfg.Workers)
 	mhCfg := (&fingerprint.Config{K: k, ShingleSize: 2, Seed: cfg.Seed}).Prepare()
 	sigs := make([]fingerprint.MinHash, len(funcs))
-	parallelFor(len(funcs), workers, func(i int) {
-		sigs[i] = mhCfg.New(fingerprint.EncodeFunc(funcs[i]))
+	fp := pre.Child("fingerprint")
+	encLen := mx.Histogram("fingerprint.encoded_len", encodedLenBounds)
+	poolRun(len(funcs), workers, mx, "fingerprint", func(i int) {
+		enc := fingerprint.EncodeFunc(funcs[i])
+		encLen.Observe(float64(len(enc)))
+		sigs[i] = mhCfg.New(enc)
 	})
+	mx.Counter(obs.FunnelFingerprinted).Add(int64(len(funcs)))
+	fp.End()
+	lb := pre.Child("lsh-build")
 	ix := lsh.NewIndex(lsh.Params{Rows: rows, Bands: bands, BucketCap: cfg.BucketCap})
 	ix.BatchInsert(0, sigs, workers)
+	mx.Counter(obs.FunnelBucketed).Add(int64(ix.Stats().Inserted))
+	lb.End()
+	pre.End()
 	rep.Times.Preprocess = time.Since(start)
 
 	hotSkip := func(i int) bool {
 		return cfg.Hotness != nil && cfg.HotSkip > 0 && cfg.Hotness(funcs[i].Name()) >= cfg.HotSkip
 	}
 
+	loop := run.Child("merge-loop")
 	merged := make([]bool, len(funcs))
 	for i := range funcs {
 		if merged[i] || hotSkip(i) {
@@ -426,7 +538,7 @@ func runF3M(m *ir.Module, cfg Config) (*Report, error) {
 			rep.Pairs = append(rep.Pairs, PairOutcome{A: funcs[i].Name()})
 			continue
 		}
-		ok, err := attemptMerge(m, funcs[i], funcs[best.ID], cfg, rep, rankDur, best.Similarity)
+		ok, err := attemptMerge(m, funcs[i], funcs[best.ID], cfg, rep, rankDur, best.Similarity, loop)
 		if err != nil {
 			return nil, err
 		}
@@ -436,7 +548,15 @@ func runF3M(m *ir.Module, cfg Config) (*Report, error) {
 			ix.Remove(best.ID, sigs[best.ID])
 		}
 	}
+	loop.End()
 	rep.LSHStats = ix.Stats()
 	rep.SizeAfter = ModuleCost(m)
+	// The index accumulates comparison and candidate counts across the
+	// whole loop; fold them into the funnel and publish the occupancy
+	// distributions now that querying is done.
+	ix.PublishMetrics(mx)
+	mx.Counter(obs.FunnelCompared).Add(rep.LSHStats.Comparisons)
+	mx.Counter(obs.FunnelAboveThreshold).Add(rep.LSHStats.CandidatesFound)
+	publishRunMetrics(rep, cfg, workers)
 	return rep, nil
 }

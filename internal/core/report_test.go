@@ -1,0 +1,32 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestReduction covers the normal ratio and the degenerate size
+// accounting Reduction must tolerate (zero or negative sizes cannot
+// come out of a real run, but a hand-built Report is API surface).
+func TestReduction(t *testing.T) {
+	cases := []struct {
+		name          string
+		before, after int
+		want          float64
+	}{
+		{"normal", 100, 80, 0.2},
+		{"growth", 100, 120, -0.2},
+		{"no-change", 50, 50, 0},
+		{"zero-before", 0, 10, 0},
+		{"negative-before", -5, 10, 0},
+		{"negative-after", 100, -1, 0},
+		{"all-merged-away", 100, 0, 1},
+	}
+	for _, c := range cases {
+		rep := &Report{SizeBefore: c.before, SizeAfter: c.after}
+		if got := rep.Reduction(); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: Reduction() with before=%d after=%d = %v, want %v",
+				c.name, c.before, c.after, got, c.want)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"f3m/internal/core"
 	"f3m/internal/irgen"
+	"f3m/internal/obs"
 	"f3m/internal/stats"
 )
 
@@ -127,7 +128,11 @@ func Fig15(o Options) *Table {
 // Fig16 reproduces the bucket-cap sweep on the linux-shaped workload:
 // capping per-bucket comparisons barely affects code size while
 // trimming ranking time, because only a tiny fraction of buckets is
-// overpopulated yet they host most comparisons.
+// overpopulated yet they host most comparisons. The bucket accounting
+// is read from the observability registry's named metrics
+// (lsh.comparisons, lsh.bucket_cap_skips, ...) rather than private
+// report fields, so the figure exercises the same export path users of
+// `f3m -metrics` see.
 func Fig16(o Options) *Table {
 	spec := linuxShaped(o)
 	caps := []int{2, 10, 50, 100, 1000, -1}
@@ -139,6 +144,7 @@ func Fig16(o Options) *Table {
 	for _, c := range caps {
 		cfg := core.DefaultConfig(core.F3MStatic)
 		cfg.BucketCap = c
+		cfg.Metrics = obs.NewMetrics()
 		rep := runStrategyOnSuite(spec, o.Seed, cfg)
 		label := fmt.Sprintf("%d", c)
 		if c < 0 {
@@ -146,15 +152,16 @@ func Fig16(o Options) *Table {
 		}
 		t.AddRow(label,
 			fmt.Sprintf("%.2f%%", 100*rep.Reduction()),
-			fmt.Sprintf("%d", rep.LSHStats.Comparisons),
-			fmt.Sprintf("%d", rep.LSHStats.CapSkips),
+			fmt.Sprintf("%d", rep.Metrics.CounterValue("lsh.comparisons")),
+			fmt.Sprintf("%d", rep.Metrics.CounterValue("lsh.bucket_cap_skips")),
 			secs(rep.Times.Total()))
 	}
 	// Bucket-population shape, as quoted in Section IV-E.
 	cfg := core.DefaultConfig(core.F3MStatic)
+	cfg.Metrics = obs.NewMetrics()
 	rep := runStrategyOnSuite(spec, o.Seed, cfg)
-	t.Notef("max bucket load %d over %d buckets used (paper: <0.03%% of buckets overpopulated, hosting ~75%% of comparisons)",
-		rep.LSHStats.MaxBucketLoad, rep.LSHStats.BucketsUsed)
+	t.Notef("max bucket load %.0f over %d buckets used (paper: <0.03%% of buckets overpopulated, hosting ~75%% of comparisons)",
+		rep.Metrics.GaugeValue("lsh.max_bucket_load"), rep.Metrics.CounterValue("lsh.buckets_used"))
 	t.Notef("paper: even cap=2 keeps reduction within noise; cap=100 recovers ~4%% compile time")
 	return t
 }

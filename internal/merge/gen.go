@@ -32,6 +32,10 @@ type mergeGen struct {
 	// alignDur and codegenDur split the run's wall time into the
 	// alignment and code-generation stages for the paper's breakdowns.
 	alignDur, codegenDur time.Duration
+
+	// alignScore is the instruction-weighted matched ratio of the
+	// accepted block pairs (see Result.AlignScore).
+	alignScore float64
 }
 
 // pendInstr links an emitted instruction to its originals; origB is nil
@@ -53,6 +57,24 @@ func newMergeGen(m *ir.Module, ca, cb *ir.Function, opts Options) *mergeGen {
 		paramMapA: make(map[int]int),
 		paramMapB: make(map[int]int),
 	}
+}
+
+// alignScoreOf converts the accepted block pairs into the
+// instruction-weighted matched ratio over both functions — the
+// align.MergeRatio metric, recovered from the pairing this attempt
+// already computed instead of a second alignment pass: each pair's
+// Ratio is 2*matches/(lenA+lenB), so matches = Ratio*(lenA+lenB)/2,
+// and block encoding is one word per instruction.
+func alignScoreOf(pairs []align.BlockPair, ca, cb *ir.Function) float64 {
+	total := ca.NumInstrs() + cb.NumInstrs()
+	if total == 0 {
+		return 1
+	}
+	matched := 0.0
+	for _, p := range pairs {
+		matched += p.Ratio * float64(len(p.A.Instrs)+len(p.B.Instrs)) / 2
+	}
+	return 2 * matched / float64(total)
 }
 
 func (g *mergeGen) run(name string) (*ir.Function, error) {
@@ -109,6 +131,7 @@ func (g *mergeGen) run(name string) (*ir.Function, error) {
 	// resolve successors in one pass.
 	alignStart := time.Now()
 	pairs, unA, unB := align.MatchBlocks(g.ca, g.cb, g.opts.MinBlockRatio)
+	g.alignScore = alignScoreOf(pairs, g.ca, g.cb)
 	g.alignDur = time.Since(alignStart)
 	codegenStart := time.Now()
 	defer func() { g.codegenDur = time.Since(codegenStart) }()

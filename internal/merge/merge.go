@@ -80,6 +80,14 @@ type Result struct {
 	// stages the paper's Figures 3 and 13 report.
 	AlignDur, CodegenDur time.Duration
 
+	// AlignScore is the block-level alignment quality of the pair: the
+	// fraction of instructions (of both functions) landing in matched
+	// alignment columns of accepted block pairs — the same metric as
+	// align.MergeRatio, derived from this attempt's own block pairing
+	// instead of a second alignment pass. It feeds the observability
+	// layer's alignment-score histogram.
+	AlignScore float64
+
 	fa, fb *ir.Function
 
 	// paramMapA/B map merged-parameter index (>= 1; 0 is the function
@@ -153,6 +161,7 @@ func Pair(m *ir.Module, fa, fb *ir.Function, opts Options) (*Result, error) {
 		paramMapB:  g.paramMapB,
 		AlignDur:   g.alignDur,
 		CodegenDur: g.codegenDur,
+		AlignScore: g.alignScore,
 	}
 	countSites := opts.CallSiteCount
 	if opts.Index != nil {

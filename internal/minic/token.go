@@ -46,6 +46,7 @@ type Error struct {
 	Msg string
 }
 
+// Error formats the diagnostic as "minic: line:col: message".
 func (e *Error) Error() string { return fmt.Sprintf("minic: %s: %s", e.Pos, e.Msg) }
 
 func errf(pos Pos, format string, args ...any) error {

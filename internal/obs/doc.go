@@ -1,0 +1,30 @@
+// Package obs is the pipeline observability layer: structured span
+// tracing, a metrics registry of counters/gauges/histograms, and
+// exporters (human-readable text, machine-diffable JSON, an in-process
+// expvar-style snapshot).
+//
+// The package is designed around two constraints of the merge pipeline
+// it instruments (internal/core):
+//
+//   - Disabled must be (nearly) free. Every handle — *Tracer, *Span,
+//     *Metrics, *Counter, *Gauge, *Histogram — is nil-safe, so an
+//     uninstrumented run pays exactly one nil check per hook and
+//     allocates nothing. Instrumentation sites never need to guard
+//     with `if m != nil`.
+//
+//   - Determinism must survive parallelism. The pipeline's contract
+//     (see DESIGN.md) is that any core.Config.Workers setting produces
+//     the identical Report. Metrics extend that contract: counters are
+//     integer atomics whose totals are schedule-independent, histogram
+//     bucket counts likewise, and anything wall-clock- or
+//     configuration-dependent (stage times, pool utilization, worker
+//     counts) is registered as *volatile* and excluded from the
+//     deterministic JSON export. WriteJSON output is therefore
+//     byte-identical for any worker count; WriteText shows everything.
+//
+// Naming convention: dotted lower_snake paths, `<subsystem>.<metric>`
+// — e.g. "lsh.bucket_cap_skips", "funnel.committed", "align.score".
+// The candidate-funnel stage names are exported as constants
+// (FunnelFingerprinted .. FunnelCommitted) so producers and consumers
+// (the CLI funnel summary, the Fig. 16 experiment) cannot drift apart.
+package obs

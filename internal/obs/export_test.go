@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the exporter golden files")
+
+// goldenRegistry builds the fixed registry both exporter goldens
+// serialize: one of each metric kind, including a volatile gauge that
+// must appear in the text export but not the JSON one.
+func goldenRegistry() *Metrics {
+	m := NewMetrics()
+	m.Counter(FunnelFingerprinted).Add(12)
+	m.Counter(FunnelBucketed).Add(12)
+	m.Counter(FunnelCompared).Add(34)
+	m.Counter(FunnelAboveThreshold).Add(10)
+	m.Counter(FunnelAligned).Add(8)
+	m.Counter(FunnelProfitable).Add(3)
+	m.Counter(FunnelCommitted).Add(3)
+	m.Counter("lsh.bucket_cap_skips").Add(5)
+	m.Gauge("core.threshold").Set(0.05)
+	m.Gauge("size.before").Set(400)
+	m.Gauge("size.after").Set(350)
+	m.VolatileGauge("time.total_ns").Set(123456789)
+	h := m.Histogram("align.score", []float64{0.25, 0.5, 0.75})
+	for _, v := range []float64{0.1, 0.6, 0.6, 0.8, 1} {
+		h.Observe(v)
+	}
+	return m
+}
+
+// checkGolden compares got against the named golden file, rewriting it
+// under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -update` to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestTextExporterGolden pins the human-readable export byte for byte.
+func TestTextExporterGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.txt", sb.String())
+}
+
+// TestJSONExporterGolden pins the machine-diffable export byte for
+// byte; this is the format the determinism tests and bench harnesses
+// diff across worker counts.
+func TestJSONExporterGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.json", sb.String())
+}
+
+// TestFunnelGolden pins the funnel summary rendering.
+func TestFunnelGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WriteFunnel(&sb); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "funnel.txt", sb.String())
+}
+
+// TestJSONDeterministicAcrossInsertionOrder: building the same logical
+// registry in a different order must serialize identically.
+func TestJSONDeterministicAcrossInsertionOrder(t *testing.T) {
+	a := goldenRegistry()
+
+	b := NewMetrics()
+	h := b.Histogram("align.score", []float64{0.25, 0.5, 0.75})
+	for _, v := range []float64{0.1, 0.6, 0.6, 0.8, 1} {
+		h.Observe(v)
+	}
+	b.Gauge("size.after").Set(350)
+	b.Gauge("size.before").Set(400)
+	b.Gauge("core.threshold").Set(0.05)
+	b.VolatileGauge("time.total_ns").Set(99) // differs; must not matter
+	b.Counter("lsh.bucket_cap_skips").Add(5)
+	for name, n := range map[string]int64{
+		FunnelCommitted: 3, FunnelProfitable: 3, FunnelAligned: 8,
+		FunnelAboveThreshold: 10, FunnelCompared: 34,
+		FunnelBucketed: 12, FunnelFingerprinted: 12,
+	} {
+		b.Counter(name).Add(n)
+	}
+
+	var ja, jb strings.Builder
+	if err := a.WriteJSON(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if ja.String() != jb.String() {
+		t.Errorf("JSON differs across insertion order:\n%s\nvs\n%s", ja.String(), jb.String())
+	}
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilRegistryIsNoop: every handle chained off a nil *Metrics must
+// be callable and inert — this is the disabled-observability contract
+// the pipeline's hot path relies on.
+func TestNilRegistryIsNoop(t *testing.T) {
+	var m *Metrics
+	m.Counter("x").Add(5)
+	m.Counter("x").Inc()
+	m.Gauge("g").Set(1)
+	m.VolatileGauge("v").Add(2)
+	m.Histogram("h", []float64{1, 2}).Observe(1.5)
+	if got := m.CounterValue("x"); got != 0 {
+		t.Errorf("nil registry counter = %d, want 0", got)
+	}
+	if got := m.GaugeValue("g"); got != 0 {
+		t.Errorf("nil registry gauge = %v, want 0", got)
+	}
+	if s := m.Snapshot(true); s.Counters != nil || s.Gauges != nil || s.Histograms != nil {
+		t.Errorf("nil registry snapshot not empty: %+v", s)
+	}
+	if m.String() != "{}" {
+		t.Errorf("nil registry String() = %q, want {}", m.String())
+	}
+	var sb strings.Builder
+	if err := m.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "disabled") {
+		t.Errorf("nil registry text = %q", sb.String())
+	}
+}
+
+// TestCounterGaugeBasics pins handle identity and read-back semantics.
+func TestCounterGaugeBasics(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("funnel.committed")
+	c.Add(2)
+	c.Inc()
+	if m.Counter("funnel.committed") != c {
+		t.Error("Counter lookup did not return the same handle")
+	}
+	if got := m.CounterValue("funnel.committed"); got != 3 {
+		t.Errorf("counter = %d, want 3", got)
+	}
+	if got := m.CounterValue("absent"); got != 0 {
+		t.Errorf("absent counter = %d, want 0", got)
+	}
+
+	g := m.Gauge("core.threshold")
+	g.Set(0.25)
+	g.Add(0.25)
+	if got := m.GaugeValue("core.threshold"); got != 0.5 {
+		t.Errorf("gauge = %v, want 0.5", got)
+	}
+}
+
+// TestHistogramBuckets checks bucket edges: values equal to a bound
+// land in that bound's bucket, larger values overflow to +Inf.
+func TestHistogramBuckets(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("align.score", []float64{0.25, 0.5, 0.75})
+	for _, v := range []float64{0.1, 0.25, 0.3, 0.75, 0.9, 2} {
+		h.Observe(v)
+	}
+	s := m.Snapshot(false)
+	hs := s.Histograms["align.score"]
+	want := []int64{2, 1, 1, 2}
+	for i, w := range want {
+		if hs.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, hs.Counts[i], w, hs.Counts)
+		}
+	}
+	if hs.Count != 6 {
+		t.Errorf("count = %d, want 6", hs.Count)
+	}
+	if hs.Sum != 0.1+0.25+0.3+0.75+0.9+2 {
+		t.Errorf("sum = %v", hs.Sum)
+	}
+}
+
+// TestVolatileExcludedFromJSON: volatile gauges appear in the full
+// snapshot and text export but never in the deterministic JSON.
+func TestVolatileExcludedFromJSON(t *testing.T) {
+	m := NewMetrics()
+	m.Gauge("size.before").Set(100)
+	m.VolatileGauge("time.total_ns").Set(12345)
+
+	det := m.Snapshot(false)
+	if _, ok := det.Gauges["time.total_ns"]; ok {
+		t.Error("volatile gauge leaked into deterministic snapshot")
+	}
+	if _, ok := det.Gauges["size.before"]; !ok {
+		t.Error("non-volatile gauge missing from deterministic snapshot")
+	}
+	full := m.Snapshot(true)
+	if _, ok := full.Gauges["time.total_ns"]; !ok {
+		t.Error("volatile gauge missing from full snapshot")
+	}
+
+	var sb strings.Builder
+	if err := m.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "time.total_ns") {
+		t.Error("volatile gauge leaked into WriteJSON output")
+	}
+}
+
+// TestConcurrentUpdatesAggregate drives one counter and one histogram
+// from many goroutines; integer totals must be schedule-independent.
+// Run under -race by scripts/check.sh.
+func TestConcurrentUpdatesAggregate(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("funnel.compared")
+	h := m.Histogram("fingerprint.encoded_len", []float64{8, 64})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(float64(i % 100))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	// Sum of exact integers is order-independent in float64.
+	wantSum := float64(workers) * float64(per/100) * (99 * 100 / 2)
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("histogram sum = %v, want %v", got, wantSum)
+	}
+}
+
+// TestHistogramBoundsFixedByFirstCreation: a second Histogram call
+// with different bounds returns the original handle unchanged.
+func TestHistogramBoundsFixedByFirstCreation(t *testing.T) {
+	m := NewMetrics()
+	h1 := m.Histogram("h", []float64{1, 2})
+	h2 := m.Histogram("h", []float64{10})
+	if h1 != h2 {
+		t.Error("expected the same handle for the same name")
+	}
+	if len(h1.bounds) != 2 {
+		t.Errorf("bounds changed: %v", h1.bounds)
+	}
+}

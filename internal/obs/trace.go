@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer records a tree of timed spans — one per pipeline stage and
+// one per merge attempt. A nil *Tracer is the disabled tracer:
+// StartSpan returns a nil *Span whose methods are all no-ops, so the
+// hot path pays a single nil check when tracing is off.
+//
+// Spans nest through Span.Child, and span recording is
+// mutex-protected, so stage-level spans may be started and ended from
+// different goroutines; the pipeline only creates spans from
+// sequential code.
+type Tracer struct {
+	mu    sync.Mutex
+	base  time.Time
+	spans []spanRecord
+}
+
+// spanRecord is one started (and possibly ended) span, in start order.
+type spanRecord struct {
+	name  string
+	depth int
+	start time.Duration // offset from Tracer start
+	end   time.Duration // -1 while the span is open
+	attrs []spanAttr
+}
+
+// spanAttr is one key=value annotation, formatted at SetAttr time.
+type spanAttr struct {
+	key, val string
+}
+
+// NewTracer returns an enabled tracer whose span offsets are relative
+// to now.
+func NewTracer() *Tracer {
+	return &Tracer{base: time.Now()}
+}
+
+// Enabled reports whether the tracer records spans (i.e. is non-nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// StartSpan opens a root-level span. Returns a nil (no-op) span when
+// the tracer is disabled.
+func (t *Tracer) StartSpan(name string) *Span {
+	return t.startSpan(name, 0)
+}
+
+func (t *Tracer) startSpan(name string, depth int) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	idx := len(t.spans)
+	t.spans = append(t.spans, spanRecord{
+		name:  name,
+		depth: depth,
+		start: time.Since(t.base),
+		end:   -1,
+	})
+	t.mu.Unlock()
+	return &Span{t: t, idx: idx, depth: depth}
+}
+
+// Span is one live (or ended) span handle. A nil *Span is the no-op
+// handle returned by a disabled tracer.
+type Span struct {
+	t     *Tracer
+	idx   int
+	depth int
+}
+
+// Child opens a span nested under s. On a nil handle it returns nil,
+// so whole instrumentation subtrees disappear when tracing is off.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.startSpan(name, s.depth+1)
+}
+
+// SetAttr annotates the span with a key=value pair (value formatted
+// with fmt.Sprint). No-op on a nil handle.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	rec := &s.t.spans[s.idx]
+	rec.attrs = append(rec.attrs, spanAttr{key: key, val: fmt.Sprint(value)})
+	s.t.mu.Unlock()
+}
+
+// End closes the span. No-op on a nil handle; ending twice keeps the
+// first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	rec := &s.t.spans[s.idx]
+	if rec.end < 0 {
+		rec.end = time.Since(s.t.base)
+	}
+	s.t.mu.Unlock()
+}
+
+// NumSpans returns how many spans have been started; 0 when disabled.
+func (t *Tracer) NumSpans() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// WriteText renders the span tree in start order, one line per span:
+// indentation shows nesting, followed by the span duration, its
+// [start..end] offsets from tracer start, and any attributes. Open
+// spans render as "unfinished". Writing on a nil tracer emits a
+// "tracing disabled" line so callers need not special-case it.
+func (t *Tracer) WriteText(w io.Writer) error {
+	if t == nil {
+		_, err := fmt.Fprintln(w, "trace: tracing disabled")
+		return err
+	}
+	t.mu.Lock()
+	spans := make([]spanRecord, len(t.spans))
+	copy(spans, t.spans)
+	t.mu.Unlock()
+
+	if _, err := fmt.Fprintf(w, "trace: %d spans\n", len(spans)); err != nil {
+		return err
+	}
+	for _, rec := range spans {
+		for i := 0; i < rec.depth+1; i++ {
+			if _, err := io.WriteString(w, "  "); err != nil {
+				return err
+			}
+		}
+		dur := "unfinished"
+		endAt := "..."
+		if rec.end >= 0 {
+			dur = (rec.end - rec.start).Round(time.Microsecond).String()
+			endAt = rec.end.Round(time.Microsecond).String()
+		}
+		line := fmt.Sprintf("%-24s %10s  [%v .. %v]", rec.name, dur,
+			rec.start.Round(time.Microsecond), endAt)
+		for _, a := range rec.attrs {
+			line += fmt.Sprintf("  %s=%s", a.key, a.val)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNilTracerIsNoop: the disabled tracer and every span chained off
+// it must be callable and inert.
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	sp := tr.StartSpan("run")
+	child := sp.Child("stage")
+	child.SetAttr("k", "v")
+	child.End()
+	sp.End()
+	if tr.NumSpans() != 0 {
+		t.Errorf("nil tracer recorded %d spans", tr.NumSpans())
+	}
+	var sb strings.Builder
+	if err := tr.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "disabled") {
+		t.Errorf("nil tracer text = %q", sb.String())
+	}
+}
+
+// TestSpanNesting checks depth propagation, attributes and rendering.
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer()
+	run := tr.StartSpan("run")
+	pre := run.Child("preprocess")
+	fp := pre.Child("fingerprint")
+	fp.End()
+	pre.End()
+	at := run.Child("attempt")
+	at.SetAttr("a", "foo")
+	at.SetAttr("saving", 7)
+	at.End()
+	run.End()
+
+	if got := tr.NumSpans(); got != 4 {
+		t.Fatalf("NumSpans = %d, want 4", got)
+	}
+	var sb strings.Builder
+	if err := tr.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"run", "preprocess", "fingerprint", "attempt", "a=foo", "saving=7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace text missing %q:\n%s", want, out)
+		}
+	}
+	// fingerprint is depth 2: three levels of indent (depth+1).
+	if !strings.Contains(out, "      fingerprint") {
+		t.Errorf("fingerprint not indented to depth 2:\n%s", out)
+	}
+	if strings.Contains(out, "unfinished") {
+		t.Errorf("all spans ended, none should be unfinished:\n%s", out)
+	}
+}
+
+// TestOpenSpanRenders: an un-ended span must render as unfinished
+// rather than panic or report a bogus duration.
+func TestOpenSpanRenders(t *testing.T) {
+	tr := NewTracer()
+	tr.StartSpan("open")
+	var sb strings.Builder
+	if err := tr.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "unfinished") {
+		t.Errorf("open span not marked unfinished:\n%s", sb.String())
+	}
+}
+
+// TestDoubleEndKeepsFirst: ending a span twice must not move its end.
+func TestDoubleEndKeepsFirst(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.StartSpan("s")
+	sp.End()
+	end1 := tr.spans[0].end
+	sp.End()
+	if tr.spans[0].end != end1 {
+		t.Error("second End moved the span end time")
+	}
+}

@@ -13,6 +13,9 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
+echo "== lintdoc (exported-comment lint)"
+go run ./scripts/lintdoc ./internal/* ./cmd/* ./scripts/lintdoc
+
 echo "== go build ./..."
 go build ./...
 

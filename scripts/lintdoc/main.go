@@ -1,0 +1,145 @@
+// Command lintdoc is the repository's exported-comment lint, in the
+// spirit of revive's exported rule but dependency-free: every exported
+// top-level declaration in the packages passed on the command line must
+// carry a doc comment, and every package must have a package comment.
+// Exercised by scripts/check.sh; exits non-zero listing each violation
+// as file:line.
+//
+// Usage:
+//
+//	go run ./scripts/lintdoc ./internal/core ./internal/obs ...
+//
+// Arguments are directories (one package per directory, non-recursive).
+// Test files are skipped: their exported helpers are internal to the
+// test binary.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: lintdoc <package-dir> ...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		n, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lintdoc: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		bad += n
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "lintdoc: %d undocumented exported declaration(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintDir parses one package directory and reports each undocumented
+// exported declaration, returning the violation count.
+func lintDir(dir string) (int, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+	bad := 0
+	complain := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		fmt.Printf("%s:%d: %s\n", filepath.ToSlash(p.Filename), p.Line, what)
+		bad++
+	}
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Name, "_test") {
+			continue
+		}
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			// Report against any one file of the package.
+			for name, f := range pkg.Files {
+				_ = name
+				complain(f.Package, fmt.Sprintf("package %s has no package comment", pkg.Name))
+				break
+			}
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				lintDecl(decl, complain)
+			}
+		}
+	}
+	return bad, nil
+}
+
+// exportedRecv reports whether d is a plain function or a method whose
+// receiver base type is itself exported. Exported methods on
+// unexported types are not reachable API surface, so — like revive's
+// exported rule — they are exempt.
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// lintDecl reports undocumented exported top-level declarations. For
+// grouped var/const/type blocks a doc comment on the group satisfies
+// every member, matching the convention gofmt produces.
+func lintDecl(decl ast.Decl, complain func(token.Pos, string)) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Name.IsExported() && d.Doc == nil && exportedRecv(d) {
+			kind := "function"
+			if d.Recv != nil {
+				kind = "method"
+			}
+			complain(d.Pos(), fmt.Sprintf("exported %s %s has no doc comment", kind, d.Name.Name))
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+					complain(s.Pos(), fmt.Sprintf("exported type %s has no doc comment", s.Name.Name))
+				}
+			case *ast.ValueSpec:
+				if d.Doc != nil || s.Doc != nil {
+					continue
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						complain(name.Pos(), fmt.Sprintf("exported %s %s has no doc comment", d.Tok, name.Name))
+					}
+				}
+			}
+		}
+	}
+}
