@@ -12,6 +12,7 @@
 //	-threshold T                   similarity threshold (-1 = strategy default)
 //	-k K                           MinHash fingerprint size (0 = default)
 //	-workers N                     preprocess/rank parallelism (0 = GOMAXPROCS, 1 = sequential)
+//	-check off|fast|strict         static-analysis level (fast = audit each merge; strict = full module checks)
 //	-emit                          print the optimized module to stdout
 //	-v                             per-pair merge log
 //	-trace                         print the stage-span trace after the report
@@ -23,11 +24,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime/pprof"
 	"strings"
 
+	"f3m/internal/analysis"
 	"f3m/internal/core"
 	"f3m/internal/ir"
 	"f3m/internal/irgen"
@@ -36,26 +39,30 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "f3m:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	strategy := flag.String("strategy", "f3m", "ranking strategy: hyfm, f3m or f3m-adapt")
-	gen := flag.Int("gen", 0, "generate a synthetic module with ~N functions instead of reading files")
-	seed := flag.Int64("seed", 1, "synthetic generation seed")
-	threshold := flag.Float64("threshold", -1, "similarity threshold (-1 = strategy default)")
-	k := flag.Int("k", 0, "MinHash fingerprint size (0 = default)")
-	workers := flag.Int("workers", 0, "preprocess/rank parallelism (0 = GOMAXPROCS, 1 = sequential)")
-	emit := flag.Bool("emit", false, "print the optimized module")
-	verbose := flag.Bool("v", false, "log every selected pair")
-	trace := flag.Bool("trace", false, "print the stage-span trace after the report")
-	metrics := flag.Bool("metrics", false, "print the candidate funnel and metric registry")
-	metricsJSON := flag.String("metrics-json", "", "write the deterministic metrics snapshot as JSON to FILE (\"-\" = stdout)")
-	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the merging pass to FILE")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("f3m", flag.ContinueOnError)
+	strategy := fs.String("strategy", "f3m", "ranking strategy: hyfm, f3m or f3m-adapt")
+	gen := fs.Int("gen", 0, "generate a synthetic module with ~N functions instead of reading files")
+	seed := fs.Int64("seed", 1, "synthetic generation seed")
+	threshold := fs.Float64("threshold", -1, "similarity threshold (-1 = strategy default)")
+	k := fs.Int("k", 0, "MinHash fingerprint size (0 = default)")
+	workers := fs.Int("workers", 0, "preprocess/rank parallelism (0 = GOMAXPROCS, 1 = sequential)")
+	check := fs.String("check", "off", "static-analysis level: off, fast (audit each merge) or strict (full module checks)")
+	emit := fs.Bool("emit", false, "print the optimized module")
+	verbose := fs.Bool("v", false, "log every selected pair")
+	trace := fs.Bool("trace", false, "print the stage-span trace after the report")
+	metrics := fs.Bool("metrics", false, "print the candidate funnel and metric registry")
+	metricsJSON := fs.String("metrics-json", "", "write the deterministic metrics snapshot as JSON to FILE (\"-\" = stdout)")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the merging pass to FILE")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var strat core.Strategy
 	switch *strategy {
@@ -69,7 +76,7 @@ func run() error {
 		return fmt.Errorf("unknown strategy %q", *strategy)
 	}
 
-	mod, err := loadModule(flag.Args(), *gen, *seed)
+	mod, err := loadModule(fs.Args(), *gen, *seed)
 	if err != nil {
 		return err
 	}
@@ -78,6 +85,10 @@ func run() error {
 	cfg.Threshold = *threshold
 	cfg.K = *k
 	cfg.Workers = *workers
+	cfg.Check, err = core.ParseCheckMode(*check)
+	if err != nil {
+		return err
+	}
 	if *trace {
 		cfg.Tracer = obs.NewTracer()
 	}
@@ -104,14 +115,27 @@ func run() error {
 		return fmt.Errorf("internal error: module invalid after merging: %w", err)
 	}
 
-	fmt.Printf("strategy:      %s (t=%.3f, k=%d, b=%d)\n", rep.Strategy, rep.Threshold, rep.K, rep.Bands)
-	fmt.Printf("functions:     %d\n", rep.NumFuncs)
-	fmt.Printf("attempts:      %d ranked pairs, %d merged\n", rep.Attempts, rep.Merges)
-	fmt.Printf("size:          %d -> %d (%.2f%% reduction)\n", rep.SizeBefore, rep.SizeAfter, 100*rep.Reduction())
+	fmt.Fprintf(stdout, "strategy:      %s (t=%.3f, k=%d, b=%d)\n", rep.Strategy, rep.Threshold, rep.K, rep.Bands)
+	fmt.Fprintf(stdout, "functions:     %d\n", rep.NumFuncs)
+	fmt.Fprintf(stdout, "attempts:      %d ranked pairs, %d merged\n", rep.Attempts, rep.Merges)
+	fmt.Fprintf(stdout, "size:          %d -> %d (%.2f%% reduction)\n", rep.SizeBefore, rep.SizeAfter, 100*rep.Reduction())
 	tt := rep.Times
-	fmt.Printf("pass time:     %v (preprocess %v, ranking %v, align %v, codegen %v)\n",
+	fmt.Fprintf(stdout, "pass time:     %v (preprocess %v, ranking %v, align %v, codegen %v)\n",
 		tt.Total(), tt.Preprocess, tt.RankSuccess+tt.RankFail,
 		tt.AlignSuccess+tt.AlignFail, tt.CodegenSuccess+tt.CodegenFail)
+	if cfg.Check != core.CheckOff {
+		nerr := rep.Diagnostics.Count(analysis.Error)
+		fmt.Fprintf(stdout, "checks:        %s, %d diagnostics (%d errors)\n",
+			cfg.Check, len(rep.Diagnostics), nerr)
+		if len(rep.Diagnostics) > 0 {
+			if err := rep.Diagnostics.Render(stdout); err != nil {
+				return err
+			}
+		}
+		if nerr > 0 {
+			return fmt.Errorf("check=%s found %d errors", cfg.Check, nerr)
+		}
+	}
 	if *verbose {
 		for _, p := range rep.Pairs {
 			if !p.Attempted {
@@ -121,17 +145,17 @@ func run() error {
 			if p.Profitable {
 				status = fmt.Sprintf("merged, saved %d", p.Saving)
 			}
-			fmt.Printf("  %-30s + %-30s sim=%.3f %s\n", p.A, p.B, p.Similarity, status)
+			fmt.Fprintf(stdout, "  %-30s + %-30s sim=%.3f %s\n", p.A, p.B, p.Similarity, status)
 		}
 	}
 	if *metrics {
-		fmt.Println()
-		rep.Metrics.WriteFunnel(os.Stdout)
-		fmt.Println()
-		rep.Metrics.WriteText(os.Stdout)
+		fmt.Fprintln(stdout)
+		rep.Metrics.WriteFunnel(stdout)
+		fmt.Fprintln(stdout)
+		rep.Metrics.WriteText(stdout)
 	}
 	if *metricsJSON != "" {
-		w := os.Stdout
+		w := io.Writer(stdout)
 		if *metricsJSON != "-" {
 			f, err := os.Create(*metricsJSON)
 			if err != nil {
@@ -145,11 +169,11 @@ func run() error {
 		}
 	}
 	if *trace {
-		fmt.Println()
-		cfg.Tracer.WriteText(os.Stdout)
+		fmt.Fprintln(stdout)
+		cfg.Tracer.WriteText(stdout)
 	}
 	if *emit {
-		if err := ir.WriteModule(os.Stdout, mod); err != nil {
+		if err := ir.WriteModule(stdout, mod); err != nil {
 			return err
 		}
 	}

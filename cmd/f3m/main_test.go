@@ -3,6 +3,8 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"regexp"
+	"strings"
 	"testing"
 )
 
@@ -68,5 +70,32 @@ func TestLoadModuleErrors(t *testing.T) {
 	os.WriteFile(bad, []byte("define bogus"), 0o644)
 	if _, err := loadModule([]string{bad}, 0, 0); err == nil {
 		t.Error("expected parse error")
+	}
+}
+
+// TestCheckStrictGolden pins the -check=strict report rendering on the
+// checked-in corpus. The pass-time line is wall-clock and elided.
+func TestCheckStrictGolden(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"-check=strict", "-seed", "1", "../../testdata/handlers.c"}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	got := regexp.MustCompile(`(?m)^pass time:.*$`).ReplaceAllString(buf.String(), "pass time:     (elided)")
+	want, err := os.ReadFile(filepath.Join("testdata", "check_strict.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("output diverged from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestCheckModeErrors covers flag rejection and the nonzero-exit path
+// for error-level findings.
+func TestCheckModeErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-check=pedantic", "-gen", "10"}, &buf); err == nil {
+		t.Error("unknown check mode accepted")
 	}
 }

@@ -1,0 +1,158 @@
+// Package analysis is the pipeline's static-analysis subsystem: an
+// analysis manager caching per-function facts (CFG, dominators,
+// liveness, use counts, a module call graph) underneath a structured
+// diagnostics engine and three checker families —
+//
+//   - a strict verifier extending ir.VerifyModule/VerifyFunc into
+//     module-scope symbol and reference checking;
+//   - a merge auditor that replays every committed merge's CommitInfo
+//     against the module and proves thunks, call-site rewrites and the
+//     discriminator wiring are intact (the class of silent miscompiles
+//     the paper's Section III-E bug fixes address);
+//   - an IR linter for legal-but-suspicious leftovers the cleanup
+//     passes should have removed from generated functions.
+//
+// Diagnostics carry a checker name, severity and a function/block/
+// instruction location, and render deterministically so golden tests
+// and the cross-worker determinism contract can diff them bytewise.
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Severity classifies a diagnostic.
+type Severity uint8
+
+// Severities, ordered from informational to fatal.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+// String names the severity as rendered in diagnostics.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", uint8(s))
+}
+
+// Diagnostic is one finding of one checker, located as precisely as the
+// checker can: module-level findings leave Func empty, function-level
+// findings leave Block empty, and so on.
+type Diagnostic struct {
+	// Checker is the stable name of the checker that produced the
+	// finding (e.g. "strict-verify", "merge-audit", "lint").
+	Checker string
+
+	// Sev is the severity class.
+	Sev Severity
+
+	// Func, Block and Instr locate the finding: a function name, a
+	// block label within it, and an instruction result name or opcode
+	// mnemonic. Any suffix of the three may be empty.
+	Func, Block, Instr string
+
+	// Msg states the violation.
+	Msg string
+}
+
+// String renders the diagnostic on one line in the canonical form
+//
+//	<severity> [<checker>] @func:%block:%instr: message
+//
+// with absent location components omitted. The format is covered by
+// golden tests; renderers and tests rely on its stability.
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	b.WriteString(d.Sev.String())
+	b.WriteString(" [")
+	b.WriteString(d.Checker)
+	b.WriteString("]")
+	if d.Func != "" {
+		b.WriteString(" @")
+		b.WriteString(d.Func)
+		if d.Block != "" {
+			b.WriteString(":%")
+			b.WriteString(d.Block)
+		}
+		if d.Instr != "" {
+			b.WriteString(":%")
+			b.WriteString(d.Instr)
+		}
+	}
+	b.WriteString(": ")
+	b.WriteString(d.Msg)
+	return b.String()
+}
+
+// Diagnostics is a list of findings with deterministic ordering and
+// rendering helpers.
+type Diagnostics []Diagnostic
+
+// Sort orders the list canonically: by function, block, instruction,
+// checker, severity (descending, so errors lead ties) and message. The
+// order is total over distinct diagnostics, making rendered output
+// independent of the order checkers emitted them.
+func (ds Diagnostics) Sort() {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		if a.Instr != b.Instr {
+			return a.Instr < b.Instr
+		}
+		if a.Checker != b.Checker {
+			return a.Checker < b.Checker
+		}
+		if a.Sev != b.Sev {
+			return a.Sev > b.Sev
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// Count returns how many diagnostics are at least as severe as min.
+func (ds Diagnostics) Count(min Severity) int {
+	n := 0
+	for _, d := range ds {
+		if d.Sev >= min {
+			n++
+		}
+	}
+	return n
+}
+
+// Render writes the sorted diagnostics one per line. It sorts a copy,
+// leaving ds unmodified.
+func (ds Diagnostics) Render(w io.Writer) error {
+	sorted := append(Diagnostics(nil), ds...)
+	sorted.Sort()
+	for _, d := range sorted {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderString returns the canonical rendering as one string.
+func (ds Diagnostics) RenderString() string {
+	var b strings.Builder
+	ds.Render(&b) // strings.Builder never errors
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"fmt"
+
+	"f3m/internal/ir"
+)
+
+// CheckerLint names the IR linter in diagnostics.
+const CheckerLint = "lint"
+
+// LintFunc flags legal-but-suspicious IR in one function: patterns the
+// cleanup pipeline in internal/passes is supposed to remove, so their
+// presence in a generated (and cleaned) function means a pass regressed
+// or the generator emitted something the passes cannot see. Findings
+// are warnings — the IR still verifies — except where noted.
+//
+//   - unreachable blocks: SimplifyCFG prunes them;
+//   - unused side-effect-free definitions: DCE deletes them;
+//   - redundant phis (all incomings one value, ignoring self
+//     references): ElimRedundantPhis folds them;
+//   - self-referential-only phis (every incoming is the phi itself):
+//     an error, since no defined value can flow out of one.
+func LintFunc(mgr *Manager, f *ir.Function) Diagnostics {
+	if f.IsDecl() {
+		return nil
+	}
+	var ds Diagnostics
+	add := func(sev Severity, blk, instr, format string, args ...any) {
+		ds = append(ds, Diagnostic{
+			Checker: CheckerLint, Sev: sev,
+			Func: f.Name(), Block: blk, Instr: instr,
+			Msg: fmt.Sprintf(format, args...),
+		})
+	}
+
+	ff := mgr.Facts(f)
+	for _, b := range f.Blocks {
+		if !ff.Dom.Reachable(b) {
+			add(Warning, b.Name(), "", "block is unreachable from the entry")
+			continue
+		}
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPhi {
+				ds = append(ds, lintPhi(f, b, in)...)
+				continue
+			}
+			if in.Ty.IsVoid() || in.Op.HasSideEffects() {
+				continue
+			}
+			if ff.Uses[in] == 0 {
+				add(Warning, b.Name(), instrLabel(in),
+					"result of side-effect-free %s is never used", in.Op)
+			}
+		}
+	}
+	return ds
+}
+
+// lintPhi flags redundant and degenerate phis, mirroring the triviality
+// criterion passes.ElimRedundantPhis folds by.
+func lintPhi(f *ir.Function, b *ir.Block, phi *ir.Instr) Diagnostics {
+	var only ir.Value
+	for _, v := range phi.Operands {
+		if v == ir.Value(phi) {
+			continue
+		}
+		if only == nil {
+			only = v
+			continue
+		}
+		if !sameConstOrValue(only, v) {
+			return nil
+		}
+	}
+	if only == nil {
+		return Diagnostics{{
+			Checker: CheckerLint, Sev: Error,
+			Func: f.Name(), Block: b.Name(), Instr: instrLabel(phi),
+			Msg: "phi references only itself; no defined value can reach it",
+		}}
+	}
+	return Diagnostics{{
+		Checker: CheckerLint, Sev: Warning,
+		Func: f.Name(), Block: b.Name(), Instr: instrLabel(phi),
+		Msg: fmt.Sprintf("redundant phi: every incoming is %s", only.Ident()),
+	}}
+}
+
+// sameConstOrValue matches the value-equivalence rule the cleanup pass
+// uses: pointer identity, or equal constants.
+func sameConstOrValue(a, b ir.Value) bool {
+	if a == b {
+		return true
+	}
+	ca, ok1 := a.(*ir.Const)
+	cb, ok2 := b.(*ir.Const)
+	return ok1 && ok2 && ir.ConstEqual(ca, cb)
+}

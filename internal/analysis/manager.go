@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"f3m/internal/ir"
+)
+
+// FuncFacts bundles the per-function analyses the checkers consume.
+// Facts describe the function at the time they were computed; the
+// Manager caches them until the function is invalidated.
+type FuncFacts struct {
+	Fn *ir.Function
+
+	// Preds is the CFG predecessor map.
+	Preds map[*ir.Block][]*ir.Block
+
+	// Dom is the dominator tree (Reachable doubles as the
+	// reachable-block set).
+	Dom *ir.DomTree
+
+	// Uses counts, for every instruction result in the function, how
+	// many operand slots reference it.
+	Uses map[*ir.Instr]int
+
+	// LiveIn and LiveOut are the per-block liveness sets over
+	// instruction results and parameters: a value is live-in when some
+	// path from the block start reaches a use before any redefinition
+	// (SSA values have none, so this is plain upward-exposed-use
+	// dataflow).
+	LiveIn, LiveOut map[*ir.Block]map[ir.Value]bool
+}
+
+// CallGraph is the module's direct-call structure plus address-taken
+// information, built in one walk.
+type CallGraph struct {
+	// Callees lists, without duplicates, the functions each definition
+	// calls directly.
+	Callees map[*ir.Function][]*ir.Function
+
+	// Callers is the reverse edge set.
+	Callers map[*ir.Function][]*ir.Function
+
+	// AddressTaken marks functions referenced outside a callee slot.
+	AddressTaken map[*ir.Function]bool
+
+	// Present is the membership set of the module's function list, the
+	// reference the dangling checks compare against.
+	Present map[*ir.Function]bool
+}
+
+// Manager computes and caches analysis facts. It is not safe for
+// concurrent use; the pipeline runs checkers from its sequential
+// commit loop and the pre/post phases, which keeps diagnostic output
+// deterministic for every Workers setting.
+type Manager struct {
+	funcs map[*ir.Function]*FuncFacts
+	cg    *CallGraph
+	cgMod *ir.Module
+}
+
+// NewManager returns an empty fact cache.
+func NewManager() *Manager {
+	return &Manager{funcs: make(map[*ir.Function]*FuncFacts)}
+}
+
+// Facts returns the cached facts for f, computing them on first use.
+func (mgr *Manager) Facts(f *ir.Function) *FuncFacts {
+	if ff, ok := mgr.funcs[f]; ok {
+		return ff
+	}
+	ff := computeFuncFacts(f)
+	mgr.funcs[f] = ff
+	return ff
+}
+
+// Invalidate drops the cached facts of f (call after mutating it).
+func (mgr *Manager) Invalidate(f *ir.Function) {
+	delete(mgr.funcs, f)
+}
+
+// CallGraphOf returns the module call graph, cached until
+// InvalidateModule. Switching modules invalidates implicitly.
+func (mgr *Manager) CallGraphOf(m *ir.Module) *CallGraph {
+	if mgr.cg != nil && mgr.cgMod == m {
+		return mgr.cg
+	}
+	mgr.cg = buildCallGraph(m)
+	mgr.cgMod = m
+	return mgr.cg
+}
+
+// InvalidateModule drops the call graph and every per-function fact;
+// the merge auditor calls it after each commit, which rewrites call
+// sites in arbitrary functions.
+func (mgr *Manager) InvalidateModule() {
+	mgr.cg = nil
+	mgr.cgMod = nil
+	clear(mgr.funcs)
+}
+
+func computeFuncFacts(f *ir.Function) *FuncFacts {
+	ff := &FuncFacts{
+		Fn:      f,
+		Preds:   f.Preds(),
+		Dom:     ir.NewDomTree(f),
+		Uses:    make(map[*ir.Instr]int),
+		LiveIn:  make(map[*ir.Block]map[ir.Value]bool),
+		LiveOut: make(map[*ir.Block]map[ir.Value]bool),
+	}
+	f.Instructions(func(in *ir.Instr) {
+		for _, op := range in.Operands {
+			if def, ok := op.(*ir.Instr); ok {
+				ff.Uses[def]++
+			}
+		}
+	})
+	computeLiveness(f, ff)
+	return ff
+}
+
+// trackable reports whether a value participates in liveness (locals:
+// instruction results and parameters; constants and globals do not).
+func trackable(v ir.Value) bool {
+	switch v.(type) {
+	case *ir.Instr, *ir.Param:
+		return true
+	}
+	return false
+}
+
+// computeLiveness runs the standard backward dataflow over the CFG:
+//
+//	LiveOut(b) = union over successors s of LiveIn(s)
+//	LiveIn(b)  = upwardExposed(b) ∪ (LiveOut(b) − defs(b))
+//
+// Phi uses are charged to the incoming edge's predecessor (the value
+// must be live at the end of that predecessor, not at the phi itself),
+// matching the dominance rule DominatesInstr applies.
+func computeLiveness(f *ir.Function, ff *FuncFacts) {
+	// Per-block upward-exposed uses and defs.
+	exposed := make(map[*ir.Block]map[ir.Value]bool, len(f.Blocks))
+	defs := make(map[*ir.Block]map[ir.Value]bool, len(f.Blocks))
+	// phiIn[b] collects values phi instructions pull in along the edge
+	// from b, which become extra live-out entries of b.
+	phiIn := make(map[*ir.Block]map[ir.Value]bool)
+	for _, b := range f.Blocks {
+		exp := make(map[ir.Value]bool)
+		def := make(map[ir.Value]bool)
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPhi {
+				for i, v := range in.Operands {
+					if trackable(v) {
+						p := in.IncomingBlocks[i]
+						if phiIn[p] == nil {
+							phiIn[p] = make(map[ir.Value]bool)
+						}
+						phiIn[p][v] = true
+					}
+				}
+				def[in] = true
+				continue
+			}
+			for _, v := range in.Operands {
+				if trackable(v) && !def[v] {
+					exp[v] = true
+				}
+			}
+			if !in.Ty.IsVoid() {
+				def[in] = true
+			}
+		}
+		exposed[b] = exp
+		defs[b] = def
+		ff.LiveIn[b] = make(map[ir.Value]bool)
+		ff.LiveOut[b] = make(map[ir.Value]bool)
+	}
+
+	for changed := true; changed; {
+		changed = false
+		// Backward over the block list; iteration repeats to a fixed
+		// point so visit order only affects pass count.
+		for i := len(f.Blocks) - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			out := ff.LiveOut[b]
+			for _, s := range b.Succs() {
+				for v := range ff.LiveIn[s] {
+					if !out[v] {
+						out[v] = true
+						changed = true
+					}
+				}
+			}
+			for v := range phiIn[b] {
+				if !out[v] {
+					out[v] = true
+					changed = true
+				}
+			}
+			in := ff.LiveIn[b]
+			for v := range exposed[b] {
+				if !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+			for v := range out {
+				if !defs[b][v] && !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func buildCallGraph(m *ir.Module) *CallGraph {
+	cg := &CallGraph{
+		Callees:      make(map[*ir.Function][]*ir.Function),
+		Callers:      make(map[*ir.Function][]*ir.Function),
+		AddressTaken: make(map[*ir.Function]bool),
+		Present:      make(map[*ir.Function]bool, len(m.Funcs)),
+	}
+	for _, f := range m.Funcs {
+		cg.Present[f] = true
+	}
+	for _, f := range m.Funcs {
+		seen := make(map[*ir.Function]bool)
+		f.Instructions(func(in *ir.Instr) {
+			for i, op := range in.Operands {
+				callee, ok := op.(*ir.Function)
+				if !ok {
+					continue
+				}
+				if (in.Op == ir.OpCall || in.Op == ir.OpInvoke) && i == 0 {
+					if !seen[callee] {
+						seen[callee] = true
+						cg.Callees[f] = append(cg.Callees[f], callee)
+						cg.Callers[callee] = append(cg.Callers[callee], f)
+					}
+				} else {
+					cg.AddressTaken[callee] = true
+				}
+			}
+		})
+	}
+	return cg
+}

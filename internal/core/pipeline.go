@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"time"
 
+	"f3m/internal/analysis"
 	"f3m/internal/fingerprint"
 	"f3m/internal/ir"
 	"f3m/internal/lsh"
@@ -122,6 +123,14 @@ type Config struct {
 	// determinism contract to the metrics export. Nil disables
 	// metrics collection.
 	Metrics *obs.Metrics
+
+	// Check selects the static-analysis level (see internal/analysis):
+	// CheckOff disables it, CheckFast audits each committed merge, and
+	// CheckStrict adds full-module verification before and after the
+	// pipeline plus a lint sweep over the merged functions. All
+	// checkers run from the sequential phases of the pipeline, so
+	// Report.Diagnostics is identical for every Workers setting.
+	Check CheckMode
 }
 
 // DefaultConfig returns the configuration for a strategy with the
@@ -202,6 +211,11 @@ type Report struct {
 	// counters straight off the report (the experiments harness does).
 	// Nil when metrics were disabled.
 	Metrics *obs.Metrics
+
+	// Diagnostics collects the findings of the configured Check mode,
+	// in emission order (Render sorts canonically). Empty when checks
+	// were off or everything passed.
+	Diagnostics analysis.Diagnostics
 }
 
 // Reduction is the fractional code-size reduction achieved. Degenerate
@@ -276,7 +290,7 @@ var (
 // is off). Unexpected merge errors (anything but ErrIncompatible) are
 // returned to the caller rather than panicking, so Run surfaces them
 // through its error result.
-func attemptMerge(m *ir.Module, fa, fb *ir.Function, cfg Config, rep *Report, rankDur time.Duration, sim float64, parent *obs.Span) (bool, error) {
+func attemptMerge(m *ir.Module, fa, fb *ir.Function, cfg Config, rep *Report, eng *analysis.Engine, rankDur time.Duration, sim float64, parent *obs.Span) (bool, error) {
 	sp := parent.Child("attempt")
 	sp.SetAttr("a", fa.Name())
 	sp.SetAttr("b", fb.Name())
@@ -303,7 +317,10 @@ func attemptMerge(m *ir.Module, fa, fb *ir.Function, cfg Config, rep *Report, ra
 	mx.Counter(obs.FunnelAligned).Inc()
 	mx.Histogram("align.score", decileBounds).Observe(res.AlignScore)
 	if res.Profitable {
-		merge.Commit(m, res)
+		info := merge.Commit(m, res)
+		if eng != nil {
+			eng.AuditCommit(m, info)
+		}
 		rep.Merges++
 		rep.Times.RankSuccess += rankDur
 		rep.Times.AlignSuccess += res.AlignDur
@@ -362,6 +379,7 @@ func runHyFM(m *ir.Module, cfg Config) (*Report, error) {
 	rep.SizeBefore = ModuleCost(m)
 	cfg = withCallIndex(m, cfg)
 	mx := cfg.Metrics
+	eng := startChecks(m, cfg)
 
 	run := cfg.Tracer.StartSpan("run")
 	run.SetAttr("strategy", HyFM)
@@ -399,7 +417,7 @@ func runHyFM(m *ir.Module, cfg Config) (*Report, error) {
 		}
 		mx.Counter(obs.FunnelAboveThreshold).Inc()
 		sim := fps[i].Similarity(fps[best])
-		ok, err := attemptMerge(m, funcs[i], funcs[best], cfg, rep, rankDur, sim, loop)
+		ok, err := attemptMerge(m, funcs[i], funcs[best], cfg, rep, eng, rankDur, sim, loop)
 		if err != nil {
 			return nil, err
 		}
@@ -409,6 +427,7 @@ func runHyFM(m *ir.Module, cfg Config) (*Report, error) {
 	}
 	loop.End()
 	rep.SizeAfter = ModuleCost(m)
+	finishChecks(m, cfg, eng, rep)
 	publishRunMetrics(rep, cfg, workers)
 	return rep, nil
 }
@@ -419,6 +438,7 @@ func runF3M(m *ir.Module, cfg Config) (*Report, error) {
 	rep.SizeBefore = ModuleCost(m)
 	cfg = withCallIndex(m, cfg)
 	mx := cfg.Metrics
+	eng := startChecks(m, cfg)
 
 	run := cfg.Tracer.StartSpan("run")
 	run.SetAttr("strategy", cfg.Strategy)
@@ -538,7 +558,7 @@ func runF3M(m *ir.Module, cfg Config) (*Report, error) {
 			rep.Pairs = append(rep.Pairs, PairOutcome{A: funcs[i].Name()})
 			continue
 		}
-		ok, err := attemptMerge(m, funcs[i], funcs[best.ID], cfg, rep, rankDur, best.Similarity, loop)
+		ok, err := attemptMerge(m, funcs[i], funcs[best.ID], cfg, rep, eng, rankDur, best.Similarity, loop)
 		if err != nil {
 			return nil, err
 		}
@@ -551,6 +571,7 @@ func runF3M(m *ir.Module, cfg Config) (*Report, error) {
 	loop.End()
 	rep.LSHStats = ix.Stats()
 	rep.SizeAfter = ModuleCost(m)
+	finishChecks(m, cfg, eng, rep)
 	// The index accumulates comparison and candidate counts across the
 	// whole loop; fold them into the funnel and publish the occupancy
 	// distributions now that querying is done.

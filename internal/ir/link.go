@@ -86,11 +86,22 @@ func LinkModules(name string, mods ...*Module) (*Module, error) {
 		}
 	}
 
-	// Copy bodies, remapping references into the output module.
+	// Copy bodies, remapping references into the output module, and
+	// verify each linked body so a failure names the function that was
+	// being linked rather than just the output module.
 	for _, src := range bodies {
-		cloneBodyInto(out, out.Func(src.Nam), src)
+		dst := out.Func(src.Nam)
+		cloneBodyInto(out, dst, src)
+		if err := VerifyFunc(dst); err != nil {
+			return nil, fmt.Errorf("ir: link: function @%s: %w", src.Nam, err)
+		}
 	}
-	return out, VerifyModule(out)
+	// Module-level rules (duplicate symbols, dangling references) span
+	// functions, so they are checked once over the finished module.
+	if err := VerifyModule(out); err != nil {
+		return nil, fmt.Errorf("ir: link: %w", err)
+	}
+	return out, nil
 }
 
 // reparseInto round-trips a module through its textual form into the

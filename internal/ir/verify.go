@@ -5,19 +5,62 @@ import (
 	"fmt"
 )
 
-// VerifyModule checks every function definition in the module, returning
-// all violations joined into a single error.
+// VerifyModule checks every function definition in the module plus the
+// module-level invariants (unique function names, no references to
+// functions outside the module), returning all violations joined into a
+// single error.
 func VerifyModule(m *Module) error {
+	return errors.Join(ModuleIssues(m)...)
+}
+
+// ModuleIssues returns every verification failure in the module, one
+// error per violation: the per-function issues of each definition
+// (prefixed with the function name) plus the module-level rules:
+//
+//   - function names must be unique across the module;
+//   - every *Function operand — in particular the callee of a call or
+//     invoke — must be a function currently present in the module, so
+//     no instruction can reference a deleted or foreign function.
+func ModuleIssues(m *Module) []error {
 	var errs []error
+
+	seen := make(map[string]int, len(m.Funcs))
+	present := make(map[*Function]bool, len(m.Funcs))
+	for _, f := range m.Funcs {
+		seen[f.Nam]++
+		present[f] = true
+	}
+	for _, f := range m.Funcs {
+		if seen[f.Nam] > 1 {
+			errs = append(errs, fmt.Errorf("@%s: function defined %d times in the module", f.Nam, seen[f.Nam]))
+			seen[f.Nam] = 1 // report each duplicate name once
+		}
+	}
+
 	for _, f := range m.Funcs {
 		if f.IsDecl() {
 			continue
 		}
-		if err := VerifyFunc(f); err != nil {
-			errs = append(errs, fmt.Errorf("@%s: %w", f.Nam, err))
+		for _, e := range FuncIssues(f) {
+			errs = append(errs, fmt.Errorf("@%s: %w", f.Nam, e))
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for i, op := range in.Operands {
+					callee, ok := op.(*Function)
+					if !ok || present[callee] {
+						continue
+					}
+					if (in.Op == OpCall || in.Op == OpInvoke) && i == 0 {
+						errs = append(errs, fmt.Errorf("@%s: %%%s: call to @%s which is not a function in the module", f.Nam, b.Nam, callee.Nam))
+					} else {
+						errs = append(errs, fmt.Errorf("@%s: %%%s: reference to @%s which is not a function in the module", f.Nam, b.Nam, callee.Nam))
+					}
+				}
+			}
 		}
 	}
-	return errors.Join(errs...)
+	return errs
 }
 
 // VerifyFunc checks the structural and SSA well-formedness rules of one
@@ -30,13 +73,19 @@ func VerifyModule(m *Module) error {
 //   - every SSA definition dominates all of its uses (the property the
 //     Sec. III-E merge bug fixes protect).
 func VerifyFunc(f *Function) error {
+	return errors.Join(FuncIssues(f)...)
+}
+
+// FuncIssues returns every verification failure in one function
+// definition, one error per violation, in deterministic block order.
+func FuncIssues(f *Function) []error {
 	var errs []error
 	errf := func(format string, args ...any) {
 		errs = append(errs, fmt.Errorf(format, args...))
 	}
 
 	if len(f.Blocks) == 0 {
-		return errors.New("definition has no blocks")
+		return []error{errors.New("definition has no blocks")}
 	}
 
 	inFunc := make(map[*Instr]bool, f.NumInstrs())
@@ -129,7 +178,7 @@ func VerifyFunc(f *Function) error {
 			}
 		}
 	}
-	return errors.Join(errs...)
+	return errs
 }
 
 // checkOperands validates per-opcode operand arity and types.
@@ -150,9 +199,24 @@ func checkOperands(in *Instr) error {
 			return fmt.Errorf("binary operand/result type mismatch")
 		}
 	case in.Op.IsCast():
-		return need(1)
+		if err := need(1); err != nil {
+			return err
+		}
+		return checkCast(in.Op, in.Operands[0].Type(), in.Ty)
 	}
 	switch in.Op {
+	case OpAlloca:
+		if err := need(0); err != nil {
+			return err
+		}
+		if in.AllocTy == nil {
+			return fmt.Errorf("alloca has no allocated type")
+		}
+		if !in.Ty.IsPointer() || in.Ty.Elem != in.AllocTy {
+			return fmt.Errorf("alloca result %s, want %s*", in.Ty, in.AllocTy)
+		}
+	case OpGEP:
+		return checkGEP(in)
 	case OpRet:
 		if n > 1 {
 			return fmt.Errorf("ret takes 0 or 1 operand")
@@ -222,6 +286,99 @@ func checkOperands(in *Instr) error {
 		if sig.Elem != in.Ty {
 			return fmt.Errorf("call result type %s, want %s", in.Ty, sig.Elem)
 		}
+	}
+	return nil
+}
+
+// checkCast validates operand/result kinds and the bit-width direction
+// of a conversion: truncations must narrow, extensions must widen, and
+// the pointer conversions must connect a pointer with an integer.
+func checkCast(op Opcode, from, to *Type) error {
+	intBoth := from.IsInt() && to.IsInt()
+	floatBoth := from.IsFloat() && to.IsFloat()
+	switch op {
+	case OpTrunc:
+		if !intBoth || from.Bits <= to.Bits {
+			return fmt.Errorf("trunc must narrow an integer: %s to %s", from, to)
+		}
+	case OpZExt, OpSExt:
+		if !intBoth || from.Bits >= to.Bits {
+			return fmt.Errorf("%s must widen an integer: %s to %s", op, from, to)
+		}
+	case OpFPTrunc:
+		if !floatBoth || from.Bits <= to.Bits {
+			return fmt.Errorf("fptrunc must narrow a float: %s to %s", from, to)
+		}
+	case OpFPExt:
+		if !floatBoth || from.Bits >= to.Bits {
+			return fmt.Errorf("fpext must widen a float: %s to %s", from, to)
+		}
+	case OpFPToSI:
+		if !from.IsFloat() || !to.IsInt() {
+			return fmt.Errorf("fptosi wants float to integer, have %s to %s", from, to)
+		}
+	case OpSIToFP:
+		if !from.IsInt() || !to.IsFloat() {
+			return fmt.Errorf("sitofp wants integer to float, have %s to %s", from, to)
+		}
+	case OpPtrToInt:
+		if !from.IsPointer() || !to.IsInt() {
+			return fmt.Errorf("ptrtoint wants pointer to integer, have %s to %s", from, to)
+		}
+	case OpIntToPtr:
+		if !from.IsInt() || !to.IsPointer() {
+			return fmt.Errorf("inttoptr wants integer to pointer, have %s to %s", from, to)
+		}
+	case OpBitcast:
+		// Pointers convert among themselves; scalars must keep their
+		// exact bit width (pointer<->integer is ptrtoint/inttoptr's job).
+		switch {
+		case from.IsPointer() && to.IsPointer():
+		case (from.IsInt() || from.IsFloat()) && (to.IsInt() || to.IsFloat()) && from.Bits == to.Bits:
+		default:
+			return fmt.Errorf("bitcast between incompatible types %s and %s", from, to)
+		}
+	}
+	return nil
+}
+
+// checkGEP validates a getelementptr: a pointer base, integer indices
+// (struct steps constant and in range), and a result type matching the
+// walk over the indexed aggregate.
+func checkGEP(in *Instr) error {
+	if len(in.Operands) < 2 {
+		return fmt.Errorf("gep wants a base pointer and at least one index")
+	}
+	base := in.Operands[0].Type()
+	if !base.IsPointer() {
+		return fmt.Errorf("gep base must be a pointer, have %s", base)
+	}
+	cur := base.Elem
+	for i, idx := range in.Operands[1:] {
+		if !idx.Type().IsInt() {
+			return fmt.Errorf("gep index %d must be an integer, have %s", i, idx.Type())
+		}
+		if i == 0 {
+			continue // the first index steps over the pointee itself
+		}
+		switch cur.Kind {
+		case ArrayKind:
+			cur = cur.Elem
+		case StructKind:
+			c, ok := idx.(*Const)
+			if !ok {
+				return fmt.Errorf("gep struct index %d must be a constant", i)
+			}
+			if c.IntVal < 0 || int(c.IntVal) >= len(cur.Fields) {
+				return fmt.Errorf("gep struct index %d out of range [0,%d)", c.IntVal, len(cur.Fields))
+			}
+			cur = cur.Fields[c.IntVal]
+		default:
+			return fmt.Errorf("gep index %d steps through non-aggregate %s", i, cur)
+		}
+	}
+	if !in.Ty.IsPointer() || in.Ty.Elem != cur {
+		return fmt.Errorf("gep result %s, want %s*", in.Ty, cur)
 	}
 	return nil
 }

@@ -1,0 +1,201 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildFunc assembles a single-block i32 f(i32, i32*) definition whose
+// body is produced by fill, which returns the instructions preceding
+// the final ret (the tests splice invalid instructions in by hand,
+// bypassing the Builder's constructor checks).
+func buildFunc(t *testing.T, fill func(m *Module, f *Function, b *Block) []*Instr) (*Module, *Function) {
+	t.Helper()
+	m := NewModule("strict")
+	c := m.Ctx
+	f := m.NewFunc("f", c.Func(c.I32, c.I32, c.Pointer(c.I32)))
+	b := f.NewBlock("entry")
+	for _, in := range fill(m, f, b) {
+		b.Append(in)
+	}
+	b.Append(&Instr{Op: OpRet, Ty: c.Void, Operands: []Value{ConstInt(c.I32, 0)}, Parent: b})
+	return m, f
+}
+
+// wantReject asserts VerifyFunc fails with a message containing frag.
+func wantReject(t *testing.T, f *Function, frag string) {
+	t.Helper()
+	err := VerifyFunc(f)
+	if err == nil {
+		t.Fatalf("VerifyFunc accepted invalid IR, want error containing %q", frag)
+	}
+	if !strings.Contains(err.Error(), frag) {
+		t.Fatalf("VerifyFunc error %q does not mention %q", err, frag)
+	}
+}
+
+func TestVerifyRejectsGEPNonPointerBase(t *testing.T) {
+	_, f := buildFunc(t, func(m *Module, f *Function, b *Block) []*Instr {
+		c := m.Ctx
+		return []*Instr{{
+			Op: OpGEP, Ty: c.Pointer(c.I32), Nam: "g",
+			Operands: []Value{f.Params[0], ConstInt(c.I64, 0)},
+		}}
+	})
+	wantReject(t, f, "gep base must be a pointer")
+}
+
+func TestVerifyRejectsGEPNonIntegerIndex(t *testing.T) {
+	_, f := buildFunc(t, func(m *Module, f *Function, b *Block) []*Instr {
+		c := m.Ctx
+		return []*Instr{{
+			Op: OpGEP, Ty: c.Pointer(c.I32), Nam: "g",
+			Operands: []Value{f.Params[1], ConstFloat(c.F64, 0)},
+		}}
+	})
+	wantReject(t, f, "must be an integer")
+}
+
+func TestVerifyRejectsGEPWrongResultType(t *testing.T) {
+	_, f := buildFunc(t, func(m *Module, f *Function, b *Block) []*Instr {
+		c := m.Ctx
+		return []*Instr{{
+			Op: OpGEP, Ty: c.Pointer(c.I64), Nam: "g", // walk yields i32*
+			Operands: []Value{f.Params[1], ConstInt(c.I64, 1)},
+		}}
+	})
+	wantReject(t, f, "gep result")
+}
+
+func TestVerifyRejectsGEPStructIndexOutOfRange(t *testing.T) {
+	_, f := buildFunc(t, func(m *Module, f *Function, b *Block) []*Instr {
+		c := m.Ctx
+		st := c.Struct(c.I32, c.I64)
+		slot := &Instr{Op: OpAlloca, Ty: c.Pointer(st), AllocTy: st, Nam: "s"}
+		return []*Instr{slot, {
+			Op: OpGEP, Ty: c.Pointer(c.I32), Nam: "g",
+			Operands: []Value{slot, ConstInt(c.I64, 0), ConstInt(c.I32, 5)},
+		}}
+	})
+	wantReject(t, f, "out of range")
+}
+
+func TestVerifyRejectsAllocaNonPointerResult(t *testing.T) {
+	_, f := buildFunc(t, func(m *Module, f *Function, b *Block) []*Instr {
+		c := m.Ctx
+		return []*Instr{{Op: OpAlloca, Ty: c.I32, AllocTy: c.I32, Nam: "a"}}
+	})
+	wantReject(t, f, "alloca result")
+}
+
+func TestVerifyRejectsAllocaMissingAllocTy(t *testing.T) {
+	_, f := buildFunc(t, func(m *Module, f *Function, b *Block) []*Instr {
+		c := m.Ctx
+		return []*Instr{{Op: OpAlloca, Ty: c.Pointer(c.I32), Nam: "a"}}
+	})
+	wantReject(t, f, "no allocated type")
+}
+
+func TestVerifyRejectsWideningTrunc(t *testing.T) {
+	_, f := buildFunc(t, func(m *Module, f *Function, b *Block) []*Instr {
+		c := m.Ctx
+		return []*Instr{{Op: OpTrunc, Ty: c.I64, Nam: "t", Operands: []Value{f.Params[0]}}}
+	})
+	wantReject(t, f, "trunc must narrow")
+}
+
+func TestVerifyRejectsNarrowingExt(t *testing.T) {
+	for _, op := range []Opcode{OpZExt, OpSExt} {
+		_, f := buildFunc(t, func(m *Module, f *Function, b *Block) []*Instr {
+			c := m.Ctx
+			return []*Instr{{Op: op, Ty: c.I16, Nam: "x", Operands: []Value{f.Params[0]}}}
+		})
+		wantReject(t, f, "must widen an integer")
+	}
+}
+
+func TestVerifyRejectsFloatCastWrongDirection(t *testing.T) {
+	_, f := buildFunc(t, func(m *Module, f *Function, b *Block) []*Instr {
+		c := m.Ctx
+		wide := &Instr{Op: OpSIToFP, Ty: c.F32, Nam: "w", Operands: []Value{f.Params[0]}}
+		bad := &Instr{Op: OpFPExt, Ty: c.F32, Nam: "e", Operands: []Value{wide}}
+		return []*Instr{wide, bad}
+	})
+	wantReject(t, f, "fpext must widen")
+}
+
+func TestVerifyRejectsCrossKindPointerCast(t *testing.T) {
+	_, f := buildFunc(t, func(m *Module, f *Function, b *Block) []*Instr {
+		c := m.Ctx
+		return []*Instr{{Op: OpPtrToInt, Ty: c.I64, Nam: "p", Operands: []Value{f.Params[0]}}}
+	})
+	wantReject(t, f, "ptrtoint wants pointer")
+}
+
+func TestVerifyRejectsMismatchedBitcast(t *testing.T) {
+	_, f := buildFunc(t, func(m *Module, f *Function, b *Block) []*Instr {
+		c := m.Ctx
+		return []*Instr{{Op: OpBitcast, Ty: c.I64, Nam: "b", Operands: []Value{f.Params[0]}}}
+	})
+	wantReject(t, f, "bitcast between incompatible types")
+}
+
+func TestVerifyModuleRejectsDuplicateNames(t *testing.T) {
+	m := NewModule("dup")
+	c := m.Ctx
+	mk := func() *Function {
+		f := &Function{Nam: "twin", Sig: c.Func(c.Void), Parent: m}
+		b := f.NewBlock("entry")
+		b.Append(&Instr{Op: OpRet, Ty: c.Void, Parent: b})
+		m.Funcs = append(m.Funcs, f)
+		return f
+	}
+	mk()
+	mk()
+	err := VerifyModule(m)
+	if err == nil || !strings.Contains(err.Error(), "defined 2 times") {
+		t.Fatalf("VerifyModule = %v, want duplicate-name error", err)
+	}
+}
+
+func TestVerifyModuleRejectsDanglingCallee(t *testing.T) {
+	m := NewModule("dangling")
+	c := m.Ctx
+	ghost := m.NewFunc("ghost", c.Func(c.Void))
+	gb := ghost.NewBlock("entry")
+	gb.Append(&Instr{Op: OpRet, Ty: c.Void, Parent: gb})
+
+	caller := m.NewFunc("caller", c.Func(c.Void))
+	b := caller.NewBlock("entry")
+	b.Append(&Instr{Op: OpCall, Ty: c.Void, Operands: []Value{ghost}, Parent: b})
+	b.Append(&Instr{Op: OpRet, Ty: c.Void, Parent: b})
+
+	if err := VerifyModule(m); err != nil {
+		t.Fatalf("module should verify before deletion: %v", err)
+	}
+	m.RemoveFunc(ghost)
+	err := VerifyModule(m)
+	if err == nil || !strings.Contains(err.Error(), "call to @ghost which is not a function in the module") {
+		t.Fatalf("VerifyModule = %v, want dangling-callee error", err)
+	}
+}
+
+func TestVerifyModuleRejectsDanglingReference(t *testing.T) {
+	m := NewModule("dangling-ref")
+	c := m.Ctx
+	ghost := m.NewFunc("ghost", c.Func(c.I32))
+	gb := ghost.NewBlock("entry")
+	gb.Append(&Instr{Op: OpRet, Ty: c.Void, Operands: []Value{ConstInt(c.I32, 0)}, Parent: gb})
+
+	user := m.NewFunc("user", c.Func(c.Void))
+	b := user.NewBlock("entry")
+	cast := &Instr{Op: OpPtrToInt, Ty: c.I64, Nam: "addr", Operands: []Value{ghost}}
+	b.Append(cast)
+	b.Append(&Instr{Op: OpRet, Ty: c.Void, Parent: b})
+
+	m.RemoveFunc(ghost)
+	err := VerifyModule(m)
+	if err == nil || !strings.Contains(err.Error(), "reference to @ghost") {
+		t.Fatalf("VerifyModule = %v, want dangling-reference error", err)
+	}
+}

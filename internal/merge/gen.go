@@ -172,7 +172,8 @@ func (g *mergeGen) run(name string) (*ir.Function, error) {
 	passes.HoistAllocas(g.fm)
 	if !g.opts.SkipCleanup {
 		passes.Mem2Reg(g.fm)
-		passes.ConstFold(g.fm) // selects over equal values, degenerate conds
+		passes.ElimRedundantPhis(g.fm) // minimal-SSA phis that select nothing
+		passes.ConstFold(g.fm)         // selects over equal values, degenerate conds
 		passes.SimplifyCFG(g.fm)
 		passes.DCE(g.fm)
 	}

@@ -186,20 +186,60 @@ func Discard(m *ir.Module, r *Result) {
 	m.RemoveFunc(r.Merged)
 }
 
+// CommitInfo records what one Commit actually did to the module. The
+// analysis package's merge auditor replays these facts against the
+// module to prove the commit left no dangling or mis-wired state; tests
+// corrupt them to exercise that proof.
+type CommitInfo struct {
+	// Merged is the function the originals were folded into.
+	Merged *ir.Function
+
+	// A and B describe the two replaced originals; A is the side
+	// selected by a true function identifier.
+	A, B CommitSide
+}
+
+// CommitSide is the commit outcome for one replaced original.
+type CommitSide struct {
+	// Name is the original function's name (still its name if thunked).
+	Name string
+
+	// Fn is the original function object. When Thunked it remains in
+	// the module with its body rewritten to forward into Merged;
+	// otherwise it has been removed from the module.
+	Fn *ir.Function
+
+	// Sig is the original signature, which thunking must preserve.
+	Sig *ir.Type
+
+	// ParamMap maps merged-parameter index (>= 1; 0 is the function
+	// identifier) to the original argument index on this side.
+	ParamMap map[int]int
+
+	// Thunked reports whether the original survives as a thunk
+	// (address-taken functions must).
+	Thunked bool
+
+	// RewrittenCalls counts the direct call sites redirected to Merged.
+	RewrittenCalls int
+}
+
 // Commit replaces fa and fb with the merged function: direct calls are
 // rewritten to pass the function identifier and remapped arguments;
 // address-taken originals are kept as thunks; otherwise the originals
-// are deleted.
-func Commit(m *ir.Module, r *Result) {
+// are deleted. The returned CommitInfo describes the outcome for
+// post-commit auditing.
+func Commit(m *ir.Module, r *Result) *CommitInfo {
 	g := r.Merged
 	if r.idx != nil {
 		r.idx.AddFunction(g)
 	}
-	rewrite := func(orig *ir.Function, id bool) {
+	rewrite := func(orig *ir.Function, id bool) CommitSide {
 		paramMap := r.paramMapB
 		if id {
 			paramMap = r.paramMapA
 		}
+		side := CommitSide{Name: orig.Name(), Fn: orig, Sig: orig.Sig, ParamMap: paramMap}
 		rewriteCall := func(call *ir.Instr) {
 			args := call.CallArgs()
 			newArgs := make([]ir.Value, len(g.Params))
@@ -215,26 +255,31 @@ func Commit(m *ir.Module, r *Result) {
 			call.Operands = append(append([]ir.Value{g}, newArgs...), rest...)
 		}
 		if r.idx != nil {
-			r.idx.rewriteCalls(orig, rewriteCall)
+			side.RewrittenCalls = r.idx.rewriteCalls(orig, rewriteCall)
 			addrTaken := r.idx.HasNonCallUses(orig)
 			r.idx.RemoveFunction(orig)
 			if addrTaken {
 				makeThunk(m, orig, g, id, paramMap)
 				r.idx.AddFunction(orig)
+				side.Thunked = true
 			} else {
 				m.RemoveFunc(orig)
 			}
-			return
+			return side
 		}
-		m.ReplaceAllCalls(orig, rewriteCall)
+		side.RewrittenCalls = m.ReplaceAllCalls(orig, rewriteCall)
 		if hasNonCallUses(m, orig) {
 			makeThunk(m, orig, g, id, paramMap)
+			side.Thunked = true
 		} else {
 			m.RemoveFunc(orig)
 		}
+		return side
 	}
-	rewrite(r.fa, true)
-	rewrite(r.fb, false)
+	info := &CommitInfo{Merged: g}
+	info.A = rewrite(r.fa, true)
+	info.B = rewrite(r.fb, false)
+	return info
 }
 
 // hasNonCallUses reports whether f appears as an operand anywhere other

@@ -62,6 +62,48 @@ func DCE(f *ir.Function) int {
 	}
 }
 
+// ElimRedundantPhis removes phis that do not select anything: a phi
+// whose incoming values are all one value v (ignoring self-references)
+// is replaced by v. Minimal-SSA construction (Mem2Reg's dominance
+// frontiers) legitimately produces these, and the analysis linter
+// treats surviving ones as cleanup failures, so the merger runs this to
+// a fixed point after re-promotion. Returns the number of phis removed.
+func ElimRedundantPhis(f *ir.Function) int {
+	removed := 0
+	for {
+		n := 0
+		for _, b := range f.Blocks {
+			phis := append([]*ir.Instr(nil), b.Phis()...)
+			for _, phi := range phis {
+				var only ir.Value
+				trivial := true
+				for _, v := range phi.Operands {
+					if v == ir.Value(phi) {
+						continue
+					}
+					if only == nil || sameValue(only, v) {
+						only = v
+						continue
+					}
+					trivial = false
+					break
+				}
+				if !trivial || only == nil {
+					continue
+				}
+				replaceAllUses(f, phi, only)
+				idx := b.IndexOf(phi)
+				b.Instrs = append(b.Instrs[:idx], b.Instrs[idx+1:]...)
+				n++
+			}
+		}
+		removed += n
+		if n == 0 {
+			return removed
+		}
+	}
+}
+
 // SimplifyCFG performs the clean-ups the merger's dispatch blocks make
 // profitable: removing unreachable blocks, folding conditional branches
 // with identical targets, forwarding through empty blocks, and merging
@@ -73,6 +115,8 @@ func SimplifyCFG(f *ir.Function) int {
 		n += foldSameTargetCondBr(f)
 		n += forwardEmptyBlocks(f)
 		n += mergeStraightLine(f)
+		// Edge removal can leave single-edge (hence redundant) phis.
+		n += ElimRedundantPhis(f)
 		total += n
 		if n == 0 {
 			return total

@@ -22,4 +22,12 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== f3m -check=strict over the corpus"
+# The analyzer gate: the strict verifier, merge auditor and IR linter
+# must stay silent on every checked-in input (nonzero exit on any
+# error-level diagnostic).
+go run ./cmd/f3m -check=strict testdata/handlers.c >/dev/null
+go run ./cmd/f3m -check=strict -strategy hyfm testdata/handlers.c >/dev/null
+go run ./cmd/f3m -check=strict -gen 200 -seed 5 >/dev/null
+
 echo "ok"
