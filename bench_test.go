@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"f3m/internal/align"
 	"f3m/internal/core"
 	"f3m/internal/experiments"
 	"f3m/internal/fingerprint"
@@ -225,6 +226,53 @@ func BenchmarkObsOverhead(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkMergeStage measures the merge/commit stage across
+// -merge-workers settings. workers=1 is the plain sequential loop;
+// workers=2+ adds speculative alignment workers that warm the shared
+// alignment cache while the committer replays the sequential algorithm
+// (the determinism tests in internal/core assert the Report is
+// byte-identical across all settings, and the `merges` metric makes
+// that visible here). The pooled DP buffers in internal/align are what
+// keep allocs/op flat as worker count grows; `cache-hit-rate` is
+// committer hits over committer lookups, so it shows how much aligned
+// work speculation managed to run ahead of the commit loop. Wall-clock
+// gains require GOMAXPROCS > 1 — on a single CPU the workers only add
+// scheduling overhead. scripts/bench.sh records these numbers in
+// BENCH_merge.json to track the trajectory across PRs.
+func BenchmarkMergeStage(b *testing.B) {
+	spec := irgen.SuiteSpec{Name: "mergebench", Funcs: 800, AvgInstrs: 22, CloneFraction: 0.45}
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			var hits, lookups int64
+			merges := 0
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m := irgen.Generate(spec.Config(3)).Module
+				cfg := core.DefaultConfig(core.F3MStatic)
+				cfg.MergeWorkers = w
+				cache := align.NewCache(0)
+				cfg.MergeOpts.AlignCache = cache
+				b.StartTimer()
+				rep, err := core.Run(m, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				st := cache.Stats()
+				hits += st.Hits
+				lookups += st.Hits + st.Misses
+				merges = rep.Merges
+				b.StartTimer()
+			}
+			if lookups > 0 {
+				b.ReportMetric(float64(hits)/float64(lookups), "cache-hit-rate")
+			}
+			b.ReportMetric(float64(merges), "merges")
 		})
 	}
 }

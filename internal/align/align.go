@@ -11,6 +11,7 @@ package align
 
 import (
 	"sort"
+	"sync"
 
 	"f3m/internal/fingerprint"
 	"f3m/internal/ir"
@@ -33,46 +34,72 @@ const (
 	gapScore   = -1
 )
 
+// dpBuf is the reusable scratch state of one NeedlemanWunsch call: the
+// flat DP matrix and the traceback stack. Pooling it removes the
+// per-pair allocation spike the merge stage used to pay (one row slice
+// per input instruction); a call now allocates only its result.
+type dpBuf struct {
+	score []int32
+	rev   []Entry
+}
+
+var dpPool = sync.Pool{New: func() any { return new(dpBuf) }}
+
 // NeedlemanWunsch computes a global alignment of two encoded
 // instruction sequences. Only identical encodings may occupy a matched
 // column. The result covers every index of both inputs in order.
+//
+// The DP matrix and traceback scratch come from a pool shared by all
+// goroutines; the returned slice is freshly allocated and safe to
+// retain (the alignment cache does).
 func NeedlemanWunsch(a, b []fingerprint.Encoded) []Entry {
 	n, m := len(a), len(b)
-	// score[i][j] = best score aligning a[:i] with b[:j].
-	score := make([][]int32, n+1)
-	for i := range score {
-		score[i] = make([]int32, m+1)
+	if n == 0 && m == 0 {
+		return nil
 	}
+	buf := dpPool.Get().(*dpBuf)
+	w := m + 1
+	need := (n + 1) * w
+	if cap(buf.score) < need {
+		buf.score = make([]int32, need)
+	}
+	// score[i*w+j] = best score aligning a[:i] with b[:j]. Every cell
+	// is written below, so the recycled buffer needs no clearing.
+	score := buf.score[:need]
+	score[0] = 0
 	for i := 1; i <= n; i++ {
-		score[i][0] = int32(i) * gapScore
+		score[i*w] = int32(i) * gapScore
 	}
 	for j := 1; j <= m; j++ {
-		score[0][j] = int32(j) * gapScore
+		score[j] = int32(j) * gapScore
 	}
 	for i := 1; i <= n; i++ {
+		row, prev := score[i*w:], score[(i-1)*w:]
 		for j := 1; j <= m; j++ {
-			best := score[i-1][j] + gapScore
-			if s := score[i][j-1] + gapScore; s > best {
+			best := prev[j] + gapScore
+			if s := row[j-1] + gapScore; s > best {
 				best = s
 			}
 			if a[i-1] == b[j-1] {
-				if s := score[i-1][j-1] + matchScore; s > best {
+				if s := prev[j-1] + matchScore; s > best {
 					best = s
 				}
 			}
-			score[i][j] = best
+			row[j] = best
 		}
 	}
-	// Traceback.
-	var rev []Entry
+	// Traceback, in the exact tie-break order of the original
+	// row-sliced implementation: diagonal match first, then up-gap,
+	// else left-gap.
+	rev := buf.rev[:0]
 	i, j := n, m
 	for i > 0 || j > 0 {
 		switch {
-		case i > 0 && j > 0 && a[i-1] == b[j-1] && score[i][j] == score[i-1][j-1]+matchScore:
+		case i > 0 && j > 0 && a[i-1] == b[j-1] && score[i*w+j] == score[(i-1)*w+j-1]+matchScore:
 			rev = append(rev, Entry{A: i - 1, B: j - 1})
 			i--
 			j--
-		case i > 0 && score[i][j] == score[i-1][j]+gapScore:
+		case i > 0 && score[i*w+j] == score[(i-1)*w+j]+gapScore:
 			rev = append(rev, Entry{A: i - 1, B: -1})
 			i--
 		default:
@@ -80,10 +107,13 @@ func NeedlemanWunsch(a, b []fingerprint.Encoded) []Entry {
 			j--
 		}
 	}
-	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
-		rev[l], rev[r] = rev[r], rev[l]
+	out := make([]Entry, len(rev))
+	for k, e := range rev {
+		out[len(rev)-1-k] = e
 	}
-	return rev
+	buf.rev = rev
+	dpPool.Put(buf)
+	return out
 }
 
 // Matches counts matched columns.
@@ -157,6 +187,14 @@ type BlockPair struct {
 // block-level alignment, and accepted when the match ratio reaches
 // minRatio. Unpaired blocks are returned separately.
 func MatchBlocks(f1, f2 *ir.Function, minRatio float64) (pairs []BlockPair, unA, unB []*ir.Block) {
+	return MatchBlocksCached(f1, f2, minRatio, nil)
+}
+
+// MatchBlocksCached is MatchBlocks with the block-level alignments
+// routed through c (nil disables caching). The pairing decisions are
+// identical either way — the cache is exact — so callers can mix
+// cached and uncached invocations freely.
+func MatchBlocksCached(f1, f2 *ir.Function, minRatio float64, cch *Cache) (pairs []BlockPair, unA, unB []*ir.Block) {
 	type cand struct {
 		a, b *ir.Block
 		dist int
@@ -184,7 +222,7 @@ func MatchBlocks(f1, f2 *ir.Function, minRatio float64) (pairs []BlockPair, unA,
 			continue
 		}
 		ea, eb := fingerprint.EncodeBlock(c.a), fingerprint.EncodeBlock(c.b)
-		r := Ratio(NeedlemanWunsch(ea, eb), len(ea), len(eb))
+		r := Ratio(cch.NW(ea, eb), len(ea), len(eb))
 		if r < minRatio {
 			continue
 		}

@@ -1,0 +1,203 @@
+package align
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"f3m/internal/fingerprint"
+)
+
+func randSeq(r *rand.Rand, n int) []fingerprint.Encoded {
+	out := make([]fingerprint.Encoded, n)
+	for i := range out {
+		// Small alphabet so random pairs still share matches.
+		out[i] = fingerprint.Encoded(r.Intn(12))
+	}
+	return out
+}
+
+// TestNWPooledAllocs pins the DP buffer pooling: after warmup, an
+// alignment must cost only the result slice, not a fresh score matrix
+// and traceback per call. This is the merge-stage allocation spike the
+// pool exists to kill.
+func TestNWPooledAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	a, b := randSeq(r, 64), randSeq(r, 60)
+	NeedlemanWunsch(a, b) // warm the pool
+	allocs := testing.AllocsPerRun(50, func() {
+		NeedlemanWunsch(a, b)
+	})
+	// One alloc for the returned entries plus pool slack; a naive
+	// implementation costs one allocation per DP row (60+).
+	if allocs > 8 {
+		t.Errorf("NeedlemanWunsch allocs/op = %v, want <= 8", allocs)
+	}
+}
+
+// TestCacheHitIdentical: a cached alignment must be exactly what a
+// fresh computation returns, and count as a hit.
+func TestCacheHitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	c := NewCache(0)
+	for i := 0; i < 20; i++ {
+		a, b := randSeq(r, 5+r.Intn(40)), randSeq(r, 5+r.Intn(40))
+		want := NeedlemanWunsch(a, b)
+		first := c.NW(a, b)
+		second := c.NW(a, b)
+		if !entriesEqual(first, want) || !entriesEqual(second, want) {
+			t.Fatalf("pair %d: cached alignment differs from direct computation", i)
+		}
+	}
+	st := c.Stats()
+	if st.Hits != 20 || st.Misses != 20 {
+		t.Errorf("stats = %+v, want 20 hits / 20 misses", st)
+	}
+}
+
+// TestCacheOrderIndependence: both orientations of a pair share one
+// entry, and each orientation returns its own correct alignment (the
+// swapped direction is NOT the mirror of the forward one in general,
+// so the slots are separate).
+func TestCacheOrderIndependence(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	c := NewCache(0)
+	a, b := randSeq(r, 30), randSeq(r, 25)
+	fwd := c.NW(a, b)
+	rev := c.NW(b, a)
+	if !entriesEqual(fwd, NeedlemanWunsch(a, b)) {
+		t.Error("forward orientation wrong")
+	}
+	if !entriesEqual(rev, NeedlemanWunsch(b, a)) {
+		t.Error("swapped orientation wrong")
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Errorf("entries = %d, want 1 (canonical pair key)", st.Entries)
+	}
+	if !validEntries(fwd, a, b) || !validEntries(rev, b, a) {
+		t.Error("served alignments fail validation")
+	}
+	// Second lookups in both orientations must both hit.
+	c.NW(a, b)
+	c.NW(b, a)
+	if st := c.Stats(); st.Hits != 2 {
+		t.Errorf("hits = %d, want 2", st.Hits)
+	}
+}
+
+// TestCacheValidationRejects: an ill-formed poisoned entry must be
+// rejected and transparently recomputed.
+func TestCacheValidationRejects(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	c := NewCache(0)
+	a, b := randSeq(r, 20), randSeq(r, 22)
+	want := NeedlemanWunsch(a, b)
+
+	c.CorruptNextForTest(1, true)
+	got := c.NW(a, b)
+	if !entriesEqual(got, want) {
+		t.Error("poisoned lookup not recomputed correctly")
+	}
+	st := c.Stats()
+	if st.Rejects != 1 {
+		t.Errorf("rejects = %d, want 1", st.Rejects)
+	}
+	// The poisoned slot must have been overwritten with the good value.
+	if got := c.NW(a, b); !entriesEqual(got, want) {
+		t.Error("slot still poisoned after recompute")
+	}
+}
+
+// TestCacheWellFormedPoisonPassesValidation documents the boundary of
+// the validation layer: a legal-but-suboptimal alignment of the right
+// sequences cannot be distinguished from a correct one here — that is
+// the merger's downstream re-verification's job (see the core
+// package's TestCachePoisonWellFormed).
+func TestCacheWellFormedPoisonPassesValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	c := NewCache(0)
+	a, b := randSeq(r, 10), randSeq(r, 12)
+	c.CorruptNextForTest(1, false)
+	got := c.NW(a, b)
+	if !validEntries(got, a, b) {
+		t.Fatal("fabricated all-gap alignment should be structurally legal")
+	}
+	for _, e := range got {
+		if e.A >= 0 && e.B >= 0 {
+			t.Fatal("all-gap fabrication contains a match")
+		}
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Rejects != 0 {
+		t.Errorf("stats = %+v, want the poison served as a hit", st)
+	}
+}
+
+// TestCacheEviction: exceeding the entry cap clears a generation and
+// keeps serving correct results.
+func TestCacheEviction(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	c := NewCache(8)
+	for i := 0; i < 40; i++ {
+		a, b := randSeq(r, 10), randSeq(r, 10)
+		if !validEntries(c.NW(a, b), a, b) {
+			t.Fatalf("round %d: invalid alignment", i)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Errorf("stats = %+v, want evictions after 40 inserts into cap 8", st)
+	}
+	if st.Entries > 8 {
+		t.Errorf("entries = %d exceeds cap 8", st.Entries)
+	}
+}
+
+// TestCacheConcurrent hammers one cache from many goroutines over a
+// small pair population (run under -race by scripts/check.sh).
+func TestCacheConcurrent(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	pairs := make([][2][]fingerprint.Encoded, 16)
+	want := make([][]Entry, len(pairs))
+	for i := range pairs {
+		pairs[i] = [2][]fingerprint.Encoded{randSeq(r, 5+r.Intn(30)), randSeq(r, 5+r.Intn(30))}
+		want[i] = NeedlemanWunsch(pairs[i][0], pairs[i][1])
+	}
+	c := NewCache(0)
+	var wg sync.WaitGroup
+	errs := make(chan int, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 50; it++ {
+				i := (g*13 + it*7) % len(pairs)
+				a, b := pairs[i][0], pairs[i][1]
+				if g%2 == 1 {
+					a, b = b, a
+				}
+				got := c.NW(a, b)
+				if !validEntries(got, a, b) {
+					errs <- i
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for i := range errs {
+		t.Errorf("concurrent lookup for pair %d returned invalid alignment", i)
+	}
+}
+
+func entriesEqual(a, b []Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,43 @@
+package align
+
+import (
+	"f3m/internal/fingerprint"
+	"f3m/internal/ir"
+)
+
+// EncodeBody encodes a block's instructions minus its terminator — the
+// sequence the merger's paired-block code generator aligns (the
+// terminator pair is handled structurally, not by alignment).
+func EncodeBody(b *ir.Block) []fingerprint.Encoded {
+	n := len(b.Instrs)
+	if n == 0 {
+		return nil
+	}
+	body := b.Instrs
+	if body[n-1].IsTerminator() {
+		body = body[:n-1]
+	}
+	out := make([]fingerprint.Encoded, len(body))
+	for i, in := range body {
+		out[i] = fingerprint.EncodeInstr(in)
+	}
+	return out
+}
+
+// WarmPair runs the exact alignment workload a merge attempt of f1 and
+// f2 would perform — block pairing, then body alignment of each
+// accepted pair — against the cache, so a later real attempt on
+// functions with identical encodings hits on every DP. f1 and f2 are
+// expected to be phi-free working copies (post RegToMem), matching
+// what the merger aligns. Pure reads of the functions; the only writes
+// go into the cache.
+func WarmPair(c *Cache, f1, f2 *ir.Function, minRatio float64) {
+	pairs, _, _ := MatchBlocksCached(f1, f2, minRatio, c)
+	for _, p := range pairs {
+		encA, encB := EncodeBody(p.A), EncodeBody(p.B)
+		if len(encA) == 0 && len(encB) == 0 {
+			continue
+		}
+		c.NW(encA, encB)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"time"
 
+	"f3m/internal/align"
 	"f3m/internal/analysis"
 	"f3m/internal/fingerprint"
 	"f3m/internal/ir"
@@ -83,10 +84,21 @@ type Config struct {
 	// ranking stages: 0 (the default) uses GOMAXPROCS, 1 forces the
 	// sequential path, any other value sets the pool size. Every
 	// setting produces the identical Report — same pairs, merges and
-	// counters; only the StageTimes wall clocks differ. The
-	// merge/commit loop is always sequential, so module mutation
-	// semantics do not depend on Workers.
+	// counters; only the StageTimes wall clocks differ. Commits are
+	// always applied by the single sequential committer loop, so module
+	// mutation semantics do not depend on Workers.
 	Workers int
+
+	// MergeWorkers enables the speculative merge stage (F3M only):
+	// values above 1 start MergeWorkers-1 speculative workers that
+	// pre-align upcoming ranked pairs into the shared alignment cache
+	// while the sequential committer replays the authoritative
+	// algorithm (see internal/core/speculate.go). 0 or 1 — the default
+	// — keeps the merge stage fully sequential. Every setting produces
+	// the byte-identical Report and deterministic metrics export; only
+	// wall clocks and volatile counters (speculation and cache
+	// statistics) differ.
+	MergeWorkers int
 
 	// Hotness, when set, enables the profile-guided extension the
 	// paper sketches as future work (Section IV-F): among candidates
@@ -290,19 +302,40 @@ var (
 // is off). Unexpected merge errors (anything but ErrIncompatible) are
 // returned to the caller rather than panicking, so Run surfaces them
 // through its error result.
-func attemptMerge(m *ir.Module, fa, fb *ir.Function, cfg Config, rep *Report, eng *analysis.Engine, rankDur time.Duration, sim float64, parent *obs.Span) (bool, error) {
+// liveInModule reports whether f is still the module's definition under
+// its name — false once a commit deleted it (thunked originals remain
+// live: their body changed but the object did not).
+func liveInModule(m *ir.Module, f *ir.Function) bool {
+	return m.Func(f.Name()) == f
+}
+
+func attemptMerge(m *ir.Module, fa, fb *ir.Function, cfg Config, rep *Report, eng *analysis.Engine, rankDur time.Duration, sim float64, parent *obs.Span, spec *specEngine) (bool, *ir.Function, error) {
 	sp := parent.Child("attempt")
 	sp.SetAttr("a", fa.Name())
 	sp.SetAttr("b", fb.Name())
 	defer sp.End()
 	mx := cfg.Metrics
+	outcome := PairOutcome{A: fa.Name(), B: fb.Name(), Similarity: sim, Attempted: true}
+
+	// Re-validate the operands before aligning: both functions must
+	// still be live module members. The sequential algorithm's merged[]
+	// flags make this vacuous in a healthy run; it is the backstop
+	// against stale pairs reaching the merger (exercised by the
+	// seeded-fault tests).
+	if !liveInModule(m, fa) || !liveInModule(m, fb) {
+		rep.Times.RankFail += rankDur
+		rep.Pairs = append(rep.Pairs, outcome)
+		rep.Attempts++
+		mx.Counter("merge.stale_operand").Inc()
+		sp.SetAttr("outcome", "stale-operand")
+		return false, nil, nil
+	}
 	mx.Histogram("rank.similarity", decileBounds).Observe(sim)
 
 	res, err := mergePair(m, fa, fb, cfg.MergeOpts)
-	outcome := PairOutcome{A: fa.Name(), B: fb.Name(), Similarity: sim, Attempted: true}
 	if err != nil {
 		if !errors.Is(err, merge.ErrIncompatible) {
-			return false, fmt.Errorf("core: merging %s + %s: %w", fa.Name(), fb.Name(), err)
+			return false, nil, fmt.Errorf("core: merging %s + %s: %w", fa.Name(), fb.Name(), err)
 		}
 		// Incompatible pairs cost ranking plus a trivial align check.
 		rep.Times.RankFail += rankDur
@@ -310,14 +343,35 @@ func attemptMerge(m *ir.Module, fa, fb *ir.Function, cfg Config, rep *Report, en
 		rep.Attempts++
 		mx.Counter("merge.incompatible").Inc()
 		sp.SetAttr("outcome", "incompatible")
-		return false, nil
+		return false, nil, nil
 	}
 	rep.Attempts++
 	outcome.MergeDur = res.AlignDur + res.CodegenDur
 	mx.Counter(obs.FunnelAligned).Inc()
 	mx.Histogram("align.score", decileBounds).Observe(res.AlignScore)
 	if res.Profitable {
+		// Re-validate before committing: if anything consumed an
+		// operand between alignment and commit (a misbehaving merge
+		// hook, a seeded fault), committing would rewrite call sites of
+		// a function no longer in the module. Discard instead.
+		if !liveInModule(m, fa) || !liveInModule(m, fb) {
+			merge.Discard(m, res)
+			rep.Times.RankFail += rankDur
+			rep.Times.AlignFail += res.AlignDur
+			rep.Times.CodegenFail += res.CodegenDur
+			rep.Pairs = append(rep.Pairs, outcome)
+			mx.Counter("merge.stale_commit").Inc()
+			sp.SetAttr("outcome", "stale-commit")
+			return false, nil, nil
+		}
+		spec.lockCommit()
 		info := merge.Commit(m, res)
+		// Intern the merged function's value type while still inside
+		// the critical section, so its type ID is assigned by the
+		// committer at a deterministic point — never racing a
+		// speculative worker that encodes a rewritten call site.
+		_ = res.Merged.Type()
+		spec.unlockCommit()
 		if eng != nil {
 			eng.AuditCommit(m, info)
 		}
@@ -333,7 +387,7 @@ func attemptMerge(m *ir.Module, fa, fb *ir.Function, cfg Config, rep *Report, en
 		mx.Histogram("merge.saving", savingBounds).Observe(float64(outcome.Saving))
 		sp.SetAttr("outcome", "committed")
 		sp.SetAttr("saving", outcome.Saving)
-		return true, nil
+		return true, res.Merged, nil
 	}
 	merge.Discard(m, res)
 	rep.Times.RankFail += rankDur
@@ -342,7 +396,7 @@ func attemptMerge(m *ir.Module, fa, fb *ir.Function, cfg Config, rep *Report, en
 	rep.Pairs = append(rep.Pairs, outcome)
 	mx.Counter("merge.unprofitable").Inc()
 	sp.SetAttr("outcome", "unprofitable")
-	return false, nil
+	return false, nil, nil
 }
 
 // publishRunMetrics records the run-level results into the registry
@@ -378,6 +432,9 @@ func runHyFM(m *ir.Module, cfg Config) (*Report, error) {
 	rep := &Report{Strategy: HyFM}
 	rep.SizeBefore = ModuleCost(m)
 	cfg = withCallIndex(m, cfg)
+	if cfg.MergeOpts.AlignCache == nil {
+		cfg.MergeOpts.AlignCache = align.NewCache(0)
+	}
 	mx := cfg.Metrics
 	eng := startChecks(m, cfg)
 
@@ -417,7 +474,7 @@ func runHyFM(m *ir.Module, cfg Config) (*Report, error) {
 		}
 		mx.Counter(obs.FunnelAboveThreshold).Inc()
 		sim := fps[i].Similarity(fps[best])
-		ok, err := attemptMerge(m, funcs[i], funcs[best], cfg, rep, eng, rankDur, sim, loop)
+		ok, _, err := attemptMerge(m, funcs[i], funcs[best], cfg, rep, eng, rankDur, sim, loop, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -428,6 +485,7 @@ func runHyFM(m *ir.Module, cfg Config) (*Report, error) {
 	loop.End()
 	rep.SizeAfter = ModuleCost(m)
 	finishChecks(m, cfg, eng, rep)
+	publishCacheMetrics(mx, cfg.MergeOpts.AlignCache)
 	publishRunMetrics(rep, cfg, workers)
 	return rep, nil
 }
@@ -437,6 +495,9 @@ func runF3M(m *ir.Module, cfg Config) (*Report, error) {
 	rep := &Report{Strategy: cfg.Strategy}
 	rep.SizeBefore = ModuleCost(m)
 	cfg = withCallIndex(m, cfg)
+	if cfg.MergeOpts.AlignCache == nil {
+		cfg.MergeOpts.AlignCache = align.NewCache(0)
+	}
 	mx := cfg.Metrics
 	eng := startChecks(m, cfg)
 
@@ -511,6 +572,23 @@ func runF3M(m *ir.Module, cfg Config) (*Report, error) {
 		return cfg.Hotness != nil && cfg.HotSkip > 0 && cfg.Hotness(funcs[i].Name()) >= cfg.HotSkip
 	}
 
+	// Speculative merge stage. The type pre-warm runs for every
+	// MergeWorkers setting so type-ID assignment — and with it the
+	// instruction encodings — cannot depend on whether workers exist.
+	// It must come after fingerprinting so the fingerprint-stage
+	// encodings keep their historical lazily-assigned IDs. Speculation
+	// itself needs the plain similarity ranking (profile-guided
+	// selection queries differently) and the live call index (for
+	// invalidation), and is pointless below two functions.
+	prewarmTypes(m, funcs)
+	mergeWorkers := cfg.MergeWorkers
+	var spec *specEngine
+	if mergeWorkers > 1 && cfg.Hotness == nil && cfg.MergeOpts.Index != nil && len(funcs) > 1 {
+		spec = newSpecEngine(m, funcs, sigs, ix, cfg.MergeOpts.AlignCache,
+			cfg.MergeOpts.MinBlockRatio, threshold, mergeWorkers-1, mx)
+	}
+	defer spec.stop()
+
 	loop := run.Child("merge-loop")
 	merged := make([]bool, len(funcs))
 	for i := range funcs {
@@ -558,17 +636,25 @@ func runF3M(m *ir.Module, cfg Config) (*Report, error) {
 			rep.Pairs = append(rep.Pairs, PairOutcome{A: funcs[i].Name()})
 			continue
 		}
-		ok, err := attemptMerge(m, funcs[i], funcs[best.ID], cfg, rep, eng, rankDur, best.Similarity, loop)
+		ok, mergedFn, err := attemptMerge(m, funcs[i], funcs[best.ID], cfg, rep, eng, rankDur, best.Similarity, loop, spec)
 		if err != nil {
 			return nil, err
 		}
 		if ok {
 			merged[i], merged[best.ID] = true, true
+			spec.lockCommit()
 			ix.Remove(i, sigs[i])
 			ix.Remove(best.ID, sigs[best.ID])
+			spec.unlockCommit()
+			var touched []*ir.Function
+			if spec != nil && mergedFn != nil {
+				touched = cfg.MergeOpts.Index.CallerFuncs(mergedFn)
+			}
+			spec.afterCommit(i, best.ID, touched)
 		}
 	}
 	loop.End()
+	spec.stop()
 	rep.LSHStats = ix.Stats()
 	rep.SizeAfter = ModuleCost(m)
 	finishChecks(m, cfg, eng, rep)
@@ -578,6 +664,7 @@ func runF3M(m *ir.Module, cfg Config) (*Report, error) {
 	ix.PublishMetrics(mx)
 	mx.Counter(obs.FunnelCompared).Add(rep.LSHStats.Comparisons)
 	mx.Counter(obs.FunnelAboveThreshold).Add(rep.LSHStats.CandidatesFound)
+	publishCacheMetrics(mx, cfg.MergeOpts.AlignCache)
 	publishRunMetrics(rep, cfg, workers)
 	return rep, nil
 }

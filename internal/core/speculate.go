@@ -1,0 +1,362 @@
+package core
+
+// Speculative parallel merge stage. The merge/commit loop itself must
+// stay sequential — commits mutate the module and the order of commits
+// is the determinism contract — but the expensive part of each
+// iteration is pure: cloning the two functions, demoting them to
+// phi-free form and running the Needleman–Wunsch alignments. A pool of
+// speculative workers runs exactly that workload ahead of the
+// committer for the top-k ranked candidates of each upcoming victim,
+// against per-worker scratch modules, filling the shared alignment
+// cache (align.Cache). The committer then replays the authoritative
+// sequential algorithm unchanged; when its attempt aligns a pair a
+// speculator already warmed, every DP is a cache hit.
+//
+// Why the Report cannot change: speculation results never feed the
+// Report. The committer performs the same LSH queries (Query and
+// BestWhereN mutate index statistics, so only the committer calls
+// them; workers use the read-only PeekCandidates), the same attempts
+// in the same victim order, and the same commits. The cache is exact —
+// keyed by the full encoded sequence pair, validated on every hit — so
+// a hit returns precisely what the committer would have computed (see
+// align.Cache). The remaining sharing hazards are closed structurally:
+//
+//   - Module mutation: commits rewrite call sites (operand slices) and
+//     thunk originals (Blocks replaced) of functions a worker may be
+//     cloning. The committer takes the engine's write lock around
+//     merge.Commit and the LSH removals; workers peek and clone under
+//     the read lock, so every clone sees a consistent module.
+//   - Type-ID determinism: encodings embed type IDs, and IDs are
+//     assigned in interning order. prewarmTypes interns, for every
+//     MergeWorkers setting, everything a worker could otherwise intern
+//     lazily, and the committer interns each merged function's pointer
+//     type inside its commit critical section — so workers never
+//     allocate a type ID and encodings are identical across settings.
+//   - Statistics: speculative work counts (merge.speculated,
+//     merge.requeued, cache hit rates) are schedule-dependent, so they
+//     are registered as volatile metrics, excluded from the
+//     deterministic export.
+//
+// After each commit the engine invalidates speculations whose operands
+// were consumed (merged away) or rewritten (call sites of the merged
+// pair) and re-queues those victims in batches — the requeue channel
+// is the batched "re-query after commit" path, replacing per-commit
+// synchronous re-speculation. Invalidation is a performance
+// optimization, not a correctness requirement: a stale speculation
+// merely warms cache entries nobody will ask for.
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"f3m/internal/align"
+	"f3m/internal/fingerprint"
+	"f3m/internal/ir"
+	"f3m/internal/lsh"
+	"f3m/internal/obs"
+	"f3m/internal/passes"
+)
+
+const (
+	// specBatch is how many victims a worker claims per scheduling
+	// round; small enough that workers drain promptly on shutdown.
+	specBatch = 8
+
+	// specTopK is how many ranked candidates are pre-aligned per
+	// victim. The committer attempts only the best accepted candidate,
+	// but by the time it reaches a victim earlier commits may have
+	// consumed the front-runners, so a small prefix is warmed.
+	specTopK = 4
+)
+
+// specEngine coordinates the speculative workers with the sequential
+// committer. All exported-to-pipeline methods are nil-safe, so the
+// sequential path (MergeWorkers <= 1) runs with a nil engine and zero
+// overhead beyond the nil checks.
+type specEngine struct {
+	funcs     []*ir.Function
+	sigs      []fingerprint.MinHash
+	byFunc    map[*ir.Function]int32
+	ix        *lsh.Index
+	cache     *align.Cache
+	ctx       *ir.TypeContext
+	minRatio  float64
+	threshold float64
+
+	// mu orders module/index mutation (committer, write side) against
+	// peek+clone (workers, read side).
+	mu sync.RWMutex
+
+	// merged mirrors the committer's merged[] flags for worker-side
+	// filtering; stale reads only cost wasted speculation.
+	merged []atomic.Bool
+
+	// frontier is the highest victim index the committer has passed;
+	// speculating at or below it is pointless.
+	frontier atomic.Int64
+
+	// cursor hands out fresh victim indices to workers.
+	cursor atomic.Int64
+
+	// specCand[v] records the candidate ID the last speculation for
+	// victim v pre-aligned against (-1 when none), so invalidation can
+	// tell whether a commit consumed v's predicted partner.
+	specCand []atomic.Int32
+
+	// queued[v] guards against duplicate requeue entries per victim.
+	queued  []atomic.Bool
+	requeue chan int32
+
+	quit     chan struct{}
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+
+	speculated *obs.Counter
+	requeued   *obs.Counter
+	busy       *obs.Gauge
+}
+
+// newSpecEngine starts workers speculative goroutines over the ranked
+// function set and returns the engine the committer coordinates with.
+func newSpecEngine(m *ir.Module, funcs []*ir.Function, sigs []fingerprint.MinHash, ix *lsh.Index, cache *align.Cache, minRatio, threshold float64, workers int, mx *obs.Metrics) *specEngine {
+	e := &specEngine{
+		funcs:     funcs,
+		sigs:      sigs,
+		byFunc:    make(map[*ir.Function]int32, len(funcs)),
+		ix:        ix,
+		cache:     cache,
+		ctx:       m.Ctx,
+		minRatio:  minRatio,
+		threshold: threshold,
+		merged:    make([]atomic.Bool, len(funcs)),
+		specCand:  make([]atomic.Int32, len(funcs)),
+		queued:    make([]atomic.Bool, len(funcs)),
+		requeue:   make(chan int32, len(funcs)),
+		quit:      make(chan struct{}),
+	}
+	for i, f := range funcs {
+		e.byFunc[f] = int32(i)
+	}
+	for i := range e.specCand {
+		e.specCand[i].Store(-1)
+	}
+	e.frontier.Store(-1)
+	e.speculated = mx.VolatileCounter("merge.speculated")
+	e.requeued = mx.VolatileCounter("merge.requeued")
+	e.busy = mx.VolatileGauge("pool.speculate.busy_ns")
+	mx.VolatileGauge("pool.speculate.workers").Set(float64(workers))
+	e.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go e.worker(w)
+	}
+	return e
+}
+
+// stop shuts the worker pool down and waits for it; idempotent and
+// nil-safe so the pipeline can defer it unconditionally.
+func (e *specEngine) stop() {
+	if e == nil {
+		return
+	}
+	e.stopOnce.Do(func() {
+		close(e.quit)
+		e.wg.Wait()
+	})
+}
+
+// lockCommit/unlockCommit bracket the committer's mutations (commit,
+// call-site rewrites, LSH removals). Nil-safe.
+func (e *specEngine) lockCommit() {
+	if e != nil {
+		e.mu.Lock()
+	}
+}
+
+func (e *specEngine) unlockCommit() {
+	if e != nil {
+		e.mu.Unlock()
+	}
+}
+
+// afterCommit is called by the committer once per committed merge, with
+// the victim index a, its partner b, and the functions whose call sites
+// the commit rewrote. It advances the frontier, marks the pair merged,
+// and invalidates + re-queues (batched) every pending speculation whose
+// operands the commit touched. Nil-safe.
+func (e *specEngine) afterCommit(a, b int, touched []*ir.Function) {
+	if e == nil {
+		return
+	}
+	e.merged[a].Store(true)
+	e.merged[b].Store(true)
+	e.frontier.Store(int64(a))
+	stale := make(map[int32]bool, 2+len(touched))
+	stale[int32(a)] = true
+	stale[int32(b)] = true
+	for _, f := range touched {
+		if id, ok := e.byFunc[f]; ok {
+			stale[id] = true
+		}
+	}
+	for v := int32(a) + 1; v < int32(len(e.funcs)); v++ {
+		if e.merged[v].Load() {
+			continue
+		}
+		c := e.specCand[v].Load()
+		if !stale[v] && (c < 0 || !stale[c]) {
+			continue
+		}
+		e.specCand[v].Store(-1)
+		if !e.queued[v].CompareAndSwap(false, true) {
+			continue // already awaiting re-speculation
+		}
+		select {
+		case e.requeue <- v:
+			e.requeued.Inc()
+		default:
+			// Channel full (cannot happen while queued[] holds, but do
+			// not block the committer on it).
+			e.queued[v].Store(false)
+		}
+	}
+}
+
+// worker is one speculative goroutine: it claims batches of victims —
+// invalidated re-queues first, then fresh indices — and pre-aligns each
+// against its top-ranked candidates in a private scratch module.
+func (e *specEngine) worker(wid int) {
+	defer e.wg.Done()
+	scratch := ir.NewModuleInCtx("spec.w"+strconv.Itoa(wid), e.ctx)
+	for {
+		select {
+		case <-e.quit:
+			return
+		default:
+		}
+		batch := e.nextBatch()
+		if batch == nil {
+			return
+		}
+		t0 := time.Now()
+		for _, v := range batch {
+			e.speculate(scratch, v)
+		}
+		e.busy.Add(float64(time.Since(t0)))
+	}
+}
+
+// nextBatch assembles up to specBatch victim indices, preferring
+// invalidated re-queues over fresh cursor work, and blocks when neither
+// is available. A nil return means shutdown.
+func (e *specEngine) nextBatch() []int32 {
+	batch := make([]int32, 0, specBatch)
+drain:
+	for len(batch) < specBatch {
+		select {
+		case v := <-e.requeue:
+			e.queued[v].Store(false)
+			batch = append(batch, v)
+		default:
+			break drain
+		}
+	}
+	n := int64(len(e.funcs))
+	for len(batch) < specBatch {
+		v := e.cursor.Add(1) - 1
+		if v >= n {
+			break
+		}
+		batch = append(batch, int32(v))
+	}
+	if len(batch) > 0 {
+		return batch
+	}
+	select {
+	case v := <-e.requeue:
+		e.queued[v].Store(false)
+		return []int32{v}
+	case <-e.quit:
+		return nil
+	}
+}
+
+// speculate pre-aligns victim v against its current top-k candidates:
+// peek the index and clone the functions under the read lock, then do
+// the expensive pure work — RegToMem plus the merge attempt's exact
+// alignment workload — outside it, filling the shared cache.
+func (e *specEngine) speculate(scratch *ir.Module, v int32) {
+	if int64(v) <= e.frontier.Load() || e.merged[v].Load() {
+		return
+	}
+	e.mu.RLock()
+	if e.merged[v].Load() {
+		e.mu.RUnlock()
+		return
+	}
+	accept := func(id int) bool { return !e.merged[id].Load() }
+	cands := e.ix.PeekCandidates(int(v), e.sigs[v], e.threshold, accept, specTopK)
+	if len(cands) == 0 {
+		e.mu.RUnlock()
+		return
+	}
+	e.specCand[v].Store(int32(cands[0].ID))
+	cv := ir.CloneFunc(scratch, e.funcs[v], scratch.UniqueFuncName("spec.v"))
+	ccs := make([]*ir.Function, len(cands))
+	for i, c := range cands {
+		ccs[i] = ir.CloneFunc(scratch, e.funcs[c.ID], scratch.UniqueFuncName("spec.c"))
+	}
+	e.mu.RUnlock()
+
+	passes.RegToMem(cv)
+	for _, cc := range ccs {
+		passes.RegToMem(cc)
+		align.WarmPair(e.cache, cv, cc, e.minRatio)
+		scratch.RemoveFunc(cc)
+		e.speculated.Inc()
+	}
+	scratch.RemoveFunc(cv)
+}
+
+// prewarmTypes interns, in one deterministic sweep, every derived type
+// the speculative workers could otherwise be first to intern: the
+// pointer-to-signature type of every function (EncodeInstr consults it
+// for callee operands) and the pointer type of every parameter and
+// instruction result in the mergeable set (RegToMem demotion allocates
+// these). It runs unconditionally — for every MergeWorkers setting —
+// because type IDs feed the instruction encodings and must therefore
+// be assigned identically whether or not workers exist. After this
+// sweep the only new types a run creates are each merged function's
+// signature and its pointer, both interned by the committer inside the
+// commit critical section.
+func prewarmTypes(m *ir.Module, funcs []*ir.Function) {
+	ctx := m.Ctx
+	for _, f := range m.Funcs {
+		ctx.Pointer(f.Sig)
+	}
+	for _, f := range funcs {
+		for _, p := range f.Params {
+			ctx.Pointer(p.Ty)
+		}
+		f.Instructions(func(in *ir.Instr) {
+			if t := in.Type(); t != nil && !t.IsVoid() {
+				ctx.Pointer(t)
+			}
+		})
+	}
+}
+
+// publishCacheMetrics exports the alignment-cache counters. Hit and
+// miss counts depend on how much speculative warming happened, which is
+// schedule-dependent, so all four are volatile.
+func publishCacheMetrics(mx *obs.Metrics, c *align.Cache) {
+	if mx == nil || c == nil {
+		return
+	}
+	st := c.Stats()
+	mx.VolatileCounter("merge.cache_hit").Add(st.Hits)
+	mx.VolatileCounter("merge.cache_miss").Add(st.Misses)
+	mx.VolatileCounter("merge.cache_reject").Add(st.Rejects)
+	mx.VolatileCounter("merge.cache_evict").Add(st.Evictions)
+}

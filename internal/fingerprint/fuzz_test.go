@@ -1,0 +1,56 @@
+package fingerprint
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzFingerprintEncode drives the MinHash stack over arbitrary
+// sequences and configurations: construction must never panic (short,
+// empty and degenerate sequences included), and both the estimated and
+// exact Jaccard similarities must be symmetric and confined to [0, 1].
+func FuzzFingerprintEncode(f *testing.F) {
+	f.Add([]byte{}, uint8(0), uint64(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(7), uint64(42))
+	f.Add([]byte("abcabcabcabc"), uint8(64), uint64(0xF3F3F3F3))
+	f.Add([]byte{255, 0, 255, 0}, uint8(200), uint64(1))
+
+	f.Fuzz(func(t *testing.T, data []byte, kraw uint8, seed uint64) {
+		// Split the payload into two sequences; either may be empty.
+		half := len(data) / 2
+		a := make([]Encoded, half)
+		for i := range a {
+			a[i] = Encoded(data[i])
+		}
+		b := make([]Encoded, len(data)-half)
+		for i := range b {
+			b[i] = Encoded(data[half+i])
+		}
+
+		cfg := (&Config{
+			K:           int(kraw%64) + 1,
+			ShingleSize: int(kraw%3) + 1,
+			Seed:        seed,
+		}).Prepare()
+		ma, mb := cfg.New(a), cfg.New(b)
+
+		est := ma.Jaccard(mb)
+		if est < 0 || est > 1 || math.IsNaN(est) {
+			t.Fatalf("Jaccard estimate %v outside [0,1]", est)
+		}
+		if back := mb.Jaccard(ma); back != est {
+			t.Fatalf("Jaccard not symmetric: %v vs %v", est, back)
+		}
+		if self := ma.Jaccard(ma); len(a) > 0 && self != 1 {
+			t.Fatalf("self-similarity = %v, want 1", self)
+		}
+
+		ex := ExactJaccard(a, b, cfg.ShingleSize)
+		if ex < 0 || ex > 1 || math.IsNaN(ex) {
+			t.Fatalf("ExactJaccard %v outside [0,1]", ex)
+		}
+		if back := ExactJaccard(b, a, cfg.ShingleSize); back != ex {
+			t.Fatalf("ExactJaccard not symmetric: %v vs %v", ex, back)
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzIRParseRoundTrip checks the printer/parser fixpoint: any source
+// the parser accepts must print to text the parser accepts again, and
+// that second parse must print identically (print ∘ parse is idempotent
+// after one round). Parser rejections are fine — only panics and
+// fixpoint violations count.
+func FuzzIRParseRoundTrip(f *testing.F) {
+	f.Add(`define i32 @id(i32 %x) {
+entry:
+  ret i32 %x
+}`)
+	f.Add(`@g = global i32 7
+define i32 @ld() {
+entry:
+  %p = load i32, ptr @g
+  ret i32 %p
+}`)
+	f.Add(`define i32 @max(i32 %a, i32 %b) {
+entry:
+  %c = icmp sgt i32 %a, %b
+  br i1 %c, label %t, label %f
+t:
+  br label %join
+f:
+  br label %join
+join:
+  %m = phi i32 [ %a, %t ], [ %b, %f ]
+  ret i32 %m
+}`)
+	f.Add(`define void @loop(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %i2, %body ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %i2 = add i32 %i, 1
+  br label %head
+exit:
+  ret void
+}`)
+	f.Add("define i32 @f() {\nentry:\n  ret i32 -2147483648\n}")
+	f.Add("declare i32 @ext(i32, ...)")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ParseModule(src)
+		if err != nil {
+			return // rejection is fine; panics are the bug
+		}
+		var first strings.Builder
+		if err := WriteModule(&first, m); err != nil {
+			t.Fatalf("print of parsed module failed: %v", err)
+		}
+		m2, err := ParseModule(first.String())
+		if err != nil {
+			t.Fatalf("printed module does not re-parse: %v\n%s", err, first.String())
+		}
+		var second strings.Builder
+		if err := WriteModule(&second, m2); err != nil {
+			t.Fatalf("second print failed: %v", err)
+		}
+		if first.String() != second.String() {
+			t.Fatalf("print/parse not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", first.String(), second.String())
+		}
+	})
+}

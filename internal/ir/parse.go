@@ -260,6 +260,9 @@ func (p *parser) parseGlobal() error {
 		init = v
 	}
 	if p.headerOnly {
+		if p.mod.Global(name) != nil {
+			return p.errf("duplicate global @%s", name)
+		}
 		p.mod.NewGlobal(name, ty, init)
 	}
 	return nil
@@ -312,6 +315,9 @@ func (p *parser) parseFunc(decl bool) error {
 	}
 	var f *Function
 	if p.headerOnly {
+		if p.mod.Func(name) != nil {
+			return p.errf("duplicate function @%s", name)
+		}
 		f = p.mod.NewFunc(name, sig, pnames...)
 	} else {
 		f = p.mod.Func(name)
@@ -351,6 +357,7 @@ func (p *parser) parseFunc(decl bool) error {
 		p.locals[prm.Nam] = prm
 	}
 	defCount := 0
+	defined := make(map[string]bool)
 	for !p.accept("}") {
 		if p.tok().kind != tokIdent {
 			return p.errf("expected block label, got %q", p.tok().text)
@@ -360,7 +367,14 @@ func (p *parser) parseFunc(decl bool) error {
 		if err := p.expect(":"); err != nil {
 			return err
 		}
-		b := p.getBlock(label)
+		if defined[label] {
+			return p.errf("duplicate block label %s in @%s", label, name)
+		}
+		defined[label] = true
+		b, err := p.getBlock(label)
+		if err != nil {
+			return err
+		}
 		// Blocks may be created early by forward branch references; keep
 		// f.Blocks in textual definition order.
 		f.RemoveBlock(b)
@@ -398,14 +412,19 @@ func (p *parser) peekIsLabel() bool {
 }
 
 // getBlock returns the block with the given label, creating it lazily so
-// branches may reference blocks textually defined later.
-func (p *parser) getBlock(label string) *Block {
+// branches may reference blocks textually defined later. Labels must be
+// printable as bare identifiers (block definitions print without a '%'
+// sigil), so names that would re-lex as numbers are rejected.
+func (p *parser) getBlock(label string) (*Block, error) {
 	if b, ok := p.blocks[label]; ok {
-		return b
+		return b, nil
+	}
+	if label == "" || !isIdentStart(label[0]) {
+		return nil, p.errf("bad block label %%%s", label)
 	}
 	b := p.fn.NewBlock(label)
 	p.blocks[label] = b
-	return b
+	return b, nil
 }
 
 func (p *parser) parseType() (*Type, error) {
@@ -517,6 +536,9 @@ func (p *parser) parseConstOfType(ty *Type) (*Const, error) {
 	tk := p.tok()
 	switch {
 	case tk.kind == tokIdent && tk.text == "null":
+		if !ty.IsPointer() {
+			return nil, p.errf("null literal of non-pointer type %s", ty)
+		}
 		p.advance()
 		return ConstNull(ty), nil
 	case tk.kind == tokIdent && tk.text == "undef":
@@ -530,6 +552,9 @@ func (p *parser) parseConstOfType(ty *Type) (*Const, error) {
 				return nil, err
 			}
 			return ConstFloat(ty, v), nil
+		}
+		if !ty.IsInt() {
+			return nil, p.errf("integer literal of non-integer type %s", ty)
 		}
 		v, err := strconv.ParseInt(tk.text, 10, 64)
 		if err != nil {
@@ -609,7 +634,10 @@ func (p *parser) parseTypedOperand() (Value, error) {
 		if p.tok().kind != tokLocal {
 			return nil, p.errf("expected label name")
 		}
-		b := p.getBlock(p.tok().text)
+		b, err := p.getBlock(p.tok().text)
+		if err != nil {
+			return nil, err
+		}
 		p.advance()
 		return b, nil
 	}
@@ -842,7 +870,10 @@ func (p *parser) parseInstr() (*Instr, error) {
 			if p.tok().kind != tokLocal {
 				return nil, p.errf("expected incoming block")
 			}
-			b := p.getBlock(p.tok().text)
+			b, err := p.getBlock(p.tok().text)
+			if err != nil {
+				return nil, err
+			}
 			p.advance()
 			if err := p.expect("]"); err != nil {
 				return nil, err

@@ -12,6 +12,7 @@ package ir
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // TypeKind discriminates the structural kind of a Type.
@@ -120,7 +121,17 @@ func (t *Type) String() string {
 
 // TypeContext interns types. All types used in one Module must come from
 // the Module's context; mixing contexts breaks pointer-equality checks.
+//
+// Interning is guarded by a mutex, so looking up (or creating) types is
+// safe from concurrent goroutines — the speculative merge stage clones
+// and encodes functions while the committer generates code against the
+// same context. Note that thread-safety is not the same as ID
+// determinism: dense type IDs are assigned in interning order, so any
+// code that must keep IDs schedule-independent (the pipeline) has to
+// ensure concurrent readers only ever re-intern types that already
+// exist (see core's type pre-warm).
 type TypeContext struct {
+	mu    sync.Mutex
 	byKey map[string]*Type
 	next  int
 
@@ -153,7 +164,11 @@ func NewTypeContext() *TypeContext {
 }
 
 func (c *TypeContext) intern(t *Type) *Type {
+	// typeKey reads only immutable fields of already-interned element
+	// types, so it can run outside the lock.
 	key := typeKey(t)
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if got, ok := c.byKey[key]; ok {
 		return got
 	}
@@ -181,7 +196,11 @@ func typeKey(t *Type) string {
 }
 
 // NumTypes returns how many distinct types have been interned.
-func (c *TypeContext) NumTypes() int { return c.next }
+func (c *TypeContext) NumTypes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.next
+}
 
 // Int returns the integer type of the given bit width.
 func (c *TypeContext) Int(bits int) *Type {

@@ -295,6 +295,59 @@ func (ix *Index) Query(id int, mh fingerprint.MinHash, minSim float64) []Candida
 	return out
 }
 
+// PeekCandidates is a read-only variant of Query for speculative
+// lookups: it returns up to k accepted candidates (best first, k <= 0
+// meaning unlimited) without touching the index's stats counters or
+// the per-query dedup stamps — deduplication uses a local set instead.
+// Because it mutates nothing, any number of PeekCandidates calls may
+// run concurrently with each other and with the (externally
+// serialized) authoritative Query/BestWhereN calls, which write only
+// the stats and stamp state that Peek never reads. Callers must still
+// prevent concurrent Insert/Remove/BatchInsert — the pipeline holds
+// its commit lock across those.
+//
+// The candidate set matches what Query would see at the same index
+// state; only the accounting differs, which is exactly why speculation
+// uses this entry point (the authoritative counters must reflect the
+// sequential schedule alone).
+func (ix *Index) PeekCandidates(id int, mh fingerprint.MinHash, minSim float64, accept func(int) bool, k int) []Candidate {
+	cap_ := ix.params.bucketCap()
+	seen := make(map[int32]struct{}, 64)
+	seen[int32(id)] = struct{}{}
+	var out []Candidate
+	for band, h := range ix.bandHashes(mh) {
+		lst := ix.buckets[band][h]
+		checked := 0
+		for _, cand := range lst {
+			if _, dup := seen[cand]; dup {
+				continue
+			}
+			if checked >= cap_ {
+				break
+			}
+			checked++
+			seen[cand] = struct{}{}
+			if accept != nil && !accept(int(cand)) {
+				continue
+			}
+			s := mh.Jaccard(ix.sigs[cand])
+			if s >= minSim {
+				out = append(out, Candidate{ID: int(cand), Similarity: s})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Similarity != out[j].Similarity {
+			return out[i].Similarity > out[j].Similarity
+		}
+		return out[i].ID < out[j].ID
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
 // Best returns the single most similar candidate, or ok=false when no
 // bucket-sharing candidate reaches minSim.
 func (ix *Index) Best(id int, mh fingerprint.MinHash, minSim float64) (Candidate, bool) {

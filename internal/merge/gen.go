@@ -130,7 +130,7 @@ func (g *mergeGen) run(name string) (*ir.Function, error) {
 	// Pair blocks and pre-create every merged head so terminators can
 	// resolve successors in one pass.
 	alignStart := time.Now()
-	pairs, unA, unB := align.MatchBlocks(g.ca, g.cb, g.opts.MinBlockRatio)
+	pairs, unA, unB := align.MatchBlocksCached(g.ca, g.cb, g.opts.MinBlockRatio, g.opts.AlignCache)
 	g.alignScore = alignScoreOf(pairs, g.ca, g.cb)
 	g.alignDur = time.Since(alignStart)
 	codegenStart := time.Now()
@@ -265,7 +265,7 @@ func (g *mergeGen) emitPair(p align.BlockPair) {
 	for i, in := range bBody {
 		encB[i] = fingerprint.EncodeInstr(in)
 	}
-	entries := align.NeedlemanWunsch(encA, encB)
+	entries := g.opts.AlignCache.NW(encA, encB)
 
 	var cols []column
 	for _, e := range entries {

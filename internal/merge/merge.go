@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"time"
 
+	"f3m/internal/align"
 	"f3m/internal/ir"
 	"f3m/internal/passes"
 )
@@ -49,6 +50,14 @@ type Options struct {
 	// the whole module (essential for large-module runs). It takes
 	// precedence over CallSiteCount.
 	Index *CallIndex
+
+	// AlignCache, when set, memoizes the Needleman–Wunsch alignments
+	// the code generator performs (block pairing and paired-block
+	// bodies). The cache is exact — identical results with or without
+	// it — and safe to share across goroutines; the pipeline uses one
+	// per run so speculative workers can pre-warm the alignments the
+	// committer will need. Nil disables caching.
+	AlignCache *align.Cache
 }
 
 // DefaultOptions mirror the defaults used by the pipeline.

@@ -1,0 +1,45 @@
+package minic
+
+import (
+	"testing"
+
+	"f3m/internal/ir"
+)
+
+// FuzzMinicParser feeds arbitrary source through the whole mini-C
+// front end. The contract under fuzzing: no panics ever, and every
+// module the front end does produce must pass the IR verifier — the
+// lowering has no license to emit malformed IR just because the input
+// was strange.
+func FuzzMinicParser(f *testing.F) {
+	f.Add("int main() { return 0; }")
+	f.Add(`int add(int a, int b) { return a + b; }
+int twice(int x) { return add(x, x); }`)
+	f.Add(`int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}`)
+	f.Add(`int stats[8];
+int bump(int i) {
+  stats[i] = stats[i] + 1;
+  return stats[i];
+}`)
+	f.Add(`int loopy(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i = i + 1) { acc = acc ^ i * 31; }
+  while (acc > 100) { acc = acc / 2; }
+  return acc;
+}`)
+	f.Add("int broken( { return; }")
+	f.Add("intx;; /* comment */ int f() { return 'a'; }")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Compile("fuzz.c", src)
+		if err != nil {
+			return // rejection is fine; panics are the bug
+		}
+		if err := ir.VerifyModule(m); err != nil {
+			t.Fatalf("accepted source lowered to invalid IR: %v\nsource:\n%s", err, src)
+		}
+	})
+}

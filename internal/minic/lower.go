@@ -86,6 +86,9 @@ func (lw *lowerer) lowerFile(file *File) (*ir.Module, error) {
 	// Declare globals and function signatures first so bodies can
 	// reference anything in the unit.
 	for _, g := range file.Globals {
+		if lw.mod.Global(g.Name) != nil {
+			return nil, errf(g.Pos, "global %q redefined", g.Name)
+		}
 		lw.globals[g.Name] = g
 		ty, err := lw.irType(g.Type, g.Pos)
 		if err != nil {

@@ -27,11 +27,12 @@ type HistogramSnapshot struct {
 	Sum    float64   `json:"sum"`
 }
 
-// Snapshot copies the registry. Volatile gauges (wall-clock times,
-// worker counts, utilization) are included only when includeVolatile
-// is set; leaving them out makes the snapshot deterministic for a
-// given workload and configuration, independent of scheduling. A nil
-// registry snapshots as empty.
+// Snapshot copies the registry. Volatile metrics (wall-clock times,
+// worker counts, utilization gauges; speculation and cache counters)
+// are included only when includeVolatile is set; leaving them out
+// makes the snapshot deterministic for a given workload and
+// configuration, independent of scheduling. A nil registry snapshots
+// as empty.
 func (m *Metrics) Snapshot(includeVolatile bool) Snapshot {
 	var s Snapshot
 	if m == nil {
@@ -39,11 +40,14 @@ func (m *Metrics) Snapshot(includeVolatile bool) Snapshot {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if len(m.counters) > 0 {
-		s.Counters = make(map[string]int64, len(m.counters))
-		for name, c := range m.counters {
-			s.Counters[name] = c.Value()
+	for name, c := range m.counters {
+		if c.volatile && !includeVolatile {
+			continue
 		}
+		if s.Counters == nil {
+			s.Counters = make(map[string]int64, len(m.counters))
+		}
+		s.Counters[name] = c.Value()
 	}
 	for name, g := range m.gauges {
 		if g.volatile && !includeVolatile {
@@ -114,13 +118,22 @@ func (m *Metrics) WriteText(w io.Writer) error {
 			volatileNames[name] = true
 		}
 	}
+	for name, c := range m.counters {
+		if c.volatile {
+			volatileNames[name] = true
+		}
+	}
 	m.mu.Unlock()
 
 	var b strings.Builder
 	if len(s.Counters) > 0 {
 		b.WriteString("counters:\n")
 		for _, name := range sortedKeys(s.Counters) {
-			fmt.Fprintf(&b, "  %-32s %d\n", name, s.Counters[name])
+			mark := ""
+			if volatileNames[name] {
+				mark = "  (volatile)"
+			}
+			fmt.Fprintf(&b, "  %-32s %d%s\n", name, s.Counters[name], mark)
 		}
 	}
 	if len(s.Gauges) > 0 {

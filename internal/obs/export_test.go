@@ -11,11 +11,13 @@ import (
 var update = flag.Bool("update", false, "rewrite the exporter golden files")
 
 // goldenRegistry builds the fixed registry both exporter goldens
-// serialize: one of each metric kind, including a volatile gauge that
-// must appear in the text export but not the JSON one.
+// serialize: one of each metric kind, including a volatile gauge and a
+// volatile counter that must appear in the text export but not the
+// JSON one.
 func goldenRegistry() *Metrics {
 	m := NewMetrics()
 	m.Counter(FunnelFingerprinted).Add(12)
+	m.VolatileCounter("merge.speculated").Add(7)
 	m.Counter(FunnelBucketed).Add(12)
 	m.Counter(FunnelCompared).Add(34)
 	m.Counter(FunnelAboveThreshold).Add(10)
@@ -96,7 +98,8 @@ func TestJSONDeterministicAcrossInsertionOrder(t *testing.T) {
 	b.Gauge("size.after").Set(350)
 	b.Gauge("size.before").Set(400)
 	b.Gauge("core.threshold").Set(0.05)
-	b.VolatileGauge("time.total_ns").Set(99) // differs; must not matter
+	b.VolatileGauge("time.total_ns").Set(99)     // differs; must not matter
+	b.VolatileCounter("merge.speculated").Add(1) // differs; must not matter
 	b.Counter("lsh.bucket_cap_skips").Add(5)
 	for name, n := range map[string]int64{
 		FunnelCommitted: 3, FunnelProfitable: 3, FunnelAligned: 8,

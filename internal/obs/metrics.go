@@ -63,6 +63,21 @@ func NewMetrics() *Metrics {
 // Counter returns the named counter, creating it if needed. Returns
 // nil (a no-op handle) when m is nil.
 func (m *Metrics) Counter(name string) *Counter {
+	return m.counter(name, false)
+}
+
+// VolatileCounter is Counter for counts that legitimately differ
+// between runs or configurations — speculative work performed, cache
+// hits, requeues: anything whose value depends on goroutine scheduling.
+// Volatile counters are excluded from the deterministic JSON export
+// (WriteJSON) and shown only by WriteText and String, mirroring
+// VolatileGauge. The volatility of a name is fixed by whichever call
+// creates it first.
+func (m *Metrics) VolatileCounter(name string) *Counter {
+	return m.counter(name, true)
+}
+
+func (m *Metrics) counter(name string, volatile bool) *Counter {
 	if m == nil {
 		return nil
 	}
@@ -70,7 +85,7 @@ func (m *Metrics) Counter(name string) *Counter {
 	defer m.mu.Unlock()
 	c, ok := m.counters[name]
 	if !ok {
-		c = &Counter{}
+		c = &Counter{volatile: volatile}
 		m.counters[name] = c
 	}
 	return c
@@ -152,7 +167,8 @@ func (m *Metrics) GaugeValue(name string) float64 {
 // Counter is a monotonically increasing integer metric. The zero value
 // is ready to use; a nil *Counter is a no-op handle.
 type Counter struct {
-	v atomic.Int64
+	v        atomic.Int64
+	volatile bool
 }
 
 // Add increments the counter by d. No-op on a nil handle.

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestVolatileCounterExcludedFromDeterministicExport: schedule-
+// dependent counters (speculation work, cache hits) must vanish from
+// Snapshot(false) and WriteJSON but stay visible — marked — in the
+// text export and the full snapshot.
+func TestVolatileCounterExcludedFromDeterministicExport(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("merge.incompatible").Add(3)
+	m.VolatileCounter("merge.speculated").Add(99)
+
+	det := m.Snapshot(false)
+	if _, ok := det.Counters["merge.speculated"]; ok {
+		t.Error("volatile counter leaked into the deterministic snapshot")
+	}
+	if det.Counters["merge.incompatible"] != 3 {
+		t.Error("plain counter missing from the deterministic snapshot")
+	}
+
+	full := m.Snapshot(true)
+	if full.Counters["merge.speculated"] != 99 {
+		t.Error("volatile counter missing from the full snapshot")
+	}
+
+	var js strings.Builder
+	if err := m.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(js.String(), "merge.speculated") {
+		t.Error("volatile counter leaked into WriteJSON")
+	}
+
+	var txt strings.Builder
+	if err := m.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "merge.speculated") {
+		t.Error("volatile counter missing from WriteText")
+	}
+	line := ""
+	for _, l := range strings.Split(txt.String(), "\n") {
+		if strings.Contains(l, "merge.speculated") {
+			line = l
+		}
+	}
+	if !strings.Contains(line, "(volatile)") {
+		t.Errorf("volatile counter line %q lacks the (volatile) mark", line)
+	}
+}
+
+// TestVolatileCounterFixedByFirstCreator: like VolatileGauge, the
+// volatility of a counter name is decided by whichever lookup creates
+// it; later lookups of either flavor share the same handle.
+func TestVolatileCounterFixedByFirstCreator(t *testing.T) {
+	m := NewMetrics()
+	a := m.VolatileCounter("x")
+	b := m.Counter("x")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	a.Add(2)
+	if _, ok := m.Snapshot(false).Counters["x"]; ok {
+		t.Error("name created volatile became deterministic via later Counter lookup")
+	}
+
+	m2 := NewMetrics()
+	c := m2.Counter("y")
+	if d := m2.VolatileCounter("y"); c != d {
+		t.Fatal("same name returned distinct counters")
+	}
+	if v, ok := m2.Snapshot(false).Counters["y"]; !ok || v != 0 {
+		t.Error("name created deterministic became volatile via later VolatileCounter lookup")
+	}
+}
+
+// TestVolatileCounterNilSafety mirrors the registry-wide nil contract.
+func TestVolatileCounterNilSafety(t *testing.T) {
+	var m *Metrics
+	c := m.VolatileCounter("anything")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil handle accumulated a value")
+	}
+}

@@ -1,0 +1,46 @@
+#!/bin/sh
+# bench.sh — merge-stage perf regression snapshot.
+#
+# Runs BenchmarkMergeStage (the merge/commit loop with the speculative
+# worker pool and pooled-DP alignment cache) and writes the numbers to
+# BENCH_merge.json so the perf trajectory — ns/op, allocs/op and the
+# committer's cache hit rate per -merge-workers setting — is tracked
+# across PRs. BENCHTIME and the output path are overridable:
+#
+#   BENCHTIME=5x scripts/bench.sh          # more iterations
+#   scripts/bench.sh out/bench.json        # alternate output file
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+OUT="${1:-BENCH_merge.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== go test -bench BenchmarkMergeStage (benchtime $BENCHTIME)"
+go test -run '^$' -bench '^BenchmarkMergeStage$' -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+
+awk '
+/^BenchmarkMergeStage\// {
+    name = $1
+    sub(/-[0-9]+$/, "", name)          # strip the GOMAXPROCS suffix
+    sub(/^BenchmarkMergeStage\//, "", name)
+    ns = ""; bytes = ""; allocs = ""; hit = ""; merges = ""
+    for (i = 3; i < NF; i += 2) {
+        v = $i; u = $(i + 1)
+        if (u == "ns/op") ns = v
+        else if (u == "B/op") bytes = v
+        else if (u == "allocs/op") allocs = v
+        else if (u == "cache-hit-rate") hit = v
+        else if (u == "merges") merges = v
+    }
+    if (n++) printf ",\n"
+    printf "  {\"bench\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"cache_hit_rate\": %s, \"merges\": %s}", \
+        name, ns, bytes, allocs, (hit == "" ? "null" : hit), (merges == "" ? "null" : merges)
+}
+BEGIN { printf "[\n" }
+END   { printf "\n]\n" }
+' "$RAW" >"$OUT"
+
+echo "== wrote $OUT"
+cat "$OUT"

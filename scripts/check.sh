@@ -30,4 +30,13 @@ go run ./cmd/f3m -check=strict testdata/handlers.c >/dev/null
 go run ./cmd/f3m -check=strict -strategy hyfm testdata/handlers.c >/dev/null
 go run ./cmd/f3m -check=strict -gen 200 -seed 5 >/dev/null
 
+echo "== fuzz smoke (FUZZTIME=${FUZZTIME:-5s} per target)"
+# Short randomized runs of the three native fuzz targets; the full
+# checked-in corpora under testdata/fuzz (including past crash inputs)
+# already ran as regression seeds during `go test` above. Crank
+# FUZZTIME up for a real fuzzing session.
+go test -run '^$' -fuzz '^FuzzIRParseRoundTrip$' -fuzztime "${FUZZTIME:-5s}" ./internal/ir
+go test -run '^$' -fuzz '^FuzzMinicParser$' -fuzztime "${FUZZTIME:-5s}" ./internal/minic
+go test -run '^$' -fuzz '^FuzzFingerprintEncode$' -fuzztime "${FUZZTIME:-5s}" ./internal/fingerprint
+
 echo "ok"
