@@ -91,6 +91,25 @@ func TestCheckStrictGolden(t *testing.T) {
 	}
 }
 
+// TestCheckValidateGolden pins the -check=validate report rendering on
+// the checked-in corpus: identical to strict except the checks line,
+// with every committed merge proven bisimilar to its originals.
+func TestCheckValidateGolden(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"-check=validate", "-seed", "1", "../../testdata/handlers.c"}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	got := regexp.MustCompile(`(?m)^pass time:.*$`).ReplaceAllString(buf.String(), "pass time:     (elided)")
+	want, err := os.ReadFile(filepath.Join("testdata", "check_validate.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("output diverged from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
 // TestCheckModeErrors covers flag rejection and the nonzero-exit path
 // for error-level findings.
 func TestCheckModeErrors(t *testing.T) {

@@ -173,6 +173,64 @@ func TestAuditCatchesDiscriminatorLeak(t *testing.T) {
 	}
 }
 
+func TestAuditInvalidationTargetsRewrittenCallers(t *testing.T) {
+	m := mustParse(t, twoParamSrc)
+	mgr := analysis.NewManager()
+	callB, apply := m.Func("callB"), m.Func("apply")
+
+	// Warm the cache on a caller the commit will rewrite and on a
+	// function the commit leaves untouched.
+	staleB := mgr.Facts(callB)
+	keptApply := mgr.Facts(apply)
+
+	res, err := merge.Pair(m, m.Func("fa"), m.Func("fb"), merge.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Pair: %v", err)
+	}
+	info := merge.Commit(m, res)
+	if ds := analysis.AuditCommit(mgr, m, info); len(ds) != 0 {
+		t.Fatalf("clean commit audited dirty:\n%s", ds.RenderString())
+	}
+
+	// The commit rewrote callB's direct call of @fb in place. Serving
+	// the pre-commit facts would answer dominator and use queries about
+	// a body that no longer exists.
+	freshB := mgr.Facts(callB)
+	if freshB == staleB {
+		t.Fatal("stale cached facts served for a rewritten caller")
+	}
+	var newCall *ir.Instr
+	callB.Instructions(func(in *ir.Instr) {
+		if in.Op == ir.OpCall && in.Operands[0] == ir.Value(info.Merged) {
+			newCall = in
+		}
+	})
+	if newCall == nil {
+		t.Fatal("callB was not rewritten to call the merged function")
+	}
+	if freshB.Uses[newCall] != 1 {
+		t.Errorf("fresh facts count %d uses of the rewritten call, want 1", freshB.Uses[newCall])
+	}
+
+	// @apply only calls through a pointer, so the commit never touched
+	// it: its facts must survive by pointer identity (the regression
+	// this guards was wholesale InvalidateModule on every commit).
+	if mgr.Facts(apply) != keptApply {
+		t.Error("facts for an untouched function were dropped by a targeted invalidation")
+	}
+
+	// The commit metadata names callB as the one rewritten caller.
+	found := false
+	for _, c := range info.Callers {
+		if c == callB {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("CommitInfo.Callers misses callB: %v", info.Callers)
+	}
+}
+
 func TestStrictVerifyLocatesDanglingCall(t *testing.T) {
 	m := mustParse(t, `
 define i32 @callee(i32 %x) {
@@ -240,6 +298,64 @@ join2:
 	// blocks must not be reported unreachable.
 	if strings.Contains(out, "%p: result") || strings.Contains(out, "@f:%join: block") {
 		t.Errorf("lint over-reported:\n%s", out)
+	}
+}
+
+func TestLintDeadStoreAndUninitLoad(t *testing.T) {
+	m := mustParse(t, `
+define i32 @f(i32 %x) {
+entry:
+  %s = alloca i32
+  %u = alloca i32
+  store i32 %x, i32* %s
+  store i32 7, i32* %s
+  %v = load i32, i32* %s
+  %w = load i32, i32* %u
+  %r = add i32 %v, %w
+  ret i32 %r
+}`)
+	ds := analysis.LintFunc(analysis.NewManager(), m.Func("f"))
+	out := ds.RenderString()
+	for _, want := range []string{
+		"dead store: no load observes slot %s",
+		"load of slot %u may observe an uninitialized value",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("lint missing %q; got:\n%s", want, out)
+		}
+	}
+	// The second store is observed by the load of %v, and that load is
+	// fully initialized: neither may be flagged.
+	if n := strings.Count(out, "dead store"); n != 1 {
+		t.Errorf("want exactly 1 dead-store finding, got %d:\n%s", n, out)
+	}
+	if strings.Contains(out, "slot %s may observe") {
+		t.Errorf("initialized load over-reported:\n%s", out)
+	}
+}
+
+func TestLintSlotChecksRespectBranches(t *testing.T) {
+	// The entry store is observed on one of two paths and the load is
+	// dominated by it, so the slot checks must stay silent.
+	m := mustParse(t, `
+define i32 @g(i32 %x, i1 %c) {
+entry:
+  %p = alloca i32
+  store i32 %x, i32* %p
+  br i1 %c, label %a, label %b
+a:
+  %v = load i32, i32* %p
+  br label %join
+b:
+  br label %join
+join:
+  %r = phi i32 [%v, %a], [0, %b]
+  ret i32 %r
+}`)
+	ds := analysis.LintFunc(analysis.NewManager(), m.Func("g"))
+	out := ds.RenderString()
+	if strings.Contains(out, "dead store") || strings.Contains(out, "uninitialized") {
+		t.Errorf("slot checks over-reported on branchy but clean slot use:\n%s", out)
 	}
 }
 

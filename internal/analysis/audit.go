@@ -30,9 +30,19 @@ const CheckerMergeAudit = "merge-audit"
 // The module-wide reference scan is one linear walk; it also catches
 // dangling references to functions deleted by earlier commits.
 func AuditCommit(mgr *Manager, m *ir.Module, info *merge.CommitInfo) Diagnostics {
-	// A commit mutates call sites anywhere in the module, so all cached
-	// facts are stale by construction.
-	mgr.InvalidateModule()
+	// A commit touches a known set of functions: the merged one is new,
+	// the originals were thunked or deleted, and CommitInfo.Callers had
+	// call sites rewritten in place. Invalidating exactly that set keeps
+	// every other function's cached facts live across the commit. The
+	// call graph has new edges module-wide, so it is always dropped.
+	mgr.Invalidate(info.Merged)
+	mgr.Invalidate(info.A.Fn)
+	mgr.Invalidate(info.B.Fn)
+	for _, caller := range info.Callers {
+		mgr.Invalidate(caller)
+	}
+	mgr.cg = nil
+	mgr.cgMod = nil
 
 	var ds Diagnostics
 	errf := func(fn, blk, instr, format string, args ...any) {

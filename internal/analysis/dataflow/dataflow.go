@@ -1,0 +1,218 @@
+// Package dataflow is the generic dataflow engine the static-analysis
+// layer builds on: a forward/backward worklist fixpoint solver over
+// ir.Function CFGs with deterministic reverse-postorder iteration, plus
+// the concrete analyses the checkers and the translation validator
+// consume — liveness, reaching definitions (with an uninitialized-slot
+// pseudo-definition), slot liveness for dead-store detection, and
+// sparse conditional constant propagation.
+//
+// Everything here is deterministic by construction: block visit order
+// derives from the CFG's successor lists (never from map iteration),
+// and the SCCP worklists are FIFO queues seeded in program order. That
+// property is load-bearing — diagnostics and the translation validator
+// feed the pipeline's byte-identical-Report contract.
+package dataflow
+
+import (
+	"f3m/internal/ir"
+)
+
+// Direction orients an analysis along or against the CFG edges.
+type Direction int
+
+// The two dataflow directions.
+const (
+	// Forward propagates facts from the entry toward the exits
+	// (e.g. reaching definitions).
+	Forward Direction = iota
+
+	// Backward propagates facts from the exits toward the entry
+	// (e.g. liveness).
+	Backward
+)
+
+// Problem is the lattice-plus-transfer description of one dataflow
+// analysis. S is the per-block state (typically a set); the solver
+// never interprets S beyond calling these methods, so analyses are free
+// to pick any representation.
+//
+// The lattice contract: Init is the optimistic starting state,
+// Boundary the state imposed at the CFG boundary (the entry's in-state
+// for forward problems, each exit's out-state for backward ones), and
+// Join must be monotone and report whether it changed its first
+// argument — the solver iterates until no Join reports change.
+type Problem[S any] interface {
+	// Direction orients the analysis.
+	Direction() Direction
+
+	// Boundary returns the state at the CFG boundary.
+	Boundary() S
+
+	// Init returns the optimistic interior state every block starts
+	// from. Must allocate a fresh value per call.
+	Init() S
+
+	// Transfer pushes a state through block b: it receives the
+	// in-state (forward) or out-state (backward) and returns the state
+	// at the block's other end. It must not mutate its argument.
+	Transfer(b *ir.Block, s S) S
+
+	// Join folds src into dst and reports whether dst changed. The
+	// returned state replaces dst (allowing map reuse or rebuilds).
+	Join(dst, src S) (S, bool)
+}
+
+// EdgeProblem is an optional Problem extension for analyses whose
+// facts are edge-sensitive — liveness charges phi uses to the incoming
+// edge's predecessor, for example. When implemented, the solver routes
+// every propagated state through FlowEdge(from, to, s) before joining.
+type EdgeProblem[S any] interface {
+	// FlowEdge adapts a state crossing the CFG edge from→to. It must
+	// not mutate s; returning s unchanged is the identity flow.
+	FlowEdge(from, to *ir.Block, s S) S
+}
+
+// Result carries the per-block fixpoint states of one Solve call.
+type Result[S any] struct {
+	// In is the state at each block's start.
+	In map[*ir.Block]S
+
+	// Out is the state at each block's end.
+	Out map[*ir.Block]S
+}
+
+// RPO returns the blocks of f in reverse postorder from the entry;
+// blocks unreachable from the entry are appended afterwards in block
+// list order. The order is a pure function of the CFG (successor lists
+// and block order), which is what makes every solver run — and every
+// diagnostic derived from one — deterministic.
+func RPO(f *ir.Function) []*ir.Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	seen := make(map[*ir.Block]bool, len(f.Blocks))
+	post := make([]*ir.Block, 0, len(f.Blocks))
+	var dfs func(*ir.Block)
+	dfs = func(b *ir.Block) {
+		seen[b] = true
+		for _, s := range b.Succs() {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(f.Entry())
+	out := make([]*ir.Block, 0, len(f.Blocks))
+	for i := len(post) - 1; i >= 0; i-- {
+		out = append(out, post[i])
+	}
+	for _, b := range f.Blocks {
+		if !seen[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Solve runs the worklist fixpoint iteration of p over f's CFG and
+// returns the per-block in/out states. Forward problems sweep in
+// reverse postorder, backward ones in postorder; only blocks whose
+// inputs changed are re-evaluated, and the sweep repeats until a full
+// pass is quiet. For a monotone Problem over a finite lattice this
+// terminates at the least fixpoint.
+func Solve[S any](f *ir.Function, p Problem[S]) *Result[S] {
+	res := &Result[S]{
+		In:  make(map[*ir.Block]S, len(f.Blocks)),
+		Out: make(map[*ir.Block]S, len(f.Blocks)),
+	}
+	if len(f.Blocks) == 0 {
+		return res
+	}
+	order := RPO(f)
+	if p.Direction() == Backward {
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+	for _, b := range f.Blocks {
+		res.In[b] = p.Init()
+		res.Out[b] = p.Init()
+	}
+	edge, edgeOK := any(p).(EdgeProblem[S])
+	flow := func(from, to *ir.Block, s S) S {
+		if edgeOK {
+			return edge.FlowEdge(from, to, s)
+		}
+		return s
+	}
+
+	preds := f.Preds()
+	entry := f.Entry()
+	dirty := make(map[*ir.Block]bool, len(order))
+	for _, b := range order {
+		dirty[b] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if !dirty[b] {
+				continue
+			}
+			dirty[b] = false
+			if p.Direction() == Forward {
+				in := p.Init()
+				if b == entry {
+					in, _ = p.Join(in, p.Boundary())
+				}
+				for _, pr := range preds[b] {
+					in, _ = p.Join(in, flow(pr, b, res.Out[pr]))
+				}
+				res.In[b] = in
+				out, ch := p.Join(res.Out[b], p.Transfer(b, in))
+				res.Out[b] = out
+				if ch {
+					changed = true
+					for _, s := range b.Succs() {
+						dirty[s] = true
+					}
+				}
+				continue
+			}
+			out := p.Init()
+			succs := b.Succs()
+			if len(succs) == 0 {
+				out, _ = p.Join(out, p.Boundary())
+			}
+			for _, s := range succs {
+				out, _ = p.Join(out, flow(b, s, res.In[s]))
+			}
+			res.Out[b] = out
+			in, ch := p.Join(res.In[b], p.Transfer(b, out))
+			res.In[b] = in
+			if ch {
+				changed = true
+				for _, pr := range preds[b] {
+					dirty[pr] = true
+				}
+			}
+		}
+	}
+	return res
+}
+
+// ValueSet is the common set-of-values state the may-analyses here use.
+// Join is set union.
+type ValueSet map[ir.Value]bool
+
+// joinValueSets unions src into dst, reporting growth.
+func joinValueSets(dst, src ValueSet) (ValueSet, bool) {
+	changed := false
+	for v := range src {
+		if !dst[v] {
+			dst[v] = true
+			changed = true
+		}
+	}
+	return dst, changed
+}

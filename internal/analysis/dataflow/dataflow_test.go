@@ -1,0 +1,369 @@
+package dataflow
+
+import (
+	"testing"
+
+	"f3m/internal/ir"
+)
+
+func mustParse(t testing.TB, src string) *ir.Module {
+	t.Helper()
+	m, err := ir.ParseModule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func block(t testing.TB, f *ir.Function, name string) *ir.Block {
+	t.Helper()
+	for _, b := range f.Blocks {
+		if b.Nam == name {
+			return b
+		}
+	}
+	t.Fatalf("no block %%%s in @%s", name, f.Name())
+	return nil
+}
+
+func instr(t testing.TB, f *ir.Function, name string) *ir.Instr {
+	t.Helper()
+	var found *ir.Instr
+	f.Instructions(func(in *ir.Instr) {
+		if in.Nam == name {
+			found = in
+		}
+	})
+	if found == nil {
+		t.Fatalf("no instr %%%s in @%s", name, f.Name())
+	}
+	return found
+}
+
+const loopSrc = `
+define i32 @sumto(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [0, %entry], [%i2, %body]
+  %acc = phi i32 [0, %entry], [%acc2, %body]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %acc2 = add i32 %acc, %i
+  %i2 = add i32 %i, 1
+  br label %head
+exit:
+  ret i32 %acc
+}`
+
+func TestRPODeterministicAndComplete(t *testing.T) {
+	m := mustParse(t, loopSrc)
+	f := m.Func("sumto")
+	order := RPO(f)
+	if len(order) != len(f.Blocks) {
+		t.Fatalf("RPO covers %d blocks, want %d", len(order), len(f.Blocks))
+	}
+	if order[0] != f.Entry() {
+		t.Fatal("RPO must start at the entry")
+	}
+	again := RPO(f)
+	for i := range order {
+		if order[i] != again[i] {
+			t.Fatalf("RPO not deterministic at %d: %s vs %s", i, order[i].Nam, again[i].Nam)
+		}
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	m := mustParse(t, loopSrc)
+	f := m.Func("sumto")
+	res := Liveness(f)
+
+	n := ir.Value(f.Params[0])
+	head := block(t, f, "head")
+	body := block(t, f, "body")
+	exit := block(t, f, "exit")
+	i := ir.Value(instr(t, f, "i"))
+	acc := ir.Value(instr(t, f, "acc"))
+
+	// %n is compared in head every iteration: live into head and body.
+	if !res.In[head][n] || !res.In[body][n] {
+		t.Errorf("param %%n should be live into head and body: head=%v body=%v",
+			res.In[head][n], res.In[body][n])
+	}
+	// The phis are defined in head and used in body (and %acc in exit).
+	if !res.In[body][i] || !res.In[body][acc] {
+		t.Error("%i and %acc should be live into body")
+	}
+	if !res.In[exit][acc] {
+		t.Error("%acc should be live into exit")
+	}
+	if res.In[exit][i] || res.In[exit][n] {
+		t.Error("%i and %n must be dead in exit")
+	}
+	// Phi uses charge the incoming edge: %i2/%acc2 live out of body
+	// (their defining block feeds the back edge) but the phis' entry
+	// operands are constants, so nothing is live into entry.
+	i2 := ir.Value(instr(t, f, "i2"))
+	if !res.Out[body][i2] {
+		t.Error("%i2 should be live out of body (phi use on back edge)")
+	}
+	if len(res.In[f.Entry()]) != 1 || !res.In[f.Entry()][n] {
+		t.Errorf("live-in of entry = %v, want just %%n", res.In[f.Entry()])
+	}
+}
+
+const slotSrc = `
+define i32 @slots(i32 %x, i1 %c) {
+entry:
+  %p = alloca i32
+  %q = alloca i32
+  store i32 %x, i32* %p
+  store i32 1, i32* %q
+  br i1 %c, label %a, label %b
+a:
+  store i32 2, i32* %p
+  br label %join
+b:
+  %v1 = load i32, i32* %p
+  br label %join
+join:
+  %v2 = load i32, i32* %p
+  ret i32 %v2
+}`
+
+func TestTrackedSlots(t *testing.T) {
+	m := mustParse(t, slotSrc)
+	f := m.Func("slots")
+	tracked := TrackedSlots(f)
+	p := instr(t, f, "p")
+	q := instr(t, f, "q")
+	if !tracked[p] || !tracked[q] {
+		t.Fatalf("both slots should be tracked: p=%v q=%v", tracked[p], tracked[q])
+	}
+
+	esc := mustParse(t, `
+declare void @sink(i32* %p)
+define void @escapes() {
+entry:
+  %p = alloca i32
+  call void @sink(i32* %p)
+  ret void
+}`)
+	ef := esc.Func("escapes")
+	if tr := TrackedSlots(ef); tr[instr(t, ef, "p")] {
+		t.Error("escaping slot must not be tracked")
+	}
+}
+
+func TestSlotLivenessDeadStore(t *testing.T) {
+	m := mustParse(t, slotSrc)
+	f := m.Func("slots")
+	res := SlotLiveness(f)
+
+	entry := block(t, f, "entry")
+	la := res.LiveAfter(entry)
+	var storeP, storeQ *ir.Instr
+	for _, in := range entry.Instrs {
+		if in.Op == ir.OpStore {
+			if in.Operands[1] == ir.Value(instr(t, f, "p")) {
+				storeP = in
+			} else {
+				storeQ = in
+			}
+		}
+	}
+	// store %x -> %p: loaded in b and join before any kill on those
+	// paths, so live; but overwritten on path a — still live (may).
+	if !la[storeP] {
+		t.Error("store to slot p in entry should be live (loaded on the b path)")
+	}
+	// store 1 -> %q is never loaded anywhere: dead.
+	if la[storeQ] {
+		t.Error("store to slot q is never loaded: must be dead")
+	}
+	// store 2 -> %p in a reaches the load in join: live.
+	a := block(t, f, "a")
+	laA := res.LiveAfter(a)
+	for _, in := range a.Instrs {
+		if in.Op == ir.OpStore && !laA[in] {
+			t.Error("store in a reaches the join load: must be live")
+		}
+	}
+}
+
+const uninitSrc = `
+define i32 @uninit(i1 %c) {
+entry:
+  %p = alloca i32
+  br i1 %c, label %init, label %skip
+init:
+  store i32 7, i32* %p
+  br label %join
+skip:
+  br label %join
+join:
+  %v = load i32, i32* %p
+  ret i32 %v
+}`
+
+func TestReachingDefsUninit(t *testing.T) {
+	m := mustParse(t, uninitSrc)
+	f := m.Func("uninit")
+	res := ReachingDefs(f)
+	p := instr(t, f, "p")
+	join := block(t, f, "join")
+
+	// The alloca pseudo-def survives along the skip path: the load may
+	// observe an uninitialized slot.
+	defs := res.DefsAt(join, join.IndexOf(instr(t, f, "v")))
+	if !defs[p] {
+		t.Error("uninitialized pseudo-def should reach the join load")
+	}
+
+	// After an unconditional store the pseudo-def must be killed.
+	m2 := mustParse(t, `
+define i32 @ok() {
+entry:
+  %p = alloca i32
+  store i32 7, i32* %p
+  %v = load i32, i32* %p
+  ret i32 %v
+}`)
+	f2 := m2.Func("ok")
+	res2 := ReachingDefs(f2)
+	e2 := f2.Entry()
+	defs2 := res2.DefsAt(e2, e2.IndexOf(instr(t, f2, "v")))
+	if defs2[instr(t, f2, "p")] {
+		t.Error("pseudo-def must be killed by the dominating store")
+	}
+}
+
+const diamondSrc = `
+define i32 @f(i1 %c, i32 %x) {
+entry:
+  br i1 %c, label %big, label %small
+big:
+  %b = mul i32 %x, 2
+  br label %join
+small:
+  %s = add i32 %x, 100
+  br label %join
+join:
+  %r = phi i32 [%b, %big], [%s, %small]
+  ret i32 %r
+}`
+
+func TestSCCPPrunesAssumedBranch(t *testing.T) {
+	m := mustParse(t, diamondSrc)
+	f := m.Func("f")
+	c := f.Params[0]
+
+	res := SCCP(f, map[ir.Value]*ir.Const{c: ir.ConstBool(m.Ctx, true)})
+	if !res.Reachable(block(t, f, "big")) {
+		t.Error("big must be reachable under c=true")
+	}
+	if res.Reachable(block(t, f, "small")) {
+		t.Error("small must be pruned under c=true")
+	}
+	// The join phi sees only the big edge, so it equals %b (varying).
+	r := instr(t, f, "r")
+	if got := res.Lookup(r); got.Kind != Varying {
+		t.Errorf("phi over single varying incoming: got kind %d", got.Kind)
+	}
+	if !res.EdgeExecutable(block(t, f, "big"), block(t, f, "join")) {
+		t.Error("big->join must be executable")
+	}
+	if res.EdgeExecutable(block(t, f, "small"), block(t, f, "join")) {
+		t.Error("small->join must not be executable")
+	}
+
+	// Without the assumption both arms are live.
+	free := SCCP(f, nil)
+	if !free.Reachable(block(t, f, "small")) || !free.Reachable(block(t, f, "big")) {
+		t.Error("both arms reachable without assumptions")
+	}
+}
+
+func TestSCCPFoldsConstants(t *testing.T) {
+	m := mustParse(t, `
+define i32 @g(i1 %c) {
+entry:
+  %a = add i32 2, 3
+  %b = mul i32 %a, 4
+  %cmp = icmp eq i32 %b, 20
+  br i1 %cmp, label %yes, label %no
+yes:
+  %s = select i1 %c, i32 %b, i32 %b
+  ret i32 %s
+no:
+  ret i32 0
+}`)
+	f := m.Func("g")
+	res := SCCP(f, nil)
+	b := instr(t, f, "b")
+	if got := res.Lookup(b); got.Kind != Constant || got.Const.IntVal != 20 {
+		t.Fatalf("%%b should fold to 20, got %+v", got)
+	}
+	if res.Reachable(block(t, f, "no")) {
+		t.Error("block no is infeasible: cmp folds to true")
+	}
+	// select with varying cond but equal constant arms folds by meet.
+	s := instr(t, f, "s")
+	if got := res.Lookup(s); got.Kind != Constant || got.Const.IntVal != 20 {
+		t.Errorf("select over equal constants should stay constant, got %+v", got)
+	}
+}
+
+func TestSCCPLoopPhiMeet(t *testing.T) {
+	m := mustParse(t, loopSrc)
+	f := m.Func("sumto")
+	res := SCCP(f, nil)
+	// %i meets 0 with %i2 = %i+1: must settle at Varying, and every
+	// block stays reachable.
+	if got := res.Lookup(instr(t, f, "i")); got.Kind != Varying {
+		t.Errorf("loop induction phi must be varying, got kind %d", got.Kind)
+	}
+	for _, b := range f.Blocks {
+		if !res.Reachable(b) {
+			t.Errorf("block %%%s should be reachable", b.Nam)
+		}
+	}
+	// With %n pinned to 0 the loop body is infeasible: %c = 0<0 = false.
+	pin := SCCP(f, map[ir.Value]*ir.Const{f.Params[0]: ir.ConstInt(m.Ctx.I32, 0)})
+	if pin.Reachable(block(t, f, "body")) {
+		t.Error("body infeasible when n=0")
+	}
+	if got := pin.Lookup(instr(t, f, "acc")); got.Kind != Constant || got.Const.IntVal != 0 {
+		t.Errorf("acc must fold to 0 when n=0, got %+v", got)
+	}
+}
+
+func TestSolverUnreachableBlocks(t *testing.T) {
+	// Unreachable blocks still get states (appended after the RPO) so
+	// checkers can query them without nil checks.
+	m := mustParse(t, `
+define i32 @u(i32 %x) {
+entry:
+  ret i32 %x
+dead:
+  %d = add i32 %x, 1
+  br label %dead2
+dead2:
+  ret i32 %d
+}`)
+	f := m.Func("u")
+	res := Liveness(f)
+	for _, b := range f.Blocks {
+		if res.In[b] == nil || res.Out[b] == nil {
+			t.Fatalf("missing state for block %%%s", b.Nam)
+		}
+	}
+	if !res.In[block(t, f, "dead")][ir.Value(f.Params[0])] {
+		t.Error("param x is upward-exposed in dead")
+	}
+}

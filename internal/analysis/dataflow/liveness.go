@@ -1,0 +1,137 @@
+package dataflow
+
+import (
+	"f3m/internal/ir"
+)
+
+// LivenessResult is the per-block liveness fixpoint: a value is live-in
+// when some path from the block start reaches a use before any
+// redefinition (SSA values have none, so this is upward-exposed-use
+// dataflow over instruction results and parameters).
+type LivenessResult struct {
+	// In and Out are the per-block live sets.
+	In, Out map[*ir.Block]ValueSet
+}
+
+// Liveness runs the backward liveness analysis over f. Phi uses are
+// charged to the incoming edge's predecessor — the value must be live
+// at the end of that predecessor, not at the phi itself — matching the
+// dominance rule ir.DomTree.DominatesInstr applies.
+func Liveness(f *ir.Function) *LivenessResult {
+	p := newLivenessProblem(f)
+	res := Solve[ValueSet](f, p)
+	return &LivenessResult{In: res.In, Out: res.Out}
+}
+
+// livenessProblem instantiates the solver for liveness: state is the
+// live value set, Transfer applies the per-block exposed/defs summary,
+// and FlowEdge injects the phi uses of each CFG edge.
+type livenessProblem struct {
+	exposed map[*ir.Block]ValueSet
+	defs    map[*ir.Block]ValueSet
+	// phiIn[to][from] collects the values phis of block `to` pull in
+	// along the edge from block `from`.
+	phiIn map[*ir.Block]map[*ir.Block]ValueSet
+}
+
+func newLivenessProblem(f *ir.Function) *livenessProblem {
+	p := &livenessProblem{
+		exposed: make(map[*ir.Block]ValueSet, len(f.Blocks)),
+		defs:    make(map[*ir.Block]ValueSet, len(f.Blocks)),
+		phiIn:   make(map[*ir.Block]map[*ir.Block]ValueSet),
+	}
+	for _, b := range f.Blocks {
+		exp := make(ValueSet)
+		def := make(ValueSet)
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPhi {
+				for i, v := range in.Operands {
+					if Trackable(v) {
+						from := in.IncomingBlocks[i]
+						edges := p.phiIn[b]
+						if edges == nil {
+							edges = make(map[*ir.Block]ValueSet)
+							p.phiIn[b] = edges
+						}
+						if edges[from] == nil {
+							edges[from] = make(ValueSet)
+						}
+						edges[from][v] = true
+					}
+				}
+				def[in] = true
+				continue
+			}
+			for _, v := range in.Operands {
+				if Trackable(v) && !def[v] {
+					exp[v] = true
+				}
+			}
+			if !in.Ty.IsVoid() {
+				def[in] = true
+			}
+		}
+		p.exposed[b] = exp
+		p.defs[b] = def
+	}
+	return p
+}
+
+// Direction reports Backward.
+func (p *livenessProblem) Direction() Direction { return Backward }
+
+// Boundary is the empty live set at every exit.
+func (p *livenessProblem) Boundary() ValueSet { return make(ValueSet) }
+
+// Init is the empty set (the bottom of the may-live lattice).
+func (p *livenessProblem) Init() ValueSet { return make(ValueSet) }
+
+// Join unions live sets.
+func (p *livenessProblem) Join(dst, src ValueSet) (ValueSet, bool) {
+	return joinValueSets(dst, src)
+}
+
+// Transfer computes live-in from live-out:
+//
+//	LiveIn(b) = upwardExposed(b) ∪ (LiveOut(b) − defs(b))
+func (p *livenessProblem) Transfer(b *ir.Block, out ValueSet) ValueSet {
+	in := make(ValueSet, len(p.exposed[b])+len(out))
+	for v := range p.exposed[b] {
+		in[v] = true
+	}
+	for v := range out {
+		if !p.defs[b][v] {
+			in[v] = true
+		}
+	}
+	return in
+}
+
+// FlowEdge adds the phi uses of the edge from→to to the state flowing
+// backward across it, making those values live-out of `from` without
+// leaking into other predecessors.
+func (p *livenessProblem) FlowEdge(from, to *ir.Block, s ValueSet) ValueSet {
+	extra := p.phiIn[to][from]
+	if len(extra) == 0 {
+		return s
+	}
+	out := make(ValueSet, len(s)+len(extra))
+	for v := range s {
+		out[v] = true
+	}
+	for v := range extra {
+		out[v] = true
+	}
+	return out
+}
+
+// Trackable reports whether a value participates in the value-set
+// analyses (locals: instruction results and parameters; constants,
+// globals and functions do not).
+func Trackable(v ir.Value) bool {
+	switch v.(type) {
+	case *ir.Instr, *ir.Param:
+		return true
+	}
+	return false
+}

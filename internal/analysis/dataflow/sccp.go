@@ -1,0 +1,337 @@
+package dataflow
+
+import (
+	"f3m/internal/interp"
+	"f3m/internal/ir"
+)
+
+// LatKind is the three-point SCCP value lattice.
+type LatKind int
+
+// Lattice levels, from optimistic to pessimistic.
+const (
+	// Unknown (top): no evidence yet; the value may still turn out
+	// constant.
+	Unknown LatKind = iota
+
+	// Constant: the value is the single constant Lat.Const on every
+	// executable path.
+	Constant
+
+	// Varying (bottom): the value takes more than one value, or one the
+	// analysis cannot model.
+	Varying
+)
+
+// Lat is one lattice element; Const is set iff Kind == Constant.
+type Lat struct {
+	// Kind is the lattice level.
+	Kind LatKind
+
+	// Const is the proven constant when Kind == Constant.
+	Const *ir.Const
+}
+
+// varying is the bottom element.
+var varying = Lat{Kind: Varying}
+
+// SCCPResult carries the sparse-conditional-constant-propagation
+// fixpoint of one function: a lattice value per SSA definition and the
+// set of blocks proven executable under the analysis' assumptions.
+type SCCPResult struct {
+	values    map[*ir.Instr]Lat
+	params    map[*ir.Param]Lat
+	reachable map[*ir.Block]bool
+	edgeExec  map[[2]*ir.Block]bool
+}
+
+// Lookup returns the lattice value of v: constants map to themselves
+// (undef and null conservatively to Varying), parameters to their
+// assumed value or Varying, instructions to the fixpoint value.
+func (r *SCCPResult) Lookup(v ir.Value) Lat {
+	switch x := v.(type) {
+	case *ir.Const:
+		if x.Undef || x.Null {
+			return varying
+		}
+		return Lat{Kind: Constant, Const: x}
+	case *ir.Param:
+		if l, ok := r.params[x]; ok {
+			return l
+		}
+		return varying
+	case *ir.Instr:
+		return r.values[x]
+	}
+	return varying
+}
+
+// Reachable reports whether the analysis proved b executable; blocks
+// pruned by constant branch conditions report false.
+func (r *SCCPResult) Reachable(b *ir.Block) bool { return r.reachable[b] }
+
+// EdgeExecutable reports whether the CFG edge from→to was proven
+// executable.
+func (r *SCCPResult) EdgeExecutable(from, to *ir.Block) bool {
+	return r.edgeExec[[2]*ir.Block{from, to}]
+}
+
+// SCCP runs Wegman–Zadeck sparse conditional constant propagation over
+// f. The assume map, which may be nil, pins parameters (or any other
+// value) to a constant before propagation — the translation validator
+// uses it to specialize a merged function at one discriminator value.
+// Unlike the dense solver instances, SCCP propagates sparsely along SSA
+// edges and CFG edges simultaneously, so constants flow through
+// branches that only the assumed values decide; both worklists are FIFO
+// queues seeded in program order, keeping the fixpoint — and every
+// rewrite derived from it — deterministic.
+func SCCP(f *ir.Function, assume map[ir.Value]*ir.Const) *SCCPResult {
+	s := &sccpState{
+		res: &SCCPResult{
+			values:    make(map[*ir.Instr]Lat),
+			params:    make(map[*ir.Param]Lat),
+			reachable: make(map[*ir.Block]bool),
+			edgeExec:  make(map[[2]*ir.Block]bool),
+		},
+		users: make(map[ir.Value][]*ir.Instr),
+		ctx:   f.Parent.Ctx,
+	}
+	for _, p := range f.Params {
+		if c, ok := assume[p]; ok {
+			s.res.params[p] = Lat{Kind: Constant, Const: c}
+		} else {
+			s.res.params[p] = varying
+		}
+	}
+	f.Instructions(func(in *ir.Instr) {
+		if c, ok := assume[ir.Value(in)]; ok {
+			s.res.values[in] = Lat{Kind: Constant, Const: c}
+			s.assumed = append(s.assumed, in)
+		}
+		for _, op := range in.Operands {
+			if Trackable(op) {
+				s.users[op] = append(s.users[op], in)
+			}
+		}
+	})
+	if len(f.Blocks) == 0 {
+		return s.res
+	}
+	s.flow = append(s.flow, flowEdge{nil, f.Entry()})
+	for len(s.flow) > 0 || len(s.ssa) > 0 {
+		for len(s.flow) > 0 {
+			e := s.flow[0]
+			s.flow = s.flow[1:]
+			s.runFlowEdge(e)
+		}
+		for len(s.ssa) > 0 {
+			in := s.ssa[0]
+			s.ssa = s.ssa[1:]
+			if s.res.reachable[in.Parent] {
+				s.visitInstr(in)
+			}
+		}
+	}
+	return s.res
+}
+
+// flowEdge is one CFG edge on the flow worklist; from is nil for the
+// synthetic entry edge.
+type flowEdge struct {
+	from, to *ir.Block
+}
+
+// sccpState is the in-flight propagation state.
+type sccpState struct {
+	res     *SCCPResult
+	users   map[ir.Value][]*ir.Instr
+	ctx     *ir.TypeContext
+	flow    []flowEdge
+	ssa     []*ir.Instr
+	assumed []*ir.Instr
+}
+
+// runFlowEdge marks one edge executable and evaluates its target: phis
+// always re-evaluate (a new incoming edge changes their meet); the rest
+// of the block only on first arrival.
+func (s *sccpState) runFlowEdge(e flowEdge) {
+	if e.from != nil {
+		key := [2]*ir.Block{e.from, e.to}
+		if s.res.edgeExec[key] {
+			return
+		}
+		s.res.edgeExec[key] = true
+	}
+	first := !s.res.reachable[e.to]
+	s.res.reachable[e.to] = true
+	for _, in := range e.to.Instrs {
+		if in.Op == ir.OpPhi {
+			s.visitInstr(in)
+		} else if first {
+			s.visitInstr(in)
+		}
+	}
+}
+
+// visitInstr (re)evaluates one instruction, lowering its lattice value
+// and scheduling its SSA users and feasible CFG successors.
+func (s *sccpState) visitInstr(in *ir.Instr) {
+	if in.IsTerminator() {
+		s.visitTerminator(in)
+		if in.Op != ir.OpInvoke {
+			return
+		}
+	}
+	if in.Ty.IsVoid() {
+		return
+	}
+	for _, a := range s.assumed {
+		if a == in {
+			return // pinned by an assumption; never lower it
+		}
+	}
+	nl := s.evaluate(in)
+	old := s.res.values[in]
+	if !lower(old, nl) {
+		return
+	}
+	s.res.values[in] = nl
+	for _, u := range s.users[in] {
+		s.ssa = append(s.ssa, u)
+	}
+}
+
+// lower reports whether nl is strictly below old in the lattice (the
+// only legal movement; anything else is ignored to keep monotonicity).
+func lower(old, nl Lat) bool {
+	if nl.Kind == old.Kind {
+		return false
+	}
+	return nl.Kind > old.Kind
+}
+
+// meet combines two lattice values (⊓ toward Varying).
+func meet(a, b Lat) Lat {
+	switch {
+	case a.Kind == Unknown:
+		return b
+	case b.Kind == Unknown:
+		return a
+	case a.Kind == Constant && b.Kind == Constant && ir.ConstEqual(a.Const, b.Const):
+		return a
+	}
+	return varying
+}
+
+// evaluate computes the lattice value of a non-void instruction from
+// its operands, mirroring the interpreter's folding semantics.
+func (s *sccpState) evaluate(in *ir.Instr) Lat {
+	switch {
+	case in.Op == ir.OpPhi:
+		cur := Lat{}
+		for i, op := range in.Operands {
+			from := in.IncomingBlocks[i]
+			if !s.res.edgeExec[[2]*ir.Block{from, in.Parent}] {
+				continue
+			}
+			cur = meet(cur, s.res.Lookup(op))
+			if cur.Kind == Varying {
+				break
+			}
+		}
+		return cur
+	case in.Op.IsBinary():
+		a, b := s.res.Lookup(in.Operands[0]), s.res.Lookup(in.Operands[1])
+		if a.Kind == Varying || b.Kind == Varying {
+			return varying
+		}
+		if a.Kind == Constant && b.Kind == Constant {
+			if c, ok := interp.FoldBinary(in.Op, in.Ty, a.Const, b.Const); ok {
+				return Lat{Kind: Constant, Const: c}
+			}
+			return varying
+		}
+		return Lat{}
+	case in.Op.IsCast():
+		v := s.res.Lookup(in.Operands[0])
+		if v.Kind == Constant {
+			if c, ok := interp.FoldCast(in.Op, in.Ty, v.Const); ok {
+				return Lat{Kind: Constant, Const: c}
+			}
+			return varying
+		}
+		return Lat{Kind: v.Kind}
+	case in.Op == ir.OpICmp || in.Op == ir.OpFCmp:
+		a, b := s.res.Lookup(in.Operands[0]), s.res.Lookup(in.Operands[1])
+		if a.Kind == Varying || b.Kind == Varying {
+			return varying
+		}
+		if a.Kind == Constant && b.Kind == Constant {
+			if c, ok := interp.FoldCmp(s.ctx, in.Op, in.Predicate, a.Const, b.Const); ok {
+				return Lat{Kind: Constant, Const: c}
+			}
+			return varying
+		}
+		return Lat{}
+	case in.Op == ir.OpSelect:
+		cond := s.res.Lookup(in.Operands[0])
+		switch cond.Kind {
+		case Unknown:
+			return Lat{}
+		case Constant:
+			if cond.Const.IntVal&1 != 0 {
+				return s.res.Lookup(in.Operands[1])
+			}
+			return s.res.Lookup(in.Operands[2])
+		}
+		return meet(s.res.Lookup(in.Operands[1]), s.res.Lookup(in.Operands[2]))
+	}
+	// Loads, calls, invokes, allocas, GEPs: not modeled.
+	return varying
+}
+
+// visitTerminator schedules the feasible outgoing edges of a block
+// terminator given the current lattice value of its condition.
+func (s *sccpState) visitTerminator(in *ir.Instr) {
+	b := in.Parent
+	addEdge := func(to *ir.Block) { s.flow = append(s.flow, flowEdge{b, to}) }
+	switch in.Op {
+	case ir.OpBr:
+		addEdge(in.Operands[0].(*ir.Block))
+	case ir.OpCondBr:
+		cond := s.res.Lookup(in.Operands[0])
+		switch cond.Kind {
+		case Constant:
+			if cond.Const.IntVal&1 != 0 {
+				addEdge(in.Operands[1].(*ir.Block))
+			} else {
+				addEdge(in.Operands[2].(*ir.Block))
+			}
+		case Varying:
+			addEdge(in.Operands[1].(*ir.Block))
+			addEdge(in.Operands[2].(*ir.Block))
+		}
+	case ir.OpSwitch:
+		scrut := s.res.Lookup(in.Operands[0])
+		switch scrut.Kind {
+		case Constant:
+			for i := 2; i+1 < len(in.Operands); i += 2 {
+				if c, ok := in.Operands[i].(*ir.Const); ok && ir.ConstEqual(c, scrut.Const) {
+					addEdge(in.Operands[i+1].(*ir.Block))
+					return
+				}
+			}
+			addEdge(in.Operands[1].(*ir.Block))
+		case Varying:
+			addEdge(in.Operands[1].(*ir.Block))
+			for i := 3; i < len(in.Operands); i += 2 {
+				addEdge(in.Operands[i].(*ir.Block))
+			}
+		}
+	case ir.OpInvoke:
+		for _, succ := range in.Successors() {
+			addEdge(succ)
+		}
+	}
+	// ret and unreachable have no outgoing edges.
+}

@@ -6,6 +6,19 @@ import (
 	"f3m/internal/obs"
 )
 
+// CheckerTV names the translation validator in diagnostics.
+const CheckerTV = "tv"
+
+// CommitValidator is the hook the `-check=validate` tier installs: a
+// per-commit semantic check run right after the structural audit. The
+// concrete implementation lives in analysis/tv (it needs the passes
+// package, which must not import analysis).
+type CommitValidator interface {
+	// ValidateCommit proves one commit semantics-preserving or returns
+	// error diagnostics pinpointing the first divergence per side.
+	ValidateCommit(m *ir.Module, info *merge.CommitInfo) Diagnostics
+}
+
 // Engine runs the checkers, accumulates their findings, and publishes
 // observability counters. One Engine serves one pipeline run; like the
 // Manager it is not safe for concurrent use — the pipeline invokes it
@@ -14,6 +27,10 @@ import (
 type Engine struct {
 	mgr *Manager
 	met *obs.Metrics
+
+	// Validator, when non-nil, runs on every commit after the merge
+	// audit (set by the pipeline at -check=validate).
+	Validator CommitValidator
 
 	// merged records every committed merged function so the linter can
 	// sweep them after the pipeline finishes (by then they have been
@@ -42,10 +59,15 @@ func (e *Engine) StrictModule(m *ir.Module) Diagnostics {
 }
 
 // AuditCommit audits one committed merge and remembers the merged
-// function for the post-run lint sweep.
+// function for the post-run lint sweep. Under -check=validate it then
+// runs the translation validator on the same commit.
 func (e *Engine) AuditCommit(m *ir.Module, info *merge.CommitInfo) Diagnostics {
 	e.merged = append(e.merged, info.Merged)
-	return e.record(CheckerMergeAudit, AuditCommit(e.mgr, m, info))
+	ds := e.record(CheckerMergeAudit, AuditCommit(e.mgr, m, info))
+	if e.Validator != nil {
+		ds = append(ds, e.record(CheckerTV, e.Validator.ValidateCommit(m, info))...)
+	}
+	return ds
 }
 
 // LintMerged lints every recorded merged function still present in the

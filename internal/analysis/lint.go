@@ -20,7 +20,10 @@ const CheckerLint = "lint"
 //   - redundant phis (all incomings one value, ignoring self
 //     references): ElimRedundantPhis folds them;
 //   - self-referential-only phis (every incoming is the phi itself):
-//     an error, since no defined value can flow out of one.
+//     an error, since no defined value can flow out of one;
+//   - dead stores into tracked stack slots (no load observes the value
+//     before the next store or function exit) and loads that may
+//     observe an uninitialized slot, via the dataflow slot analyses.
 func LintFunc(mgr *Manager, f *ir.Function) Diagnostics {
 	if f.IsDecl() {
 		return nil
@@ -51,6 +54,55 @@ func LintFunc(mgr *Manager, f *ir.Function) Diagnostics {
 			if ff.Uses[in] == 0 {
 				add(Warning, b.Name(), instrLabel(in),
 					"result of side-effect-free %s is never used", in.Op)
+			}
+		}
+	}
+	ds = append(ds, lintSlots(mgr, f, ff)...)
+	return ds
+}
+
+// lintSlots flags memory misuse over the function's tracked stack
+// slots (see dataflow.TrackedSlots): stores whose value no load
+// observes before the next store or function exit, and loads that the
+// slot's own alloca pseudo-definition may reach — i.e. reads of a
+// possibly-uninitialized slot. Tracked slots are exactly what Mem2Reg
+// promotes, so a cleaned function should have none; findings mean a
+// cleanup pass regressed or the generator emitted dead memory traffic.
+func lintSlots(mgr *Manager, f *ir.Function, ff *FuncFacts) Diagnostics {
+	sl := mgr.SlotLiveness(f)
+	if len(sl.Tracked) == 0 {
+		return nil
+	}
+	reach := mgr.Reaching(f)
+	var ds Diagnostics
+	for _, b := range f.Blocks {
+		if !ff.Dom.Reachable(b) {
+			continue
+		}
+		liveAfter := sl.LiveAfter(b)
+		for idx, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpStore:
+				if live, tracked := liveAfter[in]; tracked && !live {
+					slot := in.Operands[1].(*ir.Instr)
+					ds = append(ds, Diagnostic{
+						Checker: CheckerLint, Sev: Warning,
+						Func: f.Name(), Block: b.Name(), Instr: instrLabel(in),
+						Msg: fmt.Sprintf("dead store: no load observes slot %s before the next store or function exit", slot.Ident()),
+					})
+				}
+			case ir.OpLoad:
+				slot, ok := in.Operands[0].(*ir.Instr)
+				if !ok || !reach.Tracked[slot] {
+					continue
+				}
+				if reach.DefsAt(b, idx)[slot] {
+					ds = append(ds, Diagnostic{
+						Checker: CheckerLint, Sev: Warning,
+						Func: f.Name(), Block: b.Name(), Instr: instrLabel(in),
+						Msg: fmt.Sprintf("load of slot %s may observe an uninitialized value", slot.Ident()),
+					})
+				}
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"f3m/internal/analysis/dataflow"
 	"f3m/internal/ir"
 )
 
@@ -25,8 +26,14 @@ type FuncFacts struct {
 	// instruction results and parameters: a value is live-in when some
 	// path from the block start reaches a use before any redefinition
 	// (SSA values have none, so this is plain upward-exposed-use
-	// dataflow).
+	// dataflow). Computed by dataflow.Liveness.
 	LiveIn, LiveOut map[*ir.Block]map[ir.Value]bool
+
+	// reach, slotLive and sccp are the lazily computed dataflow results
+	// behind Manager.Reaching, Manager.SlotLiveness and Manager.SCCP.
+	reach    *dataflow.ReachResult
+	slotLive *dataflow.SlotLivenessResult
+	sccp     *dataflow.SCCPResult
 }
 
 // CallGraph is the module's direct-call structure plus address-taken
@@ -72,6 +79,38 @@ func (mgr *Manager) Facts(f *ir.Function) *FuncFacts {
 	return ff
 }
 
+// Reaching returns the cached reaching-definitions fixpoint of f,
+// computing it on first use; Invalidate drops it with the other facts.
+func (mgr *Manager) Reaching(f *ir.Function) *dataflow.ReachResult {
+	ff := mgr.Facts(f)
+	if ff.reach == nil {
+		ff.reach = dataflow.ReachingDefs(f)
+	}
+	return ff.reach
+}
+
+// SlotLiveness returns the cached slot-liveness fixpoint of f (dead
+// stores into tracked allocas), computing it on first use.
+func (mgr *Manager) SlotLiveness(f *ir.Function) *dataflow.SlotLivenessResult {
+	ff := mgr.Facts(f)
+	if ff.slotLive == nil {
+		ff.slotLive = dataflow.SlotLiveness(f)
+	}
+	return ff.slotLive
+}
+
+// SCCP returns the cached assumption-free sparse-conditional-constant
+// fixpoint of f, computing it on first use. Specialization under an
+// assume map (the translation validator's use) is not cacheable and
+// calls dataflow.SCCP directly.
+func (mgr *Manager) SCCP(f *ir.Function) *dataflow.SCCPResult {
+	ff := mgr.Facts(f)
+	if ff.sccp == nil {
+		ff.sccp = dataflow.SCCP(f, nil)
+	}
+	return ff.sccp
+}
+
 // Invalidate drops the cached facts of f (call after mutating it).
 func (mgr *Manager) Invalidate(f *ir.Function) {
 	delete(mgr.funcs, f)
@@ -113,103 +152,12 @@ func computeFuncFacts(f *ir.Function) *FuncFacts {
 			}
 		}
 	})
-	computeLiveness(f, ff)
-	return ff
-}
-
-// trackable reports whether a value participates in liveness (locals:
-// instruction results and parameters; constants and globals do not).
-func trackable(v ir.Value) bool {
-	switch v.(type) {
-	case *ir.Instr, *ir.Param:
-		return true
-	}
-	return false
-}
-
-// computeLiveness runs the standard backward dataflow over the CFG:
-//
-//	LiveOut(b) = union over successors s of LiveIn(s)
-//	LiveIn(b)  = upwardExposed(b) ∪ (LiveOut(b) − defs(b))
-//
-// Phi uses are charged to the incoming edge's predecessor (the value
-// must be live at the end of that predecessor, not at the phi itself),
-// matching the dominance rule DominatesInstr applies.
-func computeLiveness(f *ir.Function, ff *FuncFacts) {
-	// Per-block upward-exposed uses and defs.
-	exposed := make(map[*ir.Block]map[ir.Value]bool, len(f.Blocks))
-	defs := make(map[*ir.Block]map[ir.Value]bool, len(f.Blocks))
-	// phiIn[b] collects values phi instructions pull in along the edge
-	// from b, which become extra live-out entries of b.
-	phiIn := make(map[*ir.Block]map[ir.Value]bool)
+	live := dataflow.Liveness(f)
 	for _, b := range f.Blocks {
-		exp := make(map[ir.Value]bool)
-		def := make(map[ir.Value]bool)
-		for _, in := range b.Instrs {
-			if in.Op == ir.OpPhi {
-				for i, v := range in.Operands {
-					if trackable(v) {
-						p := in.IncomingBlocks[i]
-						if phiIn[p] == nil {
-							phiIn[p] = make(map[ir.Value]bool)
-						}
-						phiIn[p][v] = true
-					}
-				}
-				def[in] = true
-				continue
-			}
-			for _, v := range in.Operands {
-				if trackable(v) && !def[v] {
-					exp[v] = true
-				}
-			}
-			if !in.Ty.IsVoid() {
-				def[in] = true
-			}
-		}
-		exposed[b] = exp
-		defs[b] = def
-		ff.LiveIn[b] = make(map[ir.Value]bool)
-		ff.LiveOut[b] = make(map[ir.Value]bool)
+		ff.LiveIn[b] = live.In[b]
+		ff.LiveOut[b] = live.Out[b]
 	}
-
-	for changed := true; changed; {
-		changed = false
-		// Backward over the block list; iteration repeats to a fixed
-		// point so visit order only affects pass count.
-		for i := len(f.Blocks) - 1; i >= 0; i-- {
-			b := f.Blocks[i]
-			out := ff.LiveOut[b]
-			for _, s := range b.Succs() {
-				for v := range ff.LiveIn[s] {
-					if !out[v] {
-						out[v] = true
-						changed = true
-					}
-				}
-			}
-			for v := range phiIn[b] {
-				if !out[v] {
-					out[v] = true
-					changed = true
-				}
-			}
-			in := ff.LiveIn[b]
-			for v := range exposed[b] {
-				if !in[v] {
-					in[v] = true
-					changed = true
-				}
-			}
-			for v := range out {
-				if !defs[b][v] && !in[v] {
-					in[v] = true
-					changed = true
-				}
-			}
-		}
-	}
+	return ff
 }
 
 func buildCallGraph(m *ir.Module) *CallGraph {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"f3m/internal/analysis"
+	"f3m/internal/analysis/tv"
 	"f3m/internal/ir"
 )
 
@@ -26,6 +27,13 @@ const (
 	// reference checks) and a lint sweep over the surviving merged
 	// functions.
 	CheckStrict
+
+	// CheckValidate is CheckStrict plus per-commit translation
+	// validation: every committed merge is specialized at each
+	// discriminator value and proven bisimilar to a snapshot of the
+	// original it replaced (checker `tv`). The most thorough — and most
+	// expensive — tier.
+	CheckValidate
 )
 
 // String renders the mode as accepted by ParseCheckMode.
@@ -37,11 +45,14 @@ func (c CheckMode) String() string {
 		return "fast"
 	case CheckStrict:
 		return "strict"
+	case CheckValidate:
+		return "validate"
 	}
 	return fmt.Sprintf("checkmode(%d)", int(c))
 }
 
-// ParseCheckMode parses the -check flag values off, fast and strict.
+// ParseCheckMode parses the -check flag values off, fast, strict and
+// validate.
 func ParseCheckMode(s string) (CheckMode, error) {
 	switch s {
 	case "off":
@@ -50,8 +61,10 @@ func ParseCheckMode(s string) (CheckMode, error) {
 		return CheckFast, nil
 	case "strict":
 		return CheckStrict, nil
+	case "validate":
+		return CheckValidate, nil
 	}
-	return CheckOff, fmt.Errorf("core: unknown check mode %q (want off, fast or strict)", s)
+	return CheckOff, fmt.Errorf("core: unknown check mode %q (want off, fast, strict or validate)", s)
 }
 
 // startChecks builds the analysis engine for the configured mode and,
@@ -63,6 +76,9 @@ func startChecks(m *ir.Module, cfg Config) *analysis.Engine {
 		return nil
 	}
 	eng := analysis.NewEngine(cfg.Metrics)
+	if cfg.Check >= CheckValidate {
+		eng.Validator = tv.NewValidator(cfg.Metrics)
+	}
 	if cfg.Check >= CheckStrict {
 		eng.StrictModule(m)
 	}

@@ -269,6 +269,11 @@ func withCallIndex(m *ir.Module, cfg Config) Config {
 	if cfg.MergeOpts.Index == nil && cfg.MergeOpts.CallSiteCount == nil {
 		cfg.MergeOpts.Index = merge.NewCallIndex(m)
 	}
+	// The translation validator compares every commit against the
+	// pre-merge bodies, which only exist if Commit snapshots them.
+	if cfg.Check >= CheckValidate {
+		cfg.MergeOpts.SnapshotOriginals = true
+	}
 	return cfg
 }
 

@@ -58,6 +58,12 @@ type Options struct {
 	// per run so speculative workers can pre-warm the alignments the
 	// committer will need. Nil disables caching.
 	AlignCache *align.Cache
+
+	// SnapshotOriginals makes Commit clone the pre-merge bodies of both
+	// originals into CommitSide.Snapshot before rewriting anything. The
+	// translation validator needs the original semantics to compare
+	// against after the originals have been thunked or deleted.
+	SnapshotOriginals bool
 }
 
 // DefaultOptions mirror the defaults used by the pipeline.
@@ -105,6 +111,9 @@ type Result struct {
 
 	// idx is the optional live call index Commit maintains.
 	idx *CallIndex
+
+	// snapshot carries Options.SnapshotOriginals to Commit.
+	snapshot bool
 }
 
 // SizeSaving is the size-model benefit of committing (positive =
@@ -182,6 +191,7 @@ func Pair(m *ir.Module, fa, fb *ir.Function, opts Options) (*Result, error) {
 		res.CallOverhead = countSites(fa)*extraA + countSites(fb)*extraB
 	}
 	res.idx = opts.Index
+	res.snapshot = opts.SnapshotOriginals
 	res.Profitable = res.CostMerged+res.CallOverhead < res.CostA+res.CostB
 	return res, nil
 }
@@ -206,6 +216,11 @@ type CommitInfo struct {
 	// A and B describe the two replaced originals; A is the side
 	// selected by a true function identifier.
 	A, B CommitSide
+
+	// Callers lists, without duplicates and in rewrite order, the
+	// functions that contained at least one rewritten call site. Their
+	// bodies changed, so any cached analysis facts about them are stale.
+	Callers []*ir.Function
 }
 
 // CommitSide is the commit outcome for one replaced original.
@@ -231,6 +246,13 @@ type CommitSide struct {
 
 	// RewrittenCalls counts the direct call sites redirected to Merged.
 	RewrittenCalls int
+
+	// Snapshot is a clone of the original body taken before the commit
+	// rewrote anything, or nil unless Options.SnapshotOriginals was set.
+	// It lives in a detached scratch module (sharing the type context)
+	// so pipeline stages walking the real module never observe it; its
+	// call operands still reference the pre-commit function objects.
+	Snapshot *ir.Function
 }
 
 // Commit replaces fa and fb with the merged function: direct calls are
@@ -243,6 +265,17 @@ func Commit(m *ir.Module, r *Result) *CommitInfo {
 	if r.idx != nil {
 		r.idx.AddFunction(g)
 	}
+	info := &CommitInfo{Merged: g}
+	var snapA, snapB *ir.Function
+	if r.snapshot {
+		// Clone before any rewriting: the snapshots must capture the
+		// pre-commit semantics, and they live outside the real module so
+		// no pipeline stage (or speculative worker) ever walks into them.
+		scratch := ir.NewModuleInCtx("tv.ref", m.Ctx)
+		snapA = ir.CloneFunc(scratch, r.fa, r.fa.Name())
+		snapB = ir.CloneFunc(scratch, r.fb, r.fb.Name())
+	}
+	seenCaller := make(map[*ir.Function]bool)
 	rewrite := func(orig *ir.Function, id bool) CommitSide {
 		paramMap := r.paramMapB
 		if id {
@@ -250,6 +283,10 @@ func Commit(m *ir.Module, r *Result) *CommitInfo {
 		}
 		side := CommitSide{Name: orig.Name(), Fn: orig, Sig: orig.Sig, ParamMap: paramMap}
 		rewriteCall := func(call *ir.Instr) {
+			if caller := call.Parent.Parent; !seenCaller[caller] {
+				seenCaller[caller] = true
+				info.Callers = append(info.Callers, caller)
+			}
 			args := call.CallArgs()
 			newArgs := make([]ir.Value, len(g.Params))
 			newArgs[0] = ir.ConstBool(m.Ctx, id)
@@ -285,9 +322,10 @@ func Commit(m *ir.Module, r *Result) *CommitInfo {
 		}
 		return side
 	}
-	info := &CommitInfo{Merged: g}
 	info.A = rewrite(r.fa, true)
 	info.B = rewrite(r.fb, false)
+	info.A.Snapshot = snapA
+	info.B.Snapshot = snapB
 	return info
 }
 

@@ -58,20 +58,23 @@ func (m *Metrics) Snapshot(includeVolatile bool) Snapshot {
 		}
 		s.Gauges[name] = g.Value()
 	}
-	if len(m.histograms) > 0 {
-		s.Histograms = make(map[string]HistogramSnapshot, len(m.histograms))
-		for name, h := range m.histograms {
-			hs := HistogramSnapshot{
-				Bounds: append([]float64(nil), h.bounds...),
-				Counts: make([]int64, len(h.counts)),
-				Count:  h.Count(),
-				Sum:    h.Sum(),
-			}
-			for i := range h.counts {
-				hs.Counts[i] = h.counts[i].Load()
-			}
-			s.Histograms[name] = hs
+	for name, h := range m.histograms {
+		if h.volatile && !includeVolatile {
+			continue
 		}
+		if s.Histograms == nil {
+			s.Histograms = make(map[string]HistogramSnapshot, len(m.histograms))
+		}
+		hs := HistogramSnapshot{
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]int64, len(h.counts)),
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms[name] = hs
 	}
 	return s
 }
@@ -123,6 +126,11 @@ func (m *Metrics) WriteText(w io.Writer) error {
 			volatileNames[name] = true
 		}
 	}
+	for name, h := range m.histograms {
+		if h.volatile {
+			volatileNames[name] = true
+		}
+	}
 	m.mu.Unlock()
 
 	var b strings.Builder
@@ -150,7 +158,11 @@ func (m *Metrics) WriteText(w io.Writer) error {
 		b.WriteString("histograms:\n")
 		for _, name := range sortedKeys(s.Histograms) {
 			h := s.Histograms[name]
-			fmt.Fprintf(&b, "  %-32s count=%d sum=%s\n", name, h.Count, formatFloat(h.Sum))
+			mark := ""
+			if volatileNames[name] {
+				mark = "  (volatile)"
+			}
+			fmt.Fprintf(&b, "  %-32s count=%d sum=%s%s\n", name, h.Count, formatFloat(h.Sum), mark)
 			for i, c := range h.Counts {
 				bound := "+Inf"
 				if i < len(h.Bounds) {

@@ -126,6 +126,20 @@ func (m *Metrics) gauge(name string, volatile bool) *Gauge {
 // appended). The bounds of a name are fixed by whichever call creates
 // it first. Returns nil (a no-op handle) when m is nil.
 func (m *Metrics) Histogram(name string, bounds []float64) *Histogram {
+	return m.histogram(name, bounds, false)
+}
+
+// VolatileHistogram is Histogram for distributions that legitimately
+// differ between runs — latencies and other wall-clock measurements.
+// Volatile histograms are excluded from the deterministic JSON export
+// (WriteJSON) and shown only by WriteText and String, mirroring
+// VolatileCounter and VolatileGauge. The volatility of a name is fixed
+// by whichever call creates it first.
+func (m *Metrics) VolatileHistogram(name string, bounds []float64) *Histogram {
+	return m.histogram(name, bounds, true)
+}
+
+func (m *Metrics) histogram(name string, bounds []float64, volatile bool) *Histogram {
 	if m == nil {
 		return nil
 	}
@@ -134,8 +148,9 @@ func (m *Metrics) Histogram(name string, bounds []float64) *Histogram {
 	h, ok := m.histograms[name]
 	if !ok {
 		h = &Histogram{
-			bounds: append([]float64(nil), bounds...),
-			counts: make([]atomic.Int64, len(bounds)+1),
+			bounds:   append([]float64(nil), bounds...),
+			counts:   make([]atomic.Int64, len(bounds)+1),
+			volatile: volatile,
 		}
 		m.histograms[name] = h
 	}
@@ -237,10 +252,11 @@ func (g *Gauge) Value() float64 {
 // fractional values (e.g. alignment scores) must be recorded from
 // sequential code. The pipeline follows that rule.
 type Histogram struct {
-	bounds []float64
-	counts []atomic.Int64 // len(bounds)+1; last bucket is +Inf
-	count  atomic.Int64
-	sum    Gauge
+	bounds   []float64
+	counts   []atomic.Int64 // len(bounds)+1; last bucket is +Inf
+	count    atomic.Int64
+	sum      Gauge
+	volatile bool
 }
 
 // Observe records one value. No-op on a nil handle.

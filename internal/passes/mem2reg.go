@@ -16,10 +16,16 @@ func Mem2Reg(f *ir.Function) int {
 	}
 	entry := f.Entry()
 
+	// slotList keeps the entry-block order: phi placement iterates it so
+	// the phi run of any join block is ordered by slot, not by map
+	// iteration — checkers compare IR structurally and need the output
+	// to be a pure function of the input.
 	slots := make(map[*ir.Instr]bool)
+	var slotList []*ir.Instr
 	for _, in := range entry.Instrs {
 		if in.Op == ir.OpAlloca && promotable(f, in) {
 			slots[in] = true
+			slotList = append(slotList, in)
 		}
 	}
 	if len(slots) == 0 {
@@ -40,7 +46,7 @@ func Mem2Reg(f *ir.Function) int {
 	// Phi placement. phiFor[phi] identifies which slot a synthetic phi
 	// belongs to during renaming.
 	phiFor := make(map[*ir.Instr]*ir.Instr)
-	for slot := range slots {
+	for _, slot := range slotList {
 		var defBlocks []*ir.Block
 		seenDef := make(map[*ir.Block]bool)
 		f.Instructions(func(in *ir.Instr) {

@@ -30,6 +30,14 @@ go run ./cmd/f3m -check=strict testdata/handlers.c >/dev/null
 go run ./cmd/f3m -check=strict -strategy hyfm testdata/handlers.c >/dev/null
 go run ./cmd/f3m -check=strict -gen 200 -seed 5 >/dev/null
 
+echo "== f3m -check=validate over the corpus"
+# The translation-validation gate: every merge the pipeline commits on
+# the corpus must be proven behaviourally equivalent to the originals
+# it replaced (nonzero exit on any tv diagnostic).
+go run ./cmd/f3m -check=validate testdata/handlers.c >/dev/null
+go run ./cmd/f3m -check=validate -strategy hyfm testdata/handlers.c >/dev/null
+go run ./cmd/f3m -check=validate -gen 200 -seed 5 >/dev/null
+
 echo "== fuzz smoke (FUZZTIME=${FUZZTIME:-5s} per target)"
 # Short randomized runs of the three native fuzz targets; the full
 # checked-in corpora under testdata/fuzz (including past crash inputs)
