@@ -8,6 +8,7 @@ package f3m_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -257,6 +258,9 @@ func BenchmarkMergeStage(b *testing.B) {
 				cfg.MergeWorkers = w
 				cache := align.NewCache(0)
 				cfg.MergeOpts.AlignCache = cache
+				// Collect generator garbage outside the timed window so
+				// ns/op reflects the merge stage, not irgen's leftovers.
+				runtime.GC()
 				b.StartTimer()
 				rep, err := core.Run(m, cfg)
 				if err != nil {

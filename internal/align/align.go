@@ -10,8 +10,9 @@
 package align
 
 import (
-	"sort"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"f3m/internal/fingerprint"
 	"f3m/internal/ir"
@@ -34,16 +35,41 @@ const (
 	gapScore   = -1
 )
 
+// Banded fast-path tuning. The band slack grows with the Hamming
+// distance between the encoded sequences (the per-position fingerprint
+// disagreement), since substitution-style edits keep the optimal path
+// near the diagonal while insertions shift everything after them — the
+// latter blow the Hamming count up and deterministically disqualify the
+// band, so the full DP runs directly with no wasted banded attempt.
+const (
+	bandMinLen    = 24 // below this the full DP is already trivial
+	bandBaseSlack = 4
+)
+
 // dpBuf is the reusable scratch state of one NeedlemanWunsch call: the
-// flat DP matrix and the traceback stack. Pooling it removes the
-// per-pair allocation spike the merge stage used to pay (one row slice
-// per input instruction); a call now allocates only its result.
+// flat DP matrix and the backward-filled traceback buffer. Pooling both
+// removes the per-pair allocation spike the merge stage used to pay;
+// internal callers that only need a ratio borrow the traceback view and
+// allocate nothing at all.
 type dpBuf struct {
 	score []int32
-	rev   []Entry
+	out   []Entry
 }
 
 var dpPool = sync.Pool{New: func() any { return new(dpBuf) }}
+
+// grow readies the buffer for a DP of cells matrix cells and up to
+// entries traceback columns.
+func (buf *dpBuf) grow(cells, entries int) {
+	if cap(buf.score) < cells {
+		buf.score = make([]int32, cells)
+	}
+	buf.score = buf.score[:cells]
+	if cap(buf.out) < entries {
+		buf.out = make([]Entry, entries)
+	}
+	buf.out = buf.out[:entries]
+}
 
 // NeedlemanWunsch computes a global alignment of two encoded
 // instruction sequences. Only identical encodings may occupy a matched
@@ -51,21 +77,75 @@ var dpPool = sync.Pool{New: func() any { return new(dpBuf) }}
 //
 // The DP matrix and traceback scratch come from a pool shared by all
 // goroutines; the returned slice is freshly allocated and safe to
-// retain (the alignment cache does).
+// retain (the alignment cache does). High-similarity pairs take a
+// banded fast path that provably reproduces the full DP's traceback
+// (see nwBanded); the result is identical either way.
 func NeedlemanWunsch(a, b []fingerprint.Encoded) []Entry {
 	n, m := len(a), len(b)
 	if n == 0 && m == 0 {
 		return nil
 	}
 	buf := dpPool.Get().(*dpBuf)
-	w := m + 1
-	need := (n + 1) * w
-	if cap(buf.score) < need {
-		buf.score = make([]int32, need)
+	res := nwInto(buf, a, b)
+	out := make([]Entry, len(res))
+	copy(out, res)
+	dpPool.Put(buf)
+	return out
+}
+
+// bandedHits counts alignments served by the banded fast path; see
+// BandedHits.
+var bandedHits atomic.Uint64
+
+// BandedHits reports the process-wide number of alignments the banded
+// fast path served (monotonic, never reset). Integration tests compare
+// it across a pipeline run to prove realistic corpora actually
+// exercise the band rather than always falling back to the full DP.
+func BandedHits() uint64 { return bandedHits.Load() }
+
+// nwInto computes the alignment into buf and returns a view into
+// buf.out, valid only until buf is reused. The banded path is tried
+// first; it declines (deterministically, as a pure function of the
+// inputs) whenever it cannot prove its answer equals the full DP's.
+func nwInto(buf *dpBuf, a, b []fingerprint.Encoded) []Entry {
+	if res, ok := nwBanded(buf, a, b); ok {
+		bandedHits.Add(1)
+		return res
 	}
+	return nwFull(buf, a, b)
+}
+
+// nwRatio computes the alignment ratio without retaining entries: the
+// traceback stays in the pooled buffer, so the call allocates nothing.
+func nwRatio(a, b []fingerprint.Encoded) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	buf := dpPool.Get().(*dpBuf)
+	r := Ratio(nwInto(buf, a, b), len(a), len(b))
+	dpPool.Put(buf)
+	return r
+}
+
+// nwMatches counts matched columns without retaining entries.
+func nwMatches(a, b []fingerprint.Encoded) int {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	buf := dpPool.Get().(*dpBuf)
+	n := Matches(nwInto(buf, a, b))
+	dpPool.Put(buf)
+	return n
+}
+
+// nwFull is the exact O(n·m) DP with pooled scratch.
+func nwFull(buf *dpBuf, a, b []fingerprint.Encoded) []Entry {
+	n, m := len(a), len(b)
+	w := m + 1
+	buf.grow((n+1)*w, n+m)
 	// score[i*w+j] = best score aligning a[:i] with b[:j]. Every cell
 	// is written below, so the recycled buffer needs no clearing.
-	score := buf.score[:need]
+	score := buf.score
 	score[0] = 0
 	for i := 1; i <= n; i++ {
 		score[i*w] = int32(i) * gapScore
@@ -88,32 +168,146 @@ func NeedlemanWunsch(a, b []fingerprint.Encoded) []Entry {
 			row[j] = best
 		}
 	}
-	// Traceback, in the exact tie-break order of the original
-	// row-sliced implementation: diagonal match first, then up-gap,
-	// else left-gap.
-	rev := buf.rev[:0]
+	// Traceback, filled back-to-front into the pooled buffer, in the
+	// exact tie-break order of the original row-sliced implementation:
+	// diagonal match first, then up-gap, else left-gap.
+	out := buf.out
+	pos := len(out)
 	i, j := n, m
 	for i > 0 || j > 0 {
+		pos--
 		switch {
 		case i > 0 && j > 0 && a[i-1] == b[j-1] && score[i*w+j] == score[(i-1)*w+j-1]+matchScore:
-			rev = append(rev, Entry{A: i - 1, B: j - 1})
+			out[pos] = Entry{A: i - 1, B: j - 1}
 			i--
 			j--
 		case i > 0 && score[i*w+j] == score[(i-1)*w+j]+gapScore:
-			rev = append(rev, Entry{A: i - 1, B: -1})
+			out[pos] = Entry{A: i - 1, B: -1}
 			i--
 		default:
-			rev = append(rev, Entry{A: -1, B: j - 1})
+			out[pos] = Entry{A: -1, B: j - 1}
 			j--
 		}
 	}
-	out := make([]Entry, len(rev))
-	for k, e := range rev {
-		out[len(rev)-1-k] = e
+	return out[pos:]
+}
+
+// nwBanded runs the DP restricted to the diagonal band
+// δ = j−i ∈ [lo, hi], with lo = min(0, m−n) − s and hi = max(0, m−n) + s
+// for a slack s derived from the sequences' positional Hamming
+// distance. It reports ok only when the result is provably identical —
+// entries and tie-breaks, not just score — to the full DP's:
+//
+// Any alignment path that leaves the band must spend at least
+// |m−n| + 2s + 2 gap columns, bounding its score by
+// S_out = (n+m) − 2(|m−n| + 2s + 2). If the banded score strictly
+// beats S_out, every full-DP-optimal path lies inside the band, and an
+// induction along the traceback shows each banded cell value on such a
+// path equals the full value and each tie-break test decides
+// identically (an out-of-band neighbour can never be the equal-score
+// branch the full traceback takes, because that would put an optimal
+// path outside the band). When the margin fails — the banded optimum
+// is pressed against the band edge — nwBanded declines and the caller
+// falls back to the full DP.
+func nwBanded(buf *dpBuf, a, b []fingerprint.Encoded) ([]Entry, bool) {
+	n, m := len(a), len(b)
+	if n < bandMinLen || m < bandMinLen {
+		return nil, false
 	}
-	buf.rev = rev
-	dpPool.Put(buf)
-	return out
+	minNM, d := n, m-n
+	if m < n {
+		minNM = m
+	}
+	// Positional fingerprint (Hamming) distance over the common prefix,
+	// with an early bail once the implied band stops being narrow.
+	maxMis := minNM / 8
+	mismatch := 0
+	for i := 0; i < minNM; i++ {
+		if a[i] != b[i] {
+			if mismatch++; mismatch > maxMis {
+				return nil, false
+			}
+		}
+	}
+	s := bandBaseSlack + 2*mismatch
+	lo, hi := -s, s
+	if d < 0 {
+		lo = d - s
+	} else {
+		hi = d + s
+	}
+	w := hi - lo + 1 // band width
+	if 2*w > m {
+		return nil, false // band covers most of the matrix: no savings
+	}
+	const ninf = int32(-1) << 28
+	buf.grow((n+1)*w, n+m)
+	score := buf.score
+	for i := 0; i <= n; i++ {
+		jlo, jhi := i+lo, i+hi
+		if jlo < 0 {
+			jlo = 0
+		}
+		if jhi > m {
+			jhi = m
+		}
+		row := score[i*w:]
+		for j := jlo; j <= jhi; j++ {
+			off := j - i - lo
+			if i == 0 && j == 0 {
+				row[off] = 0
+				continue
+			}
+			best := ninf
+			if i > 0 && off+1 < w { // up-gap: (i-1, j)
+				best = score[(i-1)*w+off+1] + gapScore
+			}
+			if j > 0 && off > 0 { // left-gap: (i, j-1)
+				if v := row[off-1] + gapScore; v > best {
+					best = v
+				}
+			}
+			if i > 0 && j > 0 && a[i-1] == b[j-1] { // diagonal match
+				if v := score[(i-1)*w+off] + matchScore; v > best {
+					best = v
+				}
+			}
+			row[off] = best
+		}
+	}
+	abs := d
+	if abs < 0 {
+		abs = -abs
+	}
+	bandScore := score[n*w+(m-n-lo)]
+	if bandScore <= int32(n+m)-2*int32(abs+2*s+2) {
+		return nil, false // a band-escaping path could tie or win
+	}
+	// Traceback, identical tie-break order to nwFull.
+	out := buf.out
+	pos := len(out)
+	i, j := n, m
+	for i > 0 || j > 0 {
+		off := j - i - lo
+		cur := score[i*w+off]
+		pos--
+		switch {
+		case i > 0 && j > 0 && a[i-1] == b[j-1] && cur == score[(i-1)*w+off]+matchScore:
+			out[pos] = Entry{A: i - 1, B: j - 1}
+			i--
+			j--
+		case i > 0 && off+1 < w && cur == score[(i-1)*w+off+1]+gapScore:
+			out[pos] = Entry{A: i - 1, B: -1}
+			i--
+		case j > 0 && off > 0 && cur == score[i*w+off-1]+gapScore:
+			out[pos] = Entry{A: -1, B: j - 1}
+			j--
+		default:
+			// Unreachable when the margin held; decline defensively.
+			return nil, false
+		}
+	}
+	return out[pos:], true
 }
 
 // Matches counts matched columns.
@@ -142,7 +336,7 @@ func Ratio(entries []Entry, lenA, lenB int) float64 {
 func FuncRatio(f1, f2 *ir.Function) float64 {
 	a := fingerprint.EncodeFunc(f1)
 	b := fingerprint.EncodeFunc(f2)
-	return Ratio(NeedlemanWunsch(a, b), len(a), len(b))
+	return nwRatio(a, b)
 }
 
 // Segment is a run of alignment columns that are either all matched or
@@ -182,6 +376,53 @@ type BlockPair struct {
 	Ratio float64
 }
 
+// matchCand is a candidate block pairing, ranked by fingerprint
+// distance.
+type matchCand struct {
+	a, b int
+	dist int
+}
+
+// matchScratch pools MatchBlocksCached's per-call state — the pass
+// runs once per merge attempt, so per-block fingerprint and flag
+// storage is recycled rather than reallocated.
+type matchScratch struct {
+	fpA, fpB       []fingerprint.FreqVector
+	cands          []matchCand
+	encA, encB     [][]fingerprint.Encoded
+	takenA, takenB []bool
+}
+
+var matchPool = sync.Pool{New: func() any { return new(matchScratch) }}
+
+func (s *matchScratch) release() {
+	// Encoded slices alias pooled encode storage; drop them so the pool
+	// pins nothing between uses.
+	for i := range s.encA {
+		s.encA[i] = nil
+	}
+	for i := range s.encB {
+		s.encB[i] = nil
+	}
+	matchPool.Put(s)
+}
+
+// growZero resizes *sp to n zeroed elements, reusing capacity.
+func growZero[T any](sp *[]T, n int) []T {
+	s := *sp
+	if cap(s) < n {
+		s = make([]T, n)
+	} else {
+		s = s[:n]
+		var zero T
+		for i := range s {
+			s[i] = zero
+		}
+	}
+	*sp = s
+	return s
+}
+
 // MatchBlocks greedily pairs similar blocks of f1 and f2, HyFM-style:
 // candidate pairs are ranked by block fingerprint distance, verified by
 // block-level alignment, and accepted when the match ratio reaches
@@ -193,49 +434,63 @@ func MatchBlocks(f1, f2 *ir.Function, minRatio float64) (pairs []BlockPair, unA,
 // MatchBlocksCached is MatchBlocks with the block-level alignments
 // routed through c (nil disables caching). The pairing decisions are
 // identical either way — the cache is exact — so callers can mix
-// cached and uncached invocations freely.
+// cached and uncached invocations freely. Per-block fingerprints and
+// encodings are computed once up front, not once per candidate pair.
 func MatchBlocksCached(f1, f2 *ir.Function, minRatio float64, cch *Cache) (pairs []BlockPair, unA, unB []*ir.Block) {
-	type cand struct {
-		a, b *ir.Block
-		dist int
+	nA, nB := len(f1.Blocks), len(f2.Blocks)
+	s := matchPool.Get().(*matchScratch)
+	defer s.release()
+	fpA := growZero(&s.fpA, nA)
+	for i, b := range f1.Blocks {
+		fingerprint.FreqBlockInto(b, &fpA[i])
 	}
-	fpA := make(map[*ir.Block]*fingerprint.FreqVector, len(f1.Blocks))
-	for _, b := range f1.Blocks {
-		fpA[b] = fingerprint.FreqBlock(b)
+	fpB := growZero(&s.fpB, nB)
+	for i, b := range f2.Blocks {
+		fingerprint.FreqBlockInto(b, &fpB[i])
 	}
-	fpB := make(map[*ir.Block]*fingerprint.FreqVector, len(f2.Blocks))
-	for _, b := range f2.Blocks {
-		fpB[b] = fingerprint.FreqBlock(b)
-	}
-	var cands []cand
-	for _, a := range f1.Blocks {
-		for _, b := range f2.Blocks {
-			cands = append(cands, cand{a, b, fpA[a].Distance(fpB[b])})
+	cands := s.cands[:0]
+	for i := range f1.Blocks {
+		for j := range f2.Blocks {
+			cands = append(cands, matchCand{i, j, fpA[i].Distance(&fpB[j])})
 		}
 	}
-	sort.SliceStable(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+	s.cands = cands
+	slices.SortStableFunc(cands, func(a, b matchCand) int { return a.dist - b.dist })
 
-	takenA := make(map[*ir.Block]bool)
-	takenB := make(map[*ir.Block]bool)
+	encA := growZero(&s.encA, nA)
+	encB := growZero(&s.encB, nB)
+	takenA := growZero(&s.takenA, nA)
+	takenB := growZero(&s.takenB, nB)
 	for _, c := range cands {
 		if takenA[c.a] || takenB[c.b] {
 			continue
 		}
-		ea, eb := fingerprint.EncodeBlock(c.a), fingerprint.EncodeBlock(c.b)
-		r := Ratio(cch.NW(ea, eb), len(ea), len(eb))
+		if encA[c.a] == nil {
+			encA[c.a] = fingerprint.EncodeBlock(f1.Blocks[c.a])
+		}
+		if encB[c.b] == nil {
+			encB[c.b] = fingerprint.EncodeBlock(f2.Blocks[c.b])
+		}
+		ea, eb := encA[c.a], encB[c.b]
+		var r float64
+		if cch != nil {
+			r = Ratio(cch.NW(ea, eb), len(ea), len(eb))
+		} else {
+			r = nwRatio(ea, eb)
+		}
 		if r < minRatio {
 			continue
 		}
 		takenA[c.a], takenB[c.b] = true, true
-		pairs = append(pairs, BlockPair{A: c.a, B: c.b, Ratio: r})
+		pairs = append(pairs, BlockPair{A: f1.Blocks[c.a], B: f2.Blocks[c.b], Ratio: r})
 	}
-	for _, b := range f1.Blocks {
-		if !takenA[b] {
+	for i, b := range f1.Blocks {
+		if !takenA[i] {
 			unA = append(unA, b)
 		}
 	}
-	for _, b := range f2.Blocks {
-		if !takenB[b] {
+	for i, b := range f2.Blocks {
+		if !takenB[i] {
 			unB = append(unB, b)
 		}
 	}
@@ -244,7 +499,14 @@ func MatchBlocksCached(f1, f2 *ir.Function, minRatio float64, cch *Cache) (pairs
 
 // BlockAlign aligns the bodies of two blocks and returns the segments.
 func BlockAlign(a, b *ir.Block) []Segment {
-	return Segments(NeedlemanWunsch(fingerprint.EncodeBlock(a), fingerprint.EncodeBlock(b)))
+	ea, eb := fingerprint.EncodeBlock(a), fingerprint.EncodeBlock(b)
+	if len(ea) == 0 && len(eb) == 0 {
+		return nil
+	}
+	buf := dpPool.Get().(*dpBuf)
+	segs := Segments(nwInto(buf, ea, eb))
+	dpPool.Put(buf)
+	return segs
 }
 
 // MergeRatio is the block-level alignment-quality metric the paper's
@@ -257,8 +519,7 @@ func MergeRatio(f1, f2 *ir.Function, minRatio float64) float64 {
 	pairs, _, _ := MatchBlocks(f1, f2, minRatio)
 	matched := 0
 	for _, p := range pairs {
-		ea, eb := fingerprint.EncodeBlock(p.A), fingerprint.EncodeBlock(p.B)
-		matched += Matches(NeedlemanWunsch(ea, eb))
+		matched += nwMatches(fingerprint.EncodeBlock(p.A), fingerprint.EncodeBlock(p.B))
 	}
 	total := f1.NumInstrs() + f2.NumInstrs()
 	if total == 0 {

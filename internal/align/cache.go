@@ -11,29 +11,32 @@ import (
 // so a sequence pair is aligned at most once per run no matter how
 // often ranking (or speculation) revisits it.
 //
-// Correctness is unconditional, not probabilistic: the key is the pair
-// of exact encoded sequences (the full "fingerprint" of each side, not
-// a lossy hash of it), and NeedlemanWunsch is a deterministic pure
-// function of that key — so a cached value can never differ from a
-// fresh computation, and a stale or wasted speculative fill can only
-// cost a miss, never corrupt a result. The key is order-independent:
-// the pair is stored under its canonical (lexicographically smaller
-// sequence first) ordering, with separate value slots for the forward
-// and swapped directions, because an optimal alignment of (a,b) is not
-// in general the mirror of an optimal alignment of (b,a) under the
-// tie-break order.
+// Correctness is unconditional, not probabilistic. Sequences are
+// interned (collision-checked by full comparison, see
+// fingerprint.Interner) and the cache is keyed on the pair of interned
+// handle ids — two 32-bit integers — so a lookup no longer copies both
+// sequences into a fresh string. The pair is stored under its canonical
+// (smaller handle id first) orientation, with separate value slots for
+// the forward and swapped directions, because an optimal alignment of
+// (a,b) is not in general the mirror of an optimal alignment of (b,a)
+// under the tie-break order. Which orientation is canonical can differ
+// between runs (intern order is first-come), but the *entries served*
+// are a pure function of the queried sequences, so Reports stay
+// byte-identical; only hit/miss accounting is schedule-dependent, and
+// those counters are exported as volatile metrics.
 //
 // Returned slices are shared: callers must treat them as read-only.
 // Every hit is re-validated against the querying sequences before it
 // is served (see validEntries); an entry that does not describe a
-// legal alignment of exactly those sequences — which a key collision
-// would produce, were one possible — is rejected, counted, and
-// recomputed. All methods are safe for concurrent use; a nil *Cache
-// disables caching and computes directly.
+// legal alignment of exactly those sequences — which would require an
+// interner malfunction or a stale handle surviving an interner reset —
+// is rejected, counted, and recomputed. All methods are safe for
+// concurrent use; a nil *Cache disables caching and computes directly.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[string]*cacheEntry
-	max     int
+	mu       sync.Mutex
+	entries  map[pairID]*cacheEntry
+	interner *fingerprint.Interner
+	max      int
 
 	hits, misses, rejects, evictions atomic.Int64
 
@@ -44,6 +47,12 @@ type Cache struct {
 	// CorruptNextForTest.
 	corruptNext    atomic.Int32
 	corruptIllForm bool
+}
+
+// pairID is the cache key: the interned handle ids of the canonical
+// pair orientation (lo <= hi).
+type pairID struct {
+	lo, hi uint32
 }
 
 // cacheEntry holds the two directional alignments of one canonical
@@ -60,12 +69,18 @@ const DefaultCacheEntries = 1 << 14
 
 // NewCache returns an empty cache holding at most max entries; when
 // the cap is reached the cache is cleared wholesale (generation-style
-// eviction — cheap, and eviction only ever costs recomputation).
+// eviction — cheap, and eviction only ever costs recomputation). The
+// interner is sized to the same cap: a pair key needs at most two
+// fresh sequences.
 func NewCache(max int) *Cache {
 	if max <= 0 {
 		max = DefaultCacheEntries
 	}
-	return &Cache{entries: make(map[string]*cacheEntry), max: max}
+	return &Cache{
+		entries:  make(map[pairID]*cacheEntry),
+		interner: fingerprint.NewInterner(2 * max),
+		max:      max,
+	}
 }
 
 // CacheStats is a point-in-time snapshot of the cache counters.
@@ -105,17 +120,20 @@ func (c *Cache) CorruptNextForTest(n int, illFormed bool) {
 
 // NW returns the Needleman–Wunsch alignment of a and b, serving a
 // shared cached slice when the pair (in either order) was aligned
-// before. On a nil cache it simply computes.
+// before. On a nil cache it simply computes. The hit path performs no
+// allocations: interning both sequences and probing the map are
+// allocation-free.
 func (c *Cache) NW(a, b []fingerprint.Encoded) []Entry {
 	if c == nil {
 		return NeedlemanWunsch(a, b)
 	}
-	swapped := seqLess(b, a)
-	ka, kb := a, b
+	sa := c.interner.Intern(a)
+	sb := c.interner.Intern(b)
+	swapped := sb.ID() < sa.ID()
+	key := pairID{lo: sa.ID(), hi: sb.ID()}
 	if swapped {
-		ka, kb = b, a
+		key.lo, key.hi = key.hi, key.lo
 	}
-	key := pairKey(ka, kb)
 
 	got, ok := c.lookup(key, swapped)
 	if n := c.corruptNext.Load(); n > 0 && c.corruptNext.CompareAndSwap(n, n-1) {
@@ -138,7 +156,7 @@ func (c *Cache) NW(a, b []fingerprint.Encoded) []Entry {
 	return out
 }
 
-func (c *Cache) lookup(key string, swapped bool) ([]Entry, bool) {
+func (c *Cache) lookup(key pairID, swapped bool) ([]Entry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e := c.entries[key]
@@ -151,13 +169,13 @@ func (c *Cache) lookup(key string, swapped bool) ([]Entry, bool) {
 	return e.fwd, e.hasFwd
 }
 
-func (c *Cache) store(key string, swapped bool, val []Entry) {
+func (c *Cache) store(key pairID, swapped bool, val []Entry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e := c.entries[key]
 	if e == nil {
 		if len(c.entries) >= c.max {
-			c.entries = make(map[string]*cacheEntry)
+			c.entries = make(map[pairID]*cacheEntry)
 			c.evictions.Add(1)
 		}
 		e = &cacheEntry{}
@@ -168,38 +186,6 @@ func (c *Cache) store(key string, swapped bool, val []Entry) {
 	} else {
 		e.fwd, e.hasFwd = val, true
 	}
-}
-
-// seqLess orders encoded sequences lexicographically (element-wise,
-// then by length), defining the canonical pair orientation.
-func seqLess(a, b []fingerprint.Encoded) bool {
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
-	}
-	for i := 0; i < n; i++ {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return len(a) < len(b)
-}
-
-// pairKey packs the canonical pair into an unambiguous map key: the
-// first sequence's length, then both sequences, 4 bytes per element.
-func pairKey(a, b []fingerprint.Encoded) string {
-	buf := make([]byte, 0, 4+4*(len(a)+len(b)))
-	put := func(v uint32) {
-		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-	}
-	put(uint32(len(a)))
-	for _, e := range a {
-		put(uint32(e))
-	}
-	for _, e := range b {
-		put(uint32(e))
-	}
-	return string(buf)
 }
 
 // validEntries checks that es is a legal global alignment of exactly a

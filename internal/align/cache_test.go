@@ -201,3 +201,25 @@ func entriesEqual(a, b []Entry) bool {
 	}
 	return true
 }
+
+// TestCacheHitAllocs pins the NW hot path's allocation contract: with
+// the pair already cached, a lookup must allocate nothing — interning
+// is a map hit, the pair key is a value type, and the cached slice is
+// shared, not copied. This is the regression test for the old
+// fmt.Sprintf-style pair keying that allocated on every probe.
+func TestCacheHitAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	a, b := randSeq(r, 40), randSeq(r, 44)
+	c := NewCache(0)
+	c.NW(a, b) // miss: compute and populate
+	c.NW(b, a) // reversed orientation cached too
+	for _, pair := range [][2][]fingerprint.Encoded{{a, b}, {b, a}} {
+		pair := pair
+		allocs := testing.AllocsPerRun(100, func() {
+			c.NW(pair[0], pair[1])
+		})
+		if allocs != 0 {
+			t.Errorf("cache-hit NW allocs/op = %v, want 0", allocs)
+		}
+	}
+}

@@ -17,6 +17,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"f3m/internal/align"
@@ -94,7 +95,11 @@ type Config struct {
 	// pre-align upcoming ranked pairs into the shared alignment cache
 	// while the sequential committer replays the authoritative
 	// algorithm (see internal/core/speculate.go). 0 or 1 — the default
-	// — keeps the merge stage fully sequential. Every setting produces
+	// — keeps the merge stage fully sequential. The pool is capped to
+	// the CPUs left over beyond the committer (GOMAXPROCS-1): workers
+	// beyond that only time-slice the committer and slow it down,
+	// so on a single-CPU process every setting runs sequentially.
+	// Every setting produces
 	// the byte-identical Report and deterministic metrics export; only
 	// wall clocks and volatile counters (speculation and cache
 	// statistics) differ.
@@ -587,6 +592,16 @@ func runF3M(m *ir.Module, cfg Config) (*Report, error) {
 	// invalidation), and is pointless below two functions.
 	prewarmTypes(m, funcs)
 	mergeWorkers := cfg.MergeWorkers
+	// Speculation exists to use CPUs the sequential committer leaves
+	// idle; the committer replays every alignment either way. With no
+	// spare parallelism the workers only time-slice the committer's
+	// CPU — cloning and demoting pairs whose cached alignments arrive
+	// no sooner — so the pool is capped to the spare Ps. Capping never
+	// affects the Report (speculation is outcome-neutral by
+	// construction), only wall clock and volatile cache counters.
+	if spare := runtime.GOMAXPROCS(0) - 1; mergeWorkers-1 > spare {
+		mergeWorkers = spare + 1
+	}
 	var spec *specEngine
 	if mergeWorkers > 1 && cfg.Hotness == nil && cfg.MergeOpts.Index != nil && len(funcs) > 1 {
 		spec = newSpecEngine(m, funcs, sigs, ix, cfg.MergeOpts.AlignCache,

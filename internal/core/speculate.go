@@ -105,6 +105,13 @@ type specEngine struct {
 	// tell whether a commit consumed v's predicted partner.
 	specCand []atomic.Int32
 
+	// gen[v] counts how many times victim v's speculation has been
+	// invalidated. Workers snapshot it when they claim v and compare
+	// before cloning: a mismatch means a commit already invalidated (and
+	// re-queued) this claim, so the clone work would be thrown away —
+	// the fresh requeue entry carries the new generation.
+	gen []atomic.Uint32
+
 	// queued[v] guards against duplicate requeue entries per victim.
 	queued  []atomic.Bool
 	requeue chan int32
@@ -115,7 +122,15 @@ type specEngine struct {
 
 	speculated *obs.Counter
 	requeued   *obs.Counter
+	staleSkips *obs.Counter
 	busy       *obs.Gauge
+}
+
+// specTask is one claimed unit of speculative work: a victim plus the
+// invalidation generation observed at claim time.
+type specTask struct {
+	v   int32
+	gen uint32
 }
 
 // newSpecEngine starts workers speculative goroutines over the ranked
@@ -132,6 +147,7 @@ func newSpecEngine(m *ir.Module, funcs []*ir.Function, sigs []fingerprint.MinHas
 		threshold: threshold,
 		merged:    make([]atomic.Bool, len(funcs)),
 		specCand:  make([]atomic.Int32, len(funcs)),
+		gen:       make([]atomic.Uint32, len(funcs)),
 		queued:    make([]atomic.Bool, len(funcs)),
 		requeue:   make(chan int32, len(funcs)),
 		quit:      make(chan struct{}),
@@ -145,6 +161,7 @@ func newSpecEngine(m *ir.Module, funcs []*ir.Function, sigs []fingerprint.MinHas
 	e.frontier.Store(-1)
 	e.speculated = mx.VolatileCounter("merge.speculated")
 	e.requeued = mx.VolatileCounter("merge.requeued")
+	e.staleSkips = mx.VolatileCounter("merge.speculate_stale_skips")
 	e.busy = mx.VolatileGauge("pool.speculate.busy_ns")
 	mx.VolatileGauge("pool.speculate.workers").Set(float64(workers))
 	e.wg.Add(workers)
@@ -209,6 +226,7 @@ func (e *specEngine) afterCommit(a, b int, touched []*ir.Function) {
 			continue
 		}
 		e.specCand[v].Store(-1)
+		e.gen[v].Add(1) // outstanding claims for v are now stale
 		if !e.queued[v].CompareAndSwap(false, true) {
 			continue // already awaiting re-speculation
 		}
@@ -225,10 +243,16 @@ func (e *specEngine) afterCommit(a, b int, touched []*ir.Function) {
 
 // worker is one speculative goroutine: it claims batches of victims —
 // invalidated re-queues first, then fresh indices — and pre-aligns each
-// against its top-ranked candidates in a private scratch module.
+// against its top-ranked candidates in a private scratch module. The
+// scratch module and clone arena live for the worker's whole run:
+// clones draw their blocks and instructions from the arena's freelists
+// and return them after each attempt, and the module's name tables are
+// Reset between batches, so steady-state speculation allocates almost
+// nothing per attempt.
 func (e *specEngine) worker(wid int) {
 	defer e.wg.Done()
 	scratch := ir.NewModuleInCtx("spec.w"+strconv.Itoa(wid), e.ctx)
+	arena := ir.NewCloneArena()
 	for {
 		select {
 		case <-e.quit:
@@ -240,24 +264,31 @@ func (e *specEngine) worker(wid int) {
 			return
 		}
 		t0 := time.Now()
-		for _, v := range batch {
-			e.speculate(scratch, v)
+		for _, task := range batch {
+			e.speculate(scratch, arena, task)
 		}
+		scratch.Reset()
 		e.busy.Add(float64(time.Since(t0)))
 	}
 }
 
-// nextBatch assembles up to specBatch victim indices, preferring
-// invalidated re-queues over fresh cursor work, and blocks when neither
-// is available. A nil return means shutdown.
-func (e *specEngine) nextBatch() []int32 {
-	batch := make([]int32, 0, specBatch)
+// nextBatch assembles up to specBatch victims, preferring invalidated
+// re-queues over fresh cursor work, and blocks when neither is
+// available. Each claim snapshots the victim's invalidation generation
+// (after clearing queued[], so a concurrent invalidation either bumps
+// the generation we read or lands in the requeue channel). A nil return
+// means shutdown.
+func (e *specEngine) nextBatch() []specTask {
+	batch := make([]specTask, 0, specBatch)
+	claim := func(v int32) {
+		e.queued[v].Store(false)
+		batch = append(batch, specTask{v: v, gen: e.gen[v].Load()})
+	}
 drain:
 	for len(batch) < specBatch {
 		select {
 		case v := <-e.requeue:
-			e.queued[v].Store(false)
-			batch = append(batch, v)
+			claim(v)
 		default:
 			break drain
 		}
@@ -268,31 +299,45 @@ drain:
 		if v >= n {
 			break
 		}
-		batch = append(batch, int32(v))
+		batch = append(batch, specTask{v: int32(v), gen: e.gen[v].Load()})
 	}
 	if len(batch) > 0 {
 		return batch
 	}
 	select {
 	case v := <-e.requeue:
-		e.queued[v].Store(false)
-		return []int32{v}
+		claim(v)
+		return batch
 	case <-e.quit:
 		return nil
 	}
 }
 
-// speculate pre-aligns victim v against its current top-k candidates:
-// peek the index and clone the functions under the read lock, then do
-// the expensive pure work — RegToMem plus the merge attempt's exact
-// alignment workload — outside it, filling the shared cache.
-func (e *specEngine) speculate(scratch *ir.Module, v int32) {
+// speculate pre-aligns the task's victim against its current top-k
+// candidates: peek the index and clone the functions under the read
+// lock, then do the expensive pure work — RegToMem plus the merge
+// attempt's exact alignment workload — outside it, filling the shared
+// cache. A claim whose generation a commit has since invalidated is
+// dropped before any cloning happens — the requeue entry that the
+// invalidation enqueued carries the work instead.
+func (e *specEngine) speculate(scratch *ir.Module, arena *ir.CloneArena, task specTask) {
+	v := task.v
+	if e.gen[v].Load() != task.gen {
+		e.staleSkips.Inc()
+		return
+	}
 	if int64(v) <= e.frontier.Load() || e.merged[v].Load() {
 		return
 	}
 	e.mu.RLock()
 	if e.merged[v].Load() {
 		e.mu.RUnlock()
+		return
+	}
+	if e.gen[v].Load() != task.gen {
+		// Invalidated between the lock-free check and lock acquisition.
+		e.mu.RUnlock()
+		e.staleSkips.Inc()
 		return
 	}
 	accept := func(id int) bool { return !e.merged[id].Load() }
@@ -302,21 +347,23 @@ func (e *specEngine) speculate(scratch *ir.Module, v int32) {
 		return
 	}
 	e.specCand[v].Store(int32(cands[0].ID))
-	cv := ir.CloneFunc(scratch, e.funcs[v], scratch.UniqueFuncName("spec.v"))
+	cv := arena.CloneFunc(scratch, e.funcs[v], scratch.UniqueFuncName("spec.v"))
 	ccs := make([]*ir.Function, len(cands))
 	for i, c := range cands {
-		ccs[i] = ir.CloneFunc(scratch, e.funcs[c.ID], scratch.UniqueFuncName("spec.c"))
+		ccs[i] = arena.CloneFunc(scratch, e.funcs[c.ID], scratch.UniqueFuncName("spec.c"))
 	}
 	e.mu.RUnlock()
 
-	passes.RegToMem(cv)
+	passes.RegToMemIn(cv, arena)
 	for _, cc := range ccs {
-		passes.RegToMem(cc)
+		passes.RegToMemIn(cc, arena)
 		align.WarmPair(e.cache, cv, cc, e.minRatio)
 		scratch.RemoveFunc(cc)
+		arena.Recycle(cc)
 		e.speculated.Inc()
 	}
 	scratch.RemoveFunc(cv)
+	arena.Recycle(cv)
 }
 
 // prewarmTypes interns, in one deterministic sweep, every derived type

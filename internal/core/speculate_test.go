@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -11,6 +12,16 @@ import (
 	"f3m/internal/merge"
 	"f3m/internal/obs"
 )
+
+// withParallelism raises GOMAXPROCS for the duration of a test so the
+// pipeline's spare-CPU cap (see Config.MergeWorkers) does not silently
+// skip the speculative pool on single-CPU hosts — these tests must
+// exercise the engine's concurrency wherever they run.
+func withParallelism(t *testing.T, n int) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
 
 // reportKey renders every schedule-independent field of a report into
 // one comparable string: the pair log (without wall-clock durations),
@@ -43,11 +54,26 @@ func metricsJSON(t *testing.T, mx *obs.Metrics) string {
 	return sb.String()
 }
 
+// detGenConfigs returns the corpora the determinism tests sweep: the
+// default population plus a long-straightline variant whose blocks
+// clear the banded aligner's minimum length, so the byte-identical
+// contract is proven through the fast path as well as the full DP.
+func detGenConfigs(seed int64) []irgen.Config {
+	long := irgen.DefaultConfig(seed)
+	long.Families = 8
+	long.Singletons = 10
+	long.BlocksMin, long.BlocksMax = 2, 4
+	long.InstrsMin, long.InstrsMax = 30, 60
+	long.MutationMax = 0.2
+	long.Callers = 4
+	return []irgen.Config{irgen.DefaultConfig(seed), long}
+}
+
 // runDetRun executes one pipeline run on a freshly generated module
 // with strict checks and a metrics registry.
-func runDetRun(t *testing.T, strat Strategy, seed int64, mergeWorkers int) (*Report, string) {
+func runDetRun(t *testing.T, strat Strategy, gen irgen.Config, mergeWorkers int) (*Report, string) {
 	t.Helper()
-	m := irgen.Generate(irgen.DefaultConfig(seed)).Module
+	m := irgen.Generate(gen).Module
 	cfg := DefaultConfig(strat)
 	cfg.MergeWorkers = mergeWorkers
 	cfg.Check = CheckStrict
@@ -67,24 +93,34 @@ func runDetRun(t *testing.T, strat Strategy, seed int64, mergeWorkers int) (*Rep
 // statistics, strict-mode Diagnostics — and the deterministic metrics
 // export must be byte-identical for every MergeWorkers setting.
 func TestMergeWorkersDeterminism(t *testing.T) {
+	withParallelism(t, 8)
+	bandedBefore := align.BandedHits()
 	for _, strat := range []Strategy{F3MStatic, F3MAdaptive} {
 		for _, seed := range []int64{42, 103} {
-			rep1, json1 := runDetRun(t, strat, seed, 1)
-			key1 := reportKey(t, rep1)
-			if rep1.Merges == 0 {
-				t.Fatalf("%v seed %d: baseline merged nothing; test is vacuous", strat, seed)
-			}
-			for _, mw := range []int{2, 8} {
-				rep, json := runDetRun(t, strat, seed, mw)
-				if key := reportKey(t, rep); key != key1 {
-					t.Errorf("%v seed %d: report differs at MergeWorkers=%d:\n--- mw=1 ---\n%s\n--- mw=%d ---\n%s",
-						strat, seed, mw, key1, mw, key)
+			for gi, gen := range detGenConfigs(seed) {
+				rep1, json1 := runDetRun(t, strat, gen, 1)
+				key1 := reportKey(t, rep1)
+				if rep1.Merges == 0 {
+					t.Fatalf("%v seed %d gen %d: baseline merged nothing; test is vacuous", strat, seed, gi)
 				}
-				if json != json1 {
-					t.Errorf("%v seed %d: deterministic metrics JSON differs at MergeWorkers=%d", strat, seed, mw)
+				for _, mw := range []int{2, 8} {
+					rep, json := runDetRun(t, strat, gen, mw)
+					if key := reportKey(t, rep); key != key1 {
+						t.Errorf("%v seed %d gen %d: report differs at MergeWorkers=%d:\n--- mw=1 ---\n%s\n--- mw=%d ---\n%s",
+							strat, seed, gi, mw, key1, mw, key)
+					}
+					if json != json1 {
+						t.Errorf("%v seed %d gen %d: deterministic metrics JSON differs at MergeWorkers=%d", strat, seed, gi, mw)
+					}
 				}
 			}
 		}
+	}
+	// The determinism contract must hold *through* the banded aligner,
+	// not around it: if the fast path never fired over this corpus the
+	// byte-identical comparison above proved nothing about it.
+	if align.BandedHits() == bandedBefore {
+		t.Error("banded fast path never engaged across the determinism corpus; banded coverage is vacuous")
 	}
 }
 
@@ -133,6 +169,7 @@ func addTupleDrivers(m *ir.Module, salts []int64) []string {
 // rewritten call sites — still computes what the unmerged reference
 // module computes.
 func TestSpeculativeDifferential(t *testing.T) {
+	withParallelism(t, 8)
 	salts := []int64{0, 5, -7, 95}
 	gcfg := irgen.DefaultConfig(7)
 	gcfg.Callers = 0
@@ -320,7 +357,8 @@ func TestSpecInvalidationRequeue(t *testing.T) {
 // reject each one and recompute, leaving the report byte-identical to
 // a clean run and the strict checks silent.
 func TestCachePoisonIllFormed(t *testing.T) {
-	cleanRep, _ := runDetRun(t, F3MStatic, 42, 1)
+	withParallelism(t, 8)
+	cleanRep, _ := runDetRun(t, F3MStatic, irgen.DefaultConfig(42), 1)
 	cleanKey := reportKey(t, cleanRep)
 
 	m := irgen.Generate(irgen.DefaultConfig(42)).Module
@@ -357,6 +395,7 @@ func TestCachePoisonIllFormed(t *testing.T) {
 // shift, but the merger's own operand re-verification must keep the
 // module valid and semantics intact.
 func TestCachePoisonWellFormed(t *testing.T) {
+	withParallelism(t, 8)
 	gcfg := irgen.DefaultConfig(42)
 	gcfg.Callers = 0
 	ref := irgen.Generate(gcfg).Module
@@ -404,6 +443,7 @@ func TestCachePoisonWellFormed(t *testing.T) {
 // this asserts the cache is live and consistent rather than a specific
 // speculation count.
 func TestSpeculationWarmsCache(t *testing.T) {
+	withParallelism(t, 8)
 	m := irgen.Generate(irgen.DefaultConfig(42)).Module
 	cch := align.NewCache(0)
 	cfg := DefaultConfig(F3MStatic)
@@ -423,5 +463,39 @@ func TestSpeculationWarmsCache(t *testing.T) {
 	}
 	if st.Rejects != 0 {
 		t.Errorf("cache stats %+v: spurious validation rejects", st)
+	}
+}
+
+// TestSpeculateStaleSkip pins the cheap-out added for invalidated
+// claims: a task whose generation snapshot no longer matches the
+// victim's current generation must be dropped before any cloning or
+// alignment work, counted under merge.speculate_stale_skips.
+func TestSpeculateStaleSkip(t *testing.T) {
+	m, fa, fb := staleFixture(t)
+	mx := obs.NewMetrics()
+	e := newSpecEngine(m, []*ir.Function{fa, fb}, nil, nil, nil, 0, 0.5, 0, mx)
+	defer e.stop()
+
+	scratch := ir.NewModuleInCtx("spec.test", m.Ctx)
+	arena := ir.NewCloneArena()
+
+	// A commit invalidated victim 0 after the claim snapshotted gen 0.
+	e.gen[0].Store(1)
+	e.speculate(scratch, arena, specTask{v: 0, gen: 0})
+
+	if got := mx.CounterValue("merge.speculate_stale_skips"); got != 1 {
+		t.Errorf("merge.speculate_stale_skips = %d, want 1", got)
+	}
+	if got := mx.CounterValue("merge.speculated"); got != 0 {
+		t.Errorf("merge.speculated = %d, want 0: stale task must not reach the alignment stage", got)
+	}
+
+	// A current-generation claim for an already-merged victim is not a
+	// stale skip — that cheap-out predates the generation check and has
+	// its own accounting (none).
+	e.merged[1].Store(true)
+	e.speculate(scratch, arena, specTask{v: 1, gen: 0})
+	if got := mx.CounterValue("merge.speculate_stale_skips"); got != 1 {
+		t.Errorf("merged-victim skip miscounted as stale: counter = %d, want 1", got)
 	}
 }

@@ -24,11 +24,20 @@ func FreqFunc(f *ir.Function) *FreqVector {
 // HyFM's block-level alignment ranks block pairs with these.
 func FreqBlock(b *ir.Block) *FreqVector {
 	var v FreqVector
+	FreqBlockInto(b, &v)
+	return &v
+}
+
+// FreqBlockInto fills v with the opcode-frequency fingerprint of b,
+// overwriting previous contents. Callers that score many blocks use it
+// to keep the vectors in a reusable backing array instead of
+// allocating one per block.
+func FreqBlockInto(b *ir.Block, v *FreqVector) {
+	*v = FreqVector{}
 	for _, in := range b.Instrs {
 		v.Counts[in.Op]++
 		v.Total++
 	}
-	return &v
 }
 
 // Distance is the Manhattan (L1) distance between the two count

@@ -1,0 +1,108 @@
+package fingerprint
+
+import "sync"
+
+// Seq is an interned encoded instruction sequence: a stable handle the
+// alignment cache keys on, so a lookup compares two 32-bit ids instead
+// of copying both sequences into a string. Handles are canonical within
+// their Interner — equal sequences intern to the same *Seq — and the id
+// is never reused, even across capacity resets, so two live handles
+// with equal ids always carry equal sequences.
+type Seq struct {
+	id  uint32
+	enc []Encoded
+}
+
+// ID returns the handle's dense identifier.
+func (s *Seq) ID() uint32 { return s.id }
+
+// Enc returns the interned sequence. Callers must treat it as
+// read-only; it is shared by every holder of the handle.
+func (s *Seq) Enc() []Encoded { return s.enc }
+
+// Interner deduplicates encoded sequences. Lookups hash the sequence
+// (FNV-1a over the raw words) and verify candidates by full
+// element-wise comparison, so a hash collision can never alias two
+// different sequences to one handle. Safe for concurrent use.
+type Interner struct {
+	mu      sync.Mutex
+	buckets map[uint64][]*Seq
+	count   int
+	max     int
+	next    uint32
+}
+
+// DefaultInternerEntries is the sequence cap NewInterner applies when
+// given a non-positive size.
+const DefaultInternerEntries = 1 << 15
+
+// NewInterner returns an empty interner holding at most max distinct
+// sequences; at the cap the table is cleared wholesale, like the
+// alignment cache's eviction. Stale handles stay usable — they keep
+// their sequence — they just stop being canonical, which downstream
+// cache keys tolerate (a non-canonical handle only costs a miss).
+func NewInterner(max int) *Interner {
+	if max <= 0 {
+		max = DefaultInternerEntries
+	}
+	return &Interner{buckets: make(map[uint64][]*Seq), max: max}
+}
+
+// Intern returns the canonical handle for enc, copying the sequence
+// only on first sight. The hit path performs zero allocations.
+func (it *Interner) Intern(enc []Encoded) *Seq {
+	h := hashSeq(enc)
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	for _, s := range it.buckets[h] {
+		if encEqual(s.enc, enc) {
+			return s
+		}
+	}
+	if it.count >= it.max {
+		it.buckets = make(map[uint64][]*Seq)
+		it.count = 0
+	}
+	s := &Seq{id: it.next, enc: append([]Encoded(nil), enc...)}
+	it.next++ // monotonic: ids survive table resets un-aliased
+	it.buckets[h] = append(it.buckets[h], s)
+	it.count++
+	return s
+}
+
+// Len returns how many sequences the current table holds.
+func (it *Interner) Len() int {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	return it.count
+}
+
+// hashSeq is FNV-1a over the sequence words, byte-for-byte equivalent
+// to hashing the little-endian serialization the old string keys used.
+func hashSeq(enc []Encoded) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, e := range enc {
+		v := uint32(e)
+		h = (h ^ uint64(v&0xff)) * prime64
+		h = (h ^ uint64(v>>8&0xff)) * prime64
+		h = (h ^ uint64(v>>16&0xff)) * prime64
+		h = (h ^ uint64(v>>24&0xff)) * prime64
+	}
+	return h
+}
+
+func encEqual(a, b []Encoded) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

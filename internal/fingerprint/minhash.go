@@ -156,8 +156,27 @@ func (m MinHash) Jaccard(o MinHash) float64 {
 	if len(m) != len(o) || len(m) == 0 {
 		return 0
 	}
+	// Four-way unrolled equality count: this comparison is the inner
+	// loop of candidate ranking (one call per bucket candidate), and the
+	// explicit slicing drops the per-lane bounds checks.
 	eq := 0
-	for i := range m {
+	i := 0
+	for ; i+4 <= len(m); i += 4 {
+		a, b := m[i:i+4:i+4], o[i:i+4:i+4]
+		if a[0] == b[0] {
+			eq++
+		}
+		if a[1] == b[1] {
+			eq++
+		}
+		if a[2] == b[2] {
+			eq++
+		}
+		if a[3] == b[3] {
+			eq++
+		}
+	}
+	for ; i < len(m); i++ {
 		if m[i] == o[i] {
 			eq++
 		}

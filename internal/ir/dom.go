@@ -1,103 +1,284 @@
 package ir
 
+import (
+	"sync"
+	"sync/atomic"
+)
+
 // DomTree is a dominator tree over a function's CFG, built with the
 // Cooper–Harvey–Kennedy iterative algorithm. Blocks unreachable from the
 // entry have no dominator information and Dominates reports false for
 // them.
+//
+// Internally every block gets a dense index and all per-block state
+// lives in int32 slices; the merge pipeline rebuilds dominator trees
+// constantly (RepairSSA iterates to a fixed point, SimplifyCFG per
+// round), so the representation avoids the per-block map and slice
+// allocations a pointer-keyed layout would pay. Block indices are
+// cached on the blocks themselves under a global generation stamp, so
+// queries do not hash pointers either; transient trees should be
+// returned with Release so their slices are reused by the next build.
 type DomTree struct {
-	fn    *Function
-	idom  map[*Block]*Block
-	order map[*Block]int // reverse postorder number
+	fn     *Function
+	gen    uint64   // stamp identifying this tree's block indices
+	blocks []*Block // dense index -> block (function block order)
+
+	rpoNum []int32 // reverse-postorder number; -1 for unreachable blocks
+	idom   []int32 // immediate dominator index; -1 for unreachable, self for entry
 
 	// num/last give each block an interval in a preorder walk of the
 	// dominator tree, making Dominates O(1).
-	num  map[*Block]int
-	last map[*Block]int
+	num, last []int32
+
+	// Predecessor lists in CSR form (offsets into predList), shared by
+	// the CHK iteration and Frontier.
+	predOff  []int32
+	predList []int32
+
+	// Construction scratch, kept so Release/NewDomTree cycles reuse it.
+	flat      []int32
+	rpo       []int32
+	state     []int8
+	stack     []domFrame
+	fill      []int32
+	childList []int32
+	childFill []int32
+}
+
+type domFrame struct {
+	b    int32
+	succ int
+}
+
+// domGenCounter hands out one fresh generation per tree, never reused,
+// so a stale stamp on a block can never alias a live tree's index.
+var domGenCounter atomic.Uint64
+
+var domPool = sync.Pool{New: func() any { return new(DomTree) }}
+
+// Release returns a tree's storage to the build pool. The tree must not
+// be used afterwards. Long-lived trees (analysis caches) simply skip
+// this; only the per-pass transient trees bother.
+func (t *DomTree) Release() {
+	t.fn = nil
+	t.blocks = nil
+	domPool.Put(t)
+}
+
+// grow returns s resized to n, reallocating only when capacity is
+// short; contents are unspecified.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// indexOf resolves a block to its dense index, or -1 when the block is
+// not part of the tree. The stamp fast path is pure cache: when a newer
+// tree has restamped the block, the slow scan recovers the answer.
+func (t *DomTree) indexOf(b *Block) int32 {
+	if b.domGen == t.gen {
+		return b.domIdx
+	}
+	for i, blk := range t.blocks {
+		if blk == b {
+			return int32(i)
+		}
+	}
+	return -1
 }
 
 // NewDomTree computes the dominator tree of f.
 func NewDomTree(f *Function) *DomTree {
-	t := &DomTree{
-		fn:    f,
-		idom:  make(map[*Block]*Block),
-		order: make(map[*Block]int),
-		num:   make(map[*Block]int),
-		last:  make(map[*Block]int),
-	}
-	if len(f.Blocks) == 0 {
+	nb := len(f.Blocks)
+	t := domPool.Get().(*DomTree)
+	t.fn = f
+	t.gen = domGenCounter.Add(1)
+	t.blocks = f.Blocks
+	if nb == 0 {
 		return t
 	}
-	entry := f.Entry()
+	for i, b := range f.Blocks {
+		b.domIdx = int32(i)
+		b.domGen = t.gen
+	}
+	t.flat = grow(t.flat, 4*nb)
+	flat := t.flat
+	t.rpoNum, t.idom = flat[:nb:nb], flat[nb:2*nb:2*nb]
+	t.num, t.last = flat[2*nb:3*nb:3*nb], flat[3*nb:4*nb:4*nb]
+	for i := range t.rpoNum {
+		t.rpoNum[i] = -1
+		t.idom[i] = -1
+	}
 
-	// Reverse postorder over reachable blocks.
-	var rpo []*Block
-	seen := make(map[*Block]bool)
-	var dfs func(*Block)
-	dfs = func(b *Block) {
-		seen[b] = true
-		for _, s := range b.Succs() {
-			if !seen[s] {
-				dfs(s)
+	// Iterative postorder DFS from the entry; rpo holds block indices in
+	// reverse postorder when done.
+	rpo := grow(t.rpo, nb)[:0]
+	state := grow(t.state, nb)
+	for i := range state {
+		state[i] = 0 // 0 unvisited, 1 on stack, 2 done
+	}
+	stack := grow(t.stack, nb)[:0]
+	stack = append(stack, domFrame{b: 0})
+	state[0] = 1
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		term := t.blocks[fr.b].Term()
+		advanced := false
+		for term != nil && fr.succ < term.NumSuccessors() {
+			s := term.Successor(fr.succ).domIdx
+			fr.succ++
+			if state[s] == 0 {
+				state[s] = 1
+				stack = append(stack, domFrame{b: s})
+				advanced = true
+				break
 			}
 		}
-		rpo = append(rpo, b)
+		if advanced {
+			continue
+		}
+		state[fr.b] = 2
+		rpo = append(rpo, fr.b)
+		stack = stack[:len(stack)-1]
 	}
-	dfs(entry)
+	t.rpo, t.state, t.stack = rpo, state, stack
 	for i, j := 0, len(rpo)-1; i < j; i, j = i+1, j-1 {
 		rpo[i], rpo[j] = rpo[j], rpo[i]
 	}
 	for i, b := range rpo {
-		t.order[b] = i
+		t.rpoNum[b] = int32(i)
 	}
 
-	preds := f.Preds()
-	t.idom[entry] = entry
+	// Predecessor lists in CSR layout, filled in function block order so
+	// the per-block pred order matches what Function.Preds produces (the
+	// frontier walk order, and with it phi placement order, depends on
+	// it). Edges from unreachable blocks are included here and filtered
+	// by the consumers, again matching the map-based implementation.
+	t.predOff = grow(t.predOff, nb+1)
+	for i := range t.predOff {
+		t.predOff[i] = 0
+	}
+	for _, blk := range t.blocks {
+		term := blk.Term()
+		if term == nil {
+			continue
+		}
+		for i, ns := 0, term.NumSuccessors(); i < ns; i++ {
+			t.predOff[term.Successor(i).domIdx+1]++
+		}
+	}
+	for i := 0; i < nb; i++ {
+		t.predOff[i+1] += t.predOff[i]
+	}
+	t.predList = grow(t.predList, int(t.predOff[nb]))
+	fill := grow(t.fill, nb)
+	copy(fill, t.predOff[:nb])
+	for bi, blk := range t.blocks {
+		term := blk.Term()
+		if term == nil {
+			continue
+		}
+		for i, ns := 0, term.NumSuccessors(); i < ns; i++ {
+			s := term.Successor(i).domIdx
+			t.predList[fill[s]] = int32(bi)
+			fill[s]++
+		}
+	}
+	t.fill = fill
+
+	t.idom[0] = 0
 	for changed := true; changed; {
 		changed = false
 		for _, b := range rpo[1:] {
-			var newIdom *Block
-			for _, p := range preds[b] {
-				if t.idom[p] == nil {
-					continue // unreachable or not yet processed
+			newIdom := int32(-1)
+			for _, p := range t.predList[t.predOff[b]:t.predOff[b+1]] {
+				if t.idom[p] < 0 {
+					continue // not yet processed
 				}
-				if newIdom == nil {
+				if newIdom < 0 {
 					newIdom = p
 				} else {
 					newIdom = t.intersect(p, newIdom)
 				}
 			}
-			if newIdom != nil && t.idom[b] != newIdom {
+			if newIdom >= 0 && t.idom[b] != newIdom {
 				t.idom[b] = newIdom
 				changed = true
 			}
 		}
 	}
 
-	// Number the dominator tree for O(1) queries.
-	children := make(map[*Block][]*Block)
+	// Number the dominator tree for O(1) queries. Children lists reuse
+	// the CSR trick: count, prefix-sum, fill — all in rpo order, which
+	// matches the recursive walk the map-based implementation did.
+	childOff := fill // recycle: fill's job is done
+	for i := range childOff {
+		childOff[i] = 0
+	}
 	for _, b := range rpo[1:] {
-		children[t.idom[b]] = append(children[t.idom[b]], b)
+		childOff[t.idom[b]]++
 	}
-	n := 0
-	var walk func(*Block)
-	walk = func(b *Block) {
-		t.num[b] = n
-		n++
-		for _, c := range children[b] {
-			walk(c)
+	sum := int32(0)
+	for i := 0; i < nb; i++ {
+		c := childOff[i]
+		childOff[i] = sum
+		sum += c
+	}
+	childList := grow(t.childList, int(sum))
+	childFill := grow(t.childFill, nb)
+	copy(childFill, childOff)
+	for _, b := range rpo[1:] {
+		d := t.idom[b]
+		childList[childFill[d]] = b
+		childFill[d]++
+	}
+	t.childList, t.childFill = childList, childFill
+	childEnd := func(i int32) int32 {
+		if int(i) == nb-1 {
+			return sum
 		}
-		t.last[b] = n
+		return childOff[i+1]
 	}
-	walk(entry)
+	// Preorder walk, iterative.
+	n := int32(0)
+	walk := stack[:0]
+	walk = append(walk, domFrame{b: 0})
+	t.num[0] = n
+	n++
+	for len(walk) > 0 {
+		fr := &walk[len(walk)-1]
+		kids := childList[childOff[fr.b]:childEnd(fr.b)]
+		if fr.succ < len(kids) {
+			c := kids[fr.succ]
+			fr.succ++
+			t.num[c] = n
+			n++
+			walk = append(walk, domFrame{b: c})
+			continue
+		}
+		t.last[fr.b] = n
+		walk = walk[:len(walk)-1]
+	}
+	t.stack = walk
+	// Unreachable blocks keep num == 0 only if they were never walked;
+	// mark them invalid explicitly so Dominates rejects them.
+	for i := range t.num {
+		if t.rpoNum[i] < 0 {
+			t.num[i] = -1
+			t.last[i] = -1
+		}
+	}
 	return t
 }
 
-func (t *DomTree) intersect(a, b *Block) *Block {
+func (t *DomTree) intersect(a, b int32) int32 {
 	for a != b {
-		for t.order[a] > t.order[b] {
+		for t.rpoNum[a] > t.rpoNum[b] {
 			a = t.idom[a]
 		}
-		for t.order[b] > t.order[a] {
+		for t.rpoNum[b] > t.rpoNum[a] {
 			b = t.idom[b]
 		}
 	}
@@ -107,45 +288,56 @@ func (t *DomTree) intersect(a, b *Block) *Block {
 // IDom returns the immediate dominator of b (nil for the entry block or
 // unreachable blocks).
 func (t *DomTree) IDom(b *Block) *Block {
-	d := t.idom[b]
-	if d == b {
+	i := t.indexOf(b)
+	if i < 0 || t.idom[i] < 0 || t.idom[i] == i {
 		return nil
 	}
-	return d
+	return t.blocks[t.idom[i]]
 }
 
 // Reachable reports whether b is reachable from the entry.
 func (t *DomTree) Reachable(b *Block) bool {
-	_, ok := t.idom[b]
-	return ok
+	i := t.indexOf(b)
+	return i >= 0 && t.rpoNum[i] >= 0
 }
 
 // Dominates reports whether a dominates b (reflexively).
 func (t *DomTree) Dominates(a, b *Block) bool {
-	na, oka := t.num[a]
-	nb, okb := t.num[b]
-	if !oka || !okb {
+	ia := t.indexOf(a)
+	ib := t.indexOf(b)
+	if ia < 0 || ib < 0 || t.num[ia] < 0 || t.num[ib] < 0 {
 		return false
 	}
-	return na <= nb && nb < t.last[a]
+	return t.num[ia] <= t.num[ib] && t.num[ib] < t.last[ia]
 }
 
 // Frontier computes the dominance frontier of every reachable block:
 // DF(b) is the set of blocks where b's dominance ends — exactly where
-// SSA construction must place phi nodes for definitions in b.
+// SSA construction must place phi nodes for definitions in b. It reuses
+// the predecessor lists the tree construction already built.
 func (t *DomTree) Frontier() map[*Block][]*Block {
 	df := make(map[*Block][]*Block)
-	preds := t.fn.Preds()
-	for _, b := range t.fn.Blocks {
-		if !t.Reachable(b) || len(preds[b]) < 2 {
+	for ib := range t.blocks {
+		b := int32(ib)
+		if t.rpoNum[b] < 0 {
 			continue
 		}
-		for _, p := range preds[b] {
-			if !t.Reachable(p) {
-				continue
+		preds := t.predList[t.predOff[b]:t.predOff[b+1]]
+		if len(preds) < 2 {
+			continue
+		}
+		for _, p := range preds {
+			if t.rpoNum[p] < 0 {
+				continue // edge from an unreachable block
 			}
-			for runner := p; runner != t.idom[b] && runner != nil; runner = t.IDom(runner) {
-				df[runner] = appendUnique(df[runner], b)
+			for runner := p; runner != t.idom[b] && runner >= 0; {
+				rb := t.blocks[runner]
+				df[rb] = appendUnique(df[rb], t.blocks[b])
+				next := t.idom[runner]
+				if next == runner {
+					break // entry dominates itself; stop
+				}
+				runner = next
 			}
 		}
 	}
@@ -159,6 +351,23 @@ func appendUnique(list []*Block, b *Block) []*Block {
 		}
 	}
 	return append(list, b)
+}
+
+// Children appends the dominator-tree children of b (in reverse
+// postorder of the CFG) to buf and returns it. The result aliases the
+// tree's internal storage only through buf; it stays valid until the
+// tree is Released.
+func (t *DomTree) Children(b *Block, buf []*Block) []*Block {
+	i := t.indexOf(b)
+	if i < 0 || t.rpoNum[i] < 0 {
+		return buf
+	}
+	// After construction t.fill holds the child-list start offsets (it
+	// was recycled as childOff) and t.childFill the end offsets.
+	for _, c := range t.childList[t.fill[i]:t.childFill[i]] {
+		buf = append(buf, t.blocks[c])
+	}
+	return buf
 }
 
 // DominatesInstr reports whether the definition site of def dominates

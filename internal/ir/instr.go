@@ -271,6 +271,67 @@ type Instr struct {
 
 	// Parent is the containing block.
 	Parent *Block
+
+	// mark caches membership in the instruction set most recently
+	// stamped by Function.MarkInstrs (see Marked). Like Block.domGen,
+	// a stale stamp can never match a live generation.
+	mark uint64
+
+	// scratchGen guards scratchCnt and scratchFlag: per-pass scratch
+	// storage addressed by a mark generation, so analyses like DCE can
+	// keep a use counter per instruction without allocating (or
+	// clearing) a map per call. A stale generation reads as zero/false;
+	// writers lazily reset on the first touch of a new generation.
+	scratchGen  uint64
+	scratchCnt  int32
+	scratchFlag bool
+}
+
+// Marked reports whether the instruction carries the mark gen, i.e.
+// was attached to the function when MarkInstrs returned gen and has
+// not been restamped since. Marks are process-global and never
+// reused, so a stale stamp never aliases a newer generation.
+func (in *Instr) Marked(gen uint64) bool { return in.mark == gen }
+
+// scratchReset lazily zeroes the scratch fields when gen is newer than
+// the one they were last written under.
+func (in *Instr) scratchReset(gen uint64) {
+	if in.scratchGen != gen {
+		in.scratchGen = gen
+		in.scratchCnt = 0
+		in.scratchFlag = false
+	}
+}
+
+// ScratchAdd adds d to the instruction's scratch counter for
+// generation gen and returns the new total. The counter starts at zero
+// the first time any scratch accessor touches the instruction under
+// gen, so callers never clear between passes.
+func (in *Instr) ScratchAdd(gen uint64, d int32) int32 {
+	in.scratchReset(gen)
+	in.scratchCnt += d
+	return in.scratchCnt
+}
+
+// ScratchCount reads the scratch counter for generation gen; an
+// instruction never touched under gen reads as zero.
+func (in *Instr) ScratchCount(gen uint64) int32 {
+	if in.scratchGen != gen {
+		return 0
+	}
+	return in.scratchCnt
+}
+
+// ScratchSetFlag sets the scratch flag for generation gen.
+func (in *Instr) ScratchSetFlag(gen uint64, v bool) {
+	in.scratchReset(gen)
+	in.scratchFlag = v
+}
+
+// ScratchFlag reads the scratch flag for generation gen; an
+// instruction never touched under gen reads as false.
+func (in *Instr) ScratchFlag(gen uint64) bool {
+	return in.scratchGen == gen && in.scratchFlag
 }
 
 // Type returns the result type.
@@ -306,24 +367,55 @@ func (in *Instr) CallArgs() []Value {
 }
 
 // Successors returns the successor blocks of a terminator, in operand
-// order. It returns nil for non-terminators.
+// order. It returns nil for non-terminators. The slice is freshly
+// allocated; hot paths (the dominator tree, the CFG cleanups) iterate
+// with NumSuccessors/Successor instead.
 func (in *Instr) Successors() []*Block {
+	n := in.NumSuccessors()
+	if n == 0 {
+		return nil
+	}
+	succs := make([]*Block, n)
+	for i := 0; i < n; i++ {
+		succs[i] = in.Successor(i)
+	}
+	return succs
+}
+
+// NumSuccessors returns how many successor blocks a terminator has
+// (zero for non-terminators, ret and unreachable).
+func (in *Instr) NumSuccessors() int {
 	switch in.Op {
 	case OpBr:
-		return []*Block{in.Operands[0].(*Block)}
+		return 1
 	case OpCondBr:
-		return []*Block{in.Operands[1].(*Block), in.Operands[2].(*Block)}
+		return 2
 	case OpSwitch:
-		succs := []*Block{in.Operands[1].(*Block)}
-		for i := 3; i < len(in.Operands); i += 2 {
-			succs = append(succs, in.Operands[i].(*Block))
+		return 1 + (len(in.Operands)-2)/2
+	case OpInvoke:
+		return 2
+	}
+	return 0
+}
+
+// Successor returns the i'th successor block, in the same operand
+// order Successors uses.
+func (in *Instr) Successor(i int) *Block {
+	switch in.Op {
+	case OpBr:
+		return in.Operands[0].(*Block)
+	case OpCondBr:
+		return in.Operands[i+1].(*Block)
+	case OpSwitch:
+		if i == 0 {
+			return in.Operands[1].(*Block)
 		}
-		return succs
+		return in.Operands[1+2*i].(*Block)
 	case OpInvoke:
 		n := len(in.Operands)
-		return []*Block{in.Operands[n-2].(*Block), in.Operands[n-1].(*Block)}
+		return in.Operands[n-2+i].(*Block)
 	}
-	return nil
+	panic("ir: Successor on " + in.Op.String())
 }
 
 // ReplaceSuccessor rewrites every successor edge from old to new.

@@ -11,6 +11,7 @@ package ir
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -56,6 +57,12 @@ type Type struct {
 	// id is a dense identifier unique within the owning TypeContext,
 	// assigned in interning order. It feeds the instruction encoding.
 	id int
+
+	// ptrTo caches the interned pointer-to-this type, guarded by the
+	// owning context's mutex. Pointer lookups are the hottest interning
+	// path (every EncodeInstr of a call operand, every phi demotion);
+	// the cache turns them into a single pointer read under the lock.
+	ptrTo *Type
 }
 
 // ID returns the dense per-context identifier of the type.
@@ -179,20 +186,29 @@ func (c *TypeContext) intern(t *Type) *Type {
 }
 
 // typeKey builds a structural hash key. Element types are already
-// interned so their ids identify them.
+// interned so their ids identify them. Built with strconv appends into
+// a stack buffer — interning runs on the merge hot path (each merged
+// signature, each demotion's pointer type) and must not pay fmt.
 func typeKey(t *Type) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d:%d:%d", t.Kind, t.Bits, t.Len)
+	var stack [64]byte
+	b := stack[:0]
+	b = strconv.AppendInt(b, int64(t.Kind), 10)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(t.Bits), 10)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(t.Len), 10)
 	if t.Elem != nil {
-		fmt.Fprintf(&b, ":e%d", t.Elem.id)
+		b = append(b, ':', 'e')
+		b = strconv.AppendInt(b, int64(t.Elem.id), 10)
 	}
 	for _, f := range t.Fields {
-		fmt.Fprintf(&b, ":f%d", f.id)
+		b = append(b, ':', 'f')
+		b = strconv.AppendInt(b, int64(f.id), 10)
 	}
 	if t.Variadic {
-		b.WriteString(":v")
+		b = append(b, ':', 'v')
 	}
-	return b.String()
+	return string(b)
 }
 
 // NumTypes returns how many distinct types have been interned.
@@ -215,9 +231,21 @@ func (c *TypeContext) Float(bits int) *Type {
 	return c.intern(&Type{Kind: FloatKind, Bits: bits})
 }
 
-// Pointer returns the pointer type to elem.
+// Pointer returns the pointer type to elem. The first lookup per
+// element interns and caches; later lookups are a pointer read, with
+// no probe allocation and no key construction.
 func (c *TypeContext) Pointer(elem *Type) *Type {
-	return c.intern(&Type{Kind: PointerKind, Elem: elem})
+	c.mu.Lock()
+	if p := elem.ptrTo; p != nil {
+		c.mu.Unlock()
+		return p
+	}
+	c.mu.Unlock()
+	p := c.intern(&Type{Kind: PointerKind, Elem: elem})
+	c.mu.Lock()
+	elem.ptrTo = p
+	c.mu.Unlock()
+	return p
 }
 
 // Array returns the array type [n x elem].

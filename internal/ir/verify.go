@@ -3,7 +3,14 @@ package ir
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
+
+// verifyPool recycles FuncIssues' block set; the instruction set uses
+// MarkInstrs stamps and needs no map at all.
+var verifyPool = sync.Pool{New: func() any {
+	return make(map[*Block]bool, 32)
+}}
 
 // VerifyModule checks every function definition in the module plus the
 // module-level invariants (unique function names, no references to
@@ -88,16 +95,18 @@ func FuncIssues(f *Function) []error {
 		return []error{errors.New("definition has no blocks")}
 	}
 
-	inFunc := make(map[*Instr]bool, f.NumInstrs())
-	blockSet := make(map[*Block]bool, len(f.Blocks))
+	blockSet := verifyPool.Get().(map[*Block]bool)
+	defer verifyPool.Put(blockSet)
+	clear(blockSet)
 	for _, b := range f.Blocks {
 		blockSet[b] = true
-		for _, in := range b.Instrs {
-			inFunc[in] = true
-		}
 	}
+	gen := f.MarkInstrs()
 
-	preds := f.Preds()
+	// Predecessors are only needed for blocks that contain phis, so they
+	// are gathered per such block into a reusable buffer instead of
+	// building the full f.Preds() map for every verification.
+	var predBuf []*Block
 	for _, b := range f.Blocks {
 		if len(b.Instrs) == 0 {
 			errf("block %%%s is empty", b.Nam)
@@ -127,23 +136,48 @@ func FuncIssues(f *Function) []error {
 				}
 			}
 		}
-		// Phi edges must match predecessors exactly.
-		for _, phi := range b.Phis() {
-			have := make(map[*Block]int)
-			for _, ib := range phi.IncomingBlocks {
-				have[ib]++
-			}
-			for _, p := range preds[b] {
-				if have[p] == 0 {
+		// Phi edges must match predecessors exactly. Edge multiplicity is
+		// counted by scanning the incoming list directly — phi fan-in is
+		// small — which also makes the error order deterministic where
+		// the old per-phi map left it to map iteration.
+		phis := b.Phis()
+		if len(phis) > 0 {
+			predBuf = predsInto(f, b, predBuf[:0])
+		}
+		for _, phi := range phis {
+			for _, p := range predBuf {
+				n := 0
+				for _, ib := range phi.IncomingBlocks {
+					if ib == p {
+						n++
+					}
+				}
+				if n == 0 {
 					errf("%%%s: phi %%%s missing incoming edge from %%%s", b.Nam, phi.Nam, p.Nam)
 				}
 			}
-			for ib, n := range have {
+			for i, ib := range phi.IncomingBlocks {
+				first := true
+				for _, prev := range phi.IncomingBlocks[:i] {
+					if prev == ib {
+						first = false
+						break
+					}
+				}
+				if !first {
+					continue // report each distinct incoming block once
+				}
+				n := 0
+				for _, x := range phi.IncomingBlocks {
+					if x == ib {
+						n++
+					}
+				}
 				if n > 1 {
 					errf("%%%s: phi %%%s has %d edges from %%%s", b.Nam, phi.Nam, n, ib.Nam)
 				}
 				found := false
-				for _, p := range preds[b] {
+				for _, p := range predBuf {
 					if p == ib {
 						found = true
 						break
@@ -158,6 +192,7 @@ func FuncIssues(f *Function) []error {
 
 	// SSA dominance: each def dominates each use.
 	dt := NewDomTree(f)
+	defer dt.Release()
 	for _, b := range f.Blocks {
 		if !dt.Reachable(b) {
 			continue // uses in dead code are not checked, as in LLVM
@@ -168,7 +203,7 @@ func FuncIssues(f *Function) []error {
 				if !ok {
 					continue
 				}
-				if !inFunc[def] {
+				if !def.Marked(gen) {
 					errf("%%%s: operand %%%s defined outside function", b.Nam, def.Nam)
 					continue
 				}

@@ -71,13 +71,29 @@ type Index struct {
 	// buckets[band][bandHash] lists ids inserted with that band value.
 	buckets []map[uint32][]int32
 
-	// sigs keeps the inserted fingerprints for candidate scoring.
-	sigs map[int32]fingerprint.MinHash
+	// sigsDense keeps the inserted fingerprints for candidate scoring,
+	// indexed by id for the dense ids the pipeline uses; out-of-range
+	// ids fall back to sigsSparse. A nil entry means "not inserted".
+	// Candidate ranking reads one fingerprint per comparison, so the
+	// dense path avoids a map probe in the hottest loop of the search.
+	sigsDense  []fingerprint.MinHash
+	sigsSparse map[int32]fingerprint.MinHash
 
 	// stamp/gen implement allocation-free per-query dedup for ids in
 	// [0, len(stamp)); other ids fall back to a map.
 	stamp []uint32
 	gen   uint32
+
+	// hashScratch is the reusable band-hash buffer of the sequential
+	// entry points (Insert, Query, Best, BestWhereN). PeekCandidates is
+	// documented safe to run concurrently with itself, so it must not
+	// touch this and hashes into a per-call buffer instead.
+	hashScratch []uint32
+
+	// candScratch/simScratch are BestWhereN's reusable candidate and
+	// similarity buffers; same sequential-only contract as hashScratch.
+	candScratch []int32
+	simScratch  []float64
 
 	// Stats accumulated since construction.
 	stats IndexStats
@@ -104,35 +120,65 @@ func NewIndex(params Params) *Index {
 		buckets[i] = make(map[uint32][]int32)
 	}
 	return &Index{
-		params:  params,
-		buckets: buckets,
-		sigs:    make(map[int32]fingerprint.MinHash),
+		params:     params,
+		buckets:    buckets,
+		sigsSparse: make(map[int32]fingerprint.MinHash),
 	}
 }
 
 // Params returns the index parameters.
 func (ix *Index) Params() Params { return ix.params }
 
-// bandHashes slices the fingerprint into bands and hashes each.
+// bandHashes slices the fingerprint into bands and hashes each, using
+// the index's scratch buffer. Only the single-threaded entry points may
+// call it; concurrent paths use bandHashesInto with their own buffer.
 func (ix *Index) bandHashes(mh fingerprint.MinHash) []uint32 {
+	ix.hashScratch = ix.bandHashesInto(mh, ix.hashScratch)
+	return ix.hashScratch
+}
+
+// bandHashesInto hashes each band of mh into out (grown as needed) and
+// returns it. Bands are hashed directly over the fingerprint slice, so
+// the call allocates only when out is too small.
+func (ix *Index) bandHashesInto(mh fingerprint.MinHash, out []uint32) []uint32 {
 	r, b := ix.params.Rows, ix.params.Bands
 	if len(mh) < r*b {
 		b = len(mh) / r
 	}
-	out := make([]uint32, b)
-	buf := make([]uint32, r)
+	if cap(out) < b {
+		out = make([]uint32, b)
+	}
+	out = out[:b]
 	for i := 0; i < b; i++ {
-		for j := 0; j < r; j++ {
-			buf[j] = mh[i*r+j]
-		}
-		out[i] = fingerprint.Hash32(buf)
+		out[i] = fingerprint.Hash32(mh[i*r : (i+1)*r])
 	}
 	return out
 }
 
+// sig returns the fingerprint inserted under id (nil if absent).
+func (ix *Index) sig(id int32) fingerprint.MinHash {
+	if int(id) < len(ix.sigsDense) && id >= 0 {
+		return ix.sigsDense[id]
+	}
+	return ix.sigsSparse[id]
+}
+
+// setSig records mh under id, growing the dense table for small
+// non-negative ids and falling back to the sparse map otherwise.
+func (ix *Index) setSig(id int32, mh fingerprint.MinHash) {
+	if id >= 0 {
+		for int(id) >= len(ix.sigsDense) {
+			ix.sigsDense = append(ix.sigsDense, nil)
+		}
+		ix.sigsDense[id] = mh
+		return
+	}
+	ix.sigsSparse[id] = mh
+}
+
 // Insert registers fingerprint mh under id.
 func (ix *Index) Insert(id int, mh fingerprint.MinHash) {
-	ix.sigs[int32(id)] = mh
+	ix.setSig(int32(id), mh)
 	for band, h := range ix.bandHashes(mh) {
 		lst := ix.buckets[band][h]
 		if len(lst) == 0 {
@@ -159,65 +205,119 @@ func (ix *Index) Insert(id int, mh fingerprint.MinHash) {
 // BatchInsert must not run concurrently with other Index methods; once
 // it returns the index is ready for (sequential) queries as usual.
 func (ix *Index) BatchInsert(base int, sigs []fingerprint.MinHash, workers int) {
+	if len(sigs) == 0 {
+		return
+	}
 	if workers > len(sigs) {
 		workers = len(sigs)
 	}
-	if workers <= 1 {
-		for i, mh := range sigs {
-			ix.Insert(base+i, mh)
-		}
-		return
+	if base >= 0 && base+len(sigs) > len(ix.sigsDense) && cap(ix.sigsDense) < base+len(sigs) {
+		grown := make([]fingerprint.MinHash, len(ix.sigsDense), base+len(sigs))
+		copy(grown, ix.sigsDense)
+		ix.sigsDense = grown
 	}
 
-	// Phase 1: band hashes, parallel over signatures (disjoint writes).
+	// Phase 1: band hashes, parallel over signatures. All per-signature
+	// buffers are carved from one flat backing array (disjoint regions,
+	// so the parallel writes never touch the same slot).
 	hashes := make([][]uint32, len(sigs))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < len(sigs); i += workers {
-				hashes[i] = ix.bandHashes(sigs[i])
-			}
-		}(w)
+	nb := ix.params.Bands
+	flatH := make([]uint32, len(sigs)*nb)
+	hashSlot := func(i int) []uint32 {
+		return ix.bandHashesInto(sigs[i], flatH[i*nb:i*nb:(i+1)*nb])
 	}
-	wg.Wait()
+	if workers <= 1 {
+		for i := range sigs {
+			hashes[i] = hashSlot(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(sigs); i += workers {
+					hashes[i] = hashSlot(i)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
 
-	// Phase 2: bucket population, parallel over bands. Worker w owns
-	// bands w, w+workers, ... so no band map is touched by two
-	// goroutines, and each scans ids in ascending order.
+	// Phase 2: bucket population, sharded by band so no band map is
+	// touched by two goroutines and each scans ids in ascending order —
+	// the result is byte-identical to sequential Inserts. Each band is
+	// filled in two passes: count the batch's load per bucket, then
+	// carve exact-capacity bucket lists out of one flat array instead of
+	// growing thousands of small slices through append doubling. Lists
+	// are carved with cap == final length, so a later Insert that
+	// appends to one copies out rather than clobbering a neighbour.
 	type partial struct {
 		bucketsUsed, maxLoad int
 	}
-	parts := make([]partial, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			p := &parts[w]
-			for band := w; band < len(ix.buckets); band += workers {
-				bm := ix.buckets[band]
-				for i, hs := range hashes {
-					if band >= len(hs) {
-						continue // short fingerprint: fewer bands
-					}
-					lst := bm[hs[band]]
-					if len(lst) == 0 {
-						p.bucketsUsed++
-					}
-					lst = append(lst, int32(base+i))
-					bm[hs[band]] = lst
-					if len(lst) > p.maxLoad {
-						p.maxLoad = len(lst)
-					}
-				}
+	fillBand := func(band int, cnt map[uint32]int32, p *partial) {
+		clear(cnt)
+		total := int32(0)
+		for _, hs := range hashes {
+			if band >= len(hs) {
+				continue // short fingerprint: fewer bands
 			}
-		}(w)
+			cnt[hs[band]]++
+			total++
+		}
+		if total == 0 {
+			return
+		}
+		bm := ix.buckets[band]
+		if len(bm) == 0 {
+			bm = make(map[uint32][]int32, len(cnt))
+			ix.buckets[band] = bm
+		}
+		flat := make([]int32, total)
+		off := int32(0)
+		for i, hs := range hashes {
+			if band >= len(hs) {
+				continue
+			}
+			h := hs[band]
+			lst, ok := bm[h]
+			if !ok {
+				c := cnt[h]
+				lst = flat[off : off : off+c]
+				off += c
+				p.bucketsUsed++
+			}
+			lst = append(lst, int32(base+i))
+			bm[h] = lst
+			if len(lst) > p.maxLoad {
+				p.maxLoad = len(lst)
+			}
+		}
 	}
-	wg.Wait()
+
+	parts := make([]partial, workers)
+	if workers <= 1 {
+		cnt := make(map[uint32]int32, len(sigs))
+		for band := range ix.buckets {
+			fillBand(band, cnt, &parts[0])
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				cnt := make(map[uint32]int32, len(sigs))
+				for band := w; band < len(ix.buckets); band += workers {
+					fillBand(band, cnt, &parts[w])
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
 
 	for i, mh := range sigs {
-		ix.sigs[int32(base+i)] = mh
+		ix.setSig(int32(base+i), mh)
 	}
 	ix.stats.Inserted += len(sigs)
 	for _, p := range parts {
@@ -233,7 +333,11 @@ func (ix *Index) BatchInsert(base int, sigs []fingerprint.MinHash, workers int) 
 // from the band maps (large-module runs would otherwise accumulate
 // empty slices forever) and BucketsUsed is reconciled.
 func (ix *Index) Remove(id int, mh fingerprint.MinHash) {
-	delete(ix.sigs, int32(id))
+	if id >= 0 && id < len(ix.sigsDense) {
+		ix.sigsDense[id] = nil
+	} else {
+		delete(ix.sigsSparse, int32(id))
+	}
 	for band, h := range ix.bandHashes(mh) {
 		lst := ix.buckets[band][h]
 		for i, v := range lst {
@@ -264,7 +368,9 @@ func (ix *Index) Query(id int, mh fingerprint.MinHash, minSim float64) []Candida
 	cap_ := ix.params.bucketCap()
 	ix.beginQuery(id)
 	var out []Candidate
-	for band, h := range ix.bandHashes(mh) {
+	// Per-call buffer: PeekCandidates runs concurrently with itself and
+	// with sequential queries, so the index scratch is off-limits.
+	for band, h := range ix.bandHashesInto(mh, nil) {
 		lst := ix.buckets[band][h]
 		checked := 0
 		for ci, cand := range lst {
@@ -277,7 +383,7 @@ func (ix *Index) Query(id int, mh fingerprint.MinHash, minSim float64) []Candida
 			}
 			checked++
 			ix.mark(cand)
-			sig := ix.sigs[cand]
+			sig := ix.sig(cand)
 			ix.stats.Comparisons++
 			s := mh.Jaccard(sig)
 			if s >= minSim {
@@ -315,7 +421,9 @@ func (ix *Index) PeekCandidates(id int, mh fingerprint.MinHash, minSim float64, 
 	seen := make(map[int32]struct{}, 64)
 	seen[int32(id)] = struct{}{}
 	var out []Candidate
-	for band, h := range ix.bandHashes(mh) {
+	// Per-call buffer: PeekCandidates runs concurrently with itself and
+	// with sequential queries, so the index scratch is off-limits.
+	for band, h := range ix.bandHashesInto(mh, nil) {
 		lst := ix.buckets[band][h]
 		checked := 0
 		for _, cand := range lst {
@@ -330,7 +438,7 @@ func (ix *Index) PeekCandidates(id int, mh fingerprint.MinHash, minSim float64, 
 			if accept != nil && !accept(int(cand)) {
 				continue
 			}
-			s := mh.Jaccard(ix.sigs[cand])
+			s := mh.Jaccard(ix.sig(cand))
 			if s >= minSim {
 				out = append(out, Candidate{ID: int(cand), Similarity: s})
 			}
@@ -381,7 +489,7 @@ func (ix *Index) BestWhereN(id int, mh fingerprint.MinHash, minSim float64, acce
 
 	// Pass 1 (sequential): dedup and cap accounting select which
 	// candidates get compared, in band order.
-	var cands []int32
+	cands := ix.candScratch[:0]
 	for band, h := range ix.bandHashes(mh) {
 		lst := ix.buckets[band][h]
 		checked := 0
@@ -401,13 +509,17 @@ func (ix *Index) BestWhereN(id int, mh fingerprint.MinHash, minSim float64, acce
 			cands = append(cands, cand)
 		}
 	}
+	ix.candScratch = cands
 	ix.stats.Comparisons += int64(len(cands))
 
 	// Pass 2: similarity per candidate; pure reads, so freely parallel.
-	sims := make([]float64, len(cands))
+	if cap(ix.simScratch) < len(cands) {
+		ix.simScratch = make([]float64, len(cands))
+	}
+	sims := ix.simScratch[:len(cands)]
 	if workers <= 1 || len(cands) < minParallelCompares {
 		for i, cand := range cands {
-			sims[i] = mh.Jaccard(ix.sigs[cand])
+			sims[i] = mh.Jaccard(ix.sig(cand))
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -416,7 +528,7 @@ func (ix *Index) BestWhereN(id int, mh fingerprint.MinHash, minSim float64, acce
 			go func(w int) {
 				defer wg.Done()
 				for i := w; i < len(cands); i += workers {
-					sims[i] = mh.Jaccard(ix.sigs[cands[i]])
+					sims[i] = mh.Jaccard(ix.sig(cands[i]))
 				}
 			}(w)
 		}

@@ -2,6 +2,7 @@ package merge
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"f3m/internal/align"
@@ -17,6 +18,11 @@ type mergeGen struct {
 	ca, cb *ir.Function
 	opts   Options
 
+	// arena supplies block/instruction storage for the merged function.
+	// Discarded attempts — the overwhelming majority — hand it back via
+	// Discard, so codegen mostly reuses prior attempts' objects.
+	arena *ir.CloneArena
+
 	fm  *ir.Function
 	fid ir.Value // i1 function identifier: true selects side A
 
@@ -28,6 +34,12 @@ type mergeGen struct {
 
 	// pend defers operand resolution until every definition is mapped.
 	pend []pendInstr
+
+	// encA/encB/cols are emitPair's per-block scratch, reused across
+	// blocks. The cache interns what it keeps, so the encode buffers
+	// never escape the call.
+	encA, encB []fingerprint.Encoded
+	cols       []column
 
 	// alignDur and codegenDur split the run's wall time into the
 	// alignment and code-generation stages for the paper's breakdowns.
@@ -45,18 +57,44 @@ type pendInstr struct {
 	origA, origB *ir.Instr
 }
 
-func newMergeGen(m *ir.Module, ca, cb *ir.Function, opts Options) *mergeGen {
+// genPool recycles mergeGen state across Pair calls. The value/block
+// remap tables are cleared per use; paramMapA/B escape into the Result
+// and are allocated fresh each time.
+var genPool = sync.Pool{New: func() any {
 	return &mergeGen{
-		m: m, ca: ca, cb: cb, opts: opts,
-		valA: make(map[ir.Value]ir.Value),
-		valB: make(map[ir.Value]ir.Value),
-		blkA: make(map[*ir.Block]*ir.Block),
-		blkB: make(map[*ir.Block]*ir.Block),
-
-		dispatch:  make(map[[2]*ir.Block]*ir.Block),
-		paramMapA: make(map[int]int),
-		paramMapB: make(map[int]int),
+		valA:     make(map[ir.Value]ir.Value, 256),
+		valB:     make(map[ir.Value]ir.Value, 256),
+		blkA:     make(map[*ir.Block]*ir.Block, 32),
+		blkB:     make(map[*ir.Block]*ir.Block, 32),
+		dispatch: make(map[[2]*ir.Block]*ir.Block, 16),
 	}
+}}
+
+func newMergeGen(m *ir.Module, ca, cb *ir.Function, ar *ir.CloneArena, opts Options) *mergeGen {
+	g := genPool.Get().(*mergeGen)
+	g.m, g.ca, g.cb, g.opts, g.arena = m, ca, cb, opts, ar
+	g.paramMapA = make(map[int]int)
+	g.paramMapB = make(map[int]int)
+	g.alignDur, g.codegenDur, g.alignScore = 0, 0, 0
+	return g
+}
+
+// release returns a mergeGen to the pool, clearing everything that
+// would otherwise pin the attempt's IR until the next Get.
+func (g *mergeGen) release() {
+	g.m, g.ca, g.cb, g.fm, g.fid, g.arena = nil, nil, nil, nil, nil, nil
+	g.opts = Options{}
+	g.paramMapA, g.paramMapB = nil, nil
+	clear(g.valA)
+	clear(g.valB)
+	clear(g.blkA)
+	clear(g.blkB)
+	clear(g.dispatch)
+	for i := range g.pend {
+		g.pend[i] = pendInstr{}
+	}
+	g.pend = g.pend[:0]
+	genPool.Put(g)
 }
 
 // alignScoreOf converts the accepted block pairs into the
@@ -125,7 +163,7 @@ func (g *mergeGen) run(name string) (*ir.Function, error) {
 		g.valB[g.cb.Params[bi]] = g.fm.Params[mi]
 	}
 
-	entry := g.fm.NewBlock("entry")
+	entry := g.arena.NewBlock(g.fm, "entry")
 
 	// Pair blocks and pre-create every merged head so terminators can
 	// resolve successors in one pass.
@@ -136,15 +174,15 @@ func (g *mergeGen) run(name string) (*ir.Function, error) {
 	codegenStart := time.Now()
 	defer func() { g.codegenDur = time.Since(codegenStart) }()
 	for _, p := range pairs {
-		head := g.fm.NewBlock(p.A.Name() + "." + p.B.Name())
+		head := g.arena.NewBlock(g.fm, p.A.Name()+"."+p.B.Name())
 		g.blkA[p.A] = head
 		g.blkB[p.B] = head
 	}
 	for _, b := range unA {
-		g.blkA[b] = g.fm.NewBlock(b.Name() + ".a")
+		g.blkA[b] = g.arena.NewBlock(g.fm, b.Name()+".a")
 	}
 	for _, b := range unB {
-		g.blkB[b] = g.fm.NewBlock(b.Name() + ".b")
+		g.blkB[b] = g.arena.NewBlock(g.fm, b.Name()+".b")
 	}
 
 	// Entry dispatch.
@@ -168,10 +206,10 @@ func (g *mergeGen) run(name string) (*ir.Function, error) {
 
 	g.resolveOperands()
 
-	passes.RepairSSA(g.fm)
+	passes.RepairSSAIn(g.fm, g.arena)
 	passes.HoistAllocas(g.fm)
 	if !g.opts.SkipCleanup {
-		passes.Mem2Reg(g.fm)
+		passes.Mem2RegIn(g.fm, g.arena)
 		passes.ElimRedundantPhis(g.fm) // minimal-SSA phis that select nothing
 		passes.ConstFold(g.fm)         // selects over equal values, degenerate conds
 		passes.SimplifyCFG(g.fm)
@@ -205,16 +243,17 @@ func (g *mergeGen) emitSingle(s side, src, dst *ir.Block) {
 	}
 }
 
-// rawCopy duplicates an instruction shell with original operands.
+// rawCopy duplicates an instruction shell with original operands,
+// drawing the object from the arena freelist.
 func (g *mergeGen) rawCopy(in *ir.Instr) *ir.Instr {
-	return &ir.Instr{
-		Op:        in.Op,
-		Ty:        in.Ty,
-		Nam:       g.freshName(in),
-		Predicate: in.Predicate,
-		AllocTy:   in.AllocTy,
-		Operands:  append([]ir.Value(nil), in.Operands...),
-	}
+	ni := g.arena.NewInstr()
+	ni.Op = in.Op
+	ni.Ty = in.Ty
+	ni.Nam = g.freshName(in)
+	ni.Predicate = in.Predicate
+	ni.AllocTy = in.AllocTy
+	ni.Operands = append(ni.Operands[:0], in.Operands...)
+	return ni
 }
 
 func (g *mergeGen) freshName(in *ir.Instr) string {
@@ -257,17 +296,26 @@ func (g *mergeGen) emitPair(p align.BlockPair) {
 	aBody, bBody := aIns[:len(aIns)-1], bIns[:len(bIns)-1]
 
 	// Align the bodies (terminators are handled explicitly below).
-	encA := make([]fingerprint.Encoded, len(aBody))
+	encA := g.encA
+	if cap(encA) < len(aBody) {
+		encA = make([]fingerprint.Encoded, len(aBody))
+	}
+	encA = encA[:len(aBody)]
 	for i, in := range aBody {
 		encA[i] = fingerprint.EncodeInstr(in)
 	}
-	encB := make([]fingerprint.Encoded, len(bBody))
+	encB := g.encB
+	if cap(encB) < len(bBody) {
+		encB = make([]fingerprint.Encoded, len(bBody))
+	}
+	encB = encB[:len(bBody)]
 	for i, in := range bBody {
 		encB[i] = fingerprint.EncodeInstr(in)
 	}
+	g.encA, g.encB = encA, encB
 	entries := g.opts.AlignCache.NW(encA, encB)
 
-	var cols []column
+	cols := g.cols[:0]
 	for _, e := range entries {
 		switch {
 		case e.Matched() && g.compatible(aBody[e.A], bBody[e.B]):
@@ -282,21 +330,22 @@ func (g *mergeGen) emitPair(p align.BlockPair) {
 			cols = append(cols, column{b: bBody[e.B]})
 		}
 	}
+	g.cols = cols
 
 	var gA, gB []*ir.Instr
 	flushGuard := func() {
 		if len(gA) == 0 && len(gB) == 0 {
 			return
 		}
-		cont := g.fm.NewBlock("")
+		cont := g.arena.NewBlock(g.fm, "")
 		tgtA, tgtB := cont, cont
 		if len(gA) > 0 {
-			blkGA := g.fm.NewBlock("")
+			blkGA := g.arena.NewBlock(g.fm, "")
 			g.emitGuardedList(sideA, gA, blkGA, cont)
 			tgtA = blkGA
 		}
 		if len(gB) > 0 {
-			blkGB := g.fm.NewBlock("")
+			blkGB := g.arena.NewBlock(g.fm, "")
 			g.emitGuardedList(sideB, gB, blkGB, cont)
 			tgtB = blkGB
 		}
@@ -325,8 +374,8 @@ func (g *mergeGen) emitPair(p align.BlockPair) {
 		return
 	}
 	// Guarded terminators absorb any pending guarded runs.
-	blkTA := g.fm.NewBlock("")
-	blkTB := g.fm.NewBlock("")
+	blkTA := g.arena.NewBlock(g.fm, "")
+	blkTB := g.arena.NewBlock(g.fm, "")
 	g.emitGuardedList(sideA, append(gA, ta), blkTA, nil)
 	g.emitGuardedList(sideB, append(gB, tb), blkTB, nil)
 	bd := ir.NewBuilder(cur)
@@ -397,7 +446,7 @@ func (g *mergeGen) route(ta, tb *ir.Block) *ir.Block {
 	if d, ok := g.dispatch[key]; ok {
 		return d
 	}
-	d := g.fm.NewBlock("")
+	d := g.arena.NewBlock(g.fm, "")
 	bd := ir.NewBuilder(d)
 	bd.CondBr(g.fid, ta, tb)
 	g.dispatch[key] = d
@@ -479,12 +528,11 @@ func (g *mergeGen) resolveOperands() {
 					ni.Operands[i] = va
 					continue
 				}
-				sel := &ir.Instr{
-					Op:       ir.OpSelect,
-					Ty:       va.Type(),
-					Nam:      g.fm.FreshName("sel"),
-					Operands: []ir.Value{g.fid, va, vb},
-				}
+				sel := g.arena.NewInstr()
+				sel.Op = ir.OpSelect
+				sel.Ty = va.Type()
+				sel.Nam = g.fm.FreshName("sel")
+				sel.Operands = append(sel.Operands[:0], g.fid, va, vb)
 				b := ni.Parent
 				b.InsertAt(b.IndexOf(ni), sel)
 				ni.Operands[i] = sel

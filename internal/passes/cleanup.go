@@ -7,14 +7,19 @@ import (
 // DCE removes instructions that have no side effects and no uses, plus
 // stack slots whose only uses are stores into them. It iterates to a
 // fixed point and returns the number of instructions removed.
+//
+// The use counts and the "only stored to" bit live in the Instr
+// scratch fields keyed by a fresh mark generation per iteration, so the
+// pass allocates nothing: a pooled map here would grow to the largest
+// function ever cleaned and then charge every later call an O(capacity)
+// clear.
 func DCE(f *ir.Function) int {
 	removed := 0
 	for {
-		uses := make(map[*ir.Instr]int)
-		onlyStoredTo := make(map[*ir.Instr]bool)
+		gen := ir.NextMarkGen()
 		f.Instructions(func(in *ir.Instr) {
 			if in.Op == ir.OpAlloca {
-				onlyStoredTo[in] = true
+				in.ScratchSetFlag(gen, true)
 			}
 		})
 		f.Instructions(func(in *ir.Instr) {
@@ -23,10 +28,10 @@ func DCE(f *ir.Function) int {
 				if !ok {
 					continue
 				}
-				uses[def]++
+				def.ScratchAdd(gen, 1)
 				if def.Op == ir.OpAlloca {
 					if !(in.Op == ir.OpStore && i == 1) {
-						onlyStoredTo[def] = false
+						def.ScratchSetFlag(gen, false)
 					}
 				}
 			}
@@ -37,14 +42,14 @@ func DCE(f *ir.Function) int {
 			for _, in := range b.Instrs {
 				dead := false
 				switch {
-				case in.Op == ir.OpAlloca && onlyStoredTo[in]:
+				case in.Op == ir.OpAlloca && in.ScratchFlag(gen):
 					dead = true
 				case in.Op == ir.OpStore:
-					if slot, ok := in.Operands[1].(*ir.Instr); ok && slot.Op == ir.OpAlloca && onlyStoredTo[slot] {
+					if slot, ok := in.Operands[1].(*ir.Instr); ok && slot.Op == ir.OpAlloca && slot.ScratchFlag(gen) {
 						dead = true
 					}
 				case !in.Op.HasSideEffects() && in.Op != ir.OpAlloca:
-					dead = uses[in] == 0 && !in.Ty.IsVoid()
+					dead = in.ScratchCount(gen) == 0 && !in.Ty.IsVoid()
 				}
 				if dead {
 					n++
@@ -132,6 +137,7 @@ func removeUnreachable(f *ir.Function) int {
 			dead = append(dead, b)
 		}
 	}
+	dt.Release()
 	if len(dead) == 0 {
 		return 0
 	}
@@ -220,12 +226,14 @@ func forwardEmptyBlocks(f *ir.Function) int {
 // mergeStraightLine merges b into its unique predecessor when that
 // predecessor unconditionally branches to b and has no other successor.
 func mergeStraightLine(f *ir.Function) int {
-	preds := f.Preds()
 	for _, b := range f.Blocks {
-		if b == f.Entry() || len(preds[b]) != 1 {
+		if b == f.Entry() {
 			continue
 		}
-		p := preds[b][0]
+		p := uniquePredEdge(f, b)
+		if p == nil {
+			continue
+		}
 		t := p.Term()
 		if t == nil || t.Op != ir.OpBr || p == b {
 			continue
@@ -253,4 +261,46 @@ func mergeStraightLine(f *ir.Function) int {
 		return 1 // block list changed; restart scan
 	}
 	return 0
+}
+
+// uniquePredEdge returns the source of b's single incoming edge, or nil
+// when b has zero or multiple incoming edges. Duplicate edges from one
+// predecessor (a cond-br with both targets on b) count separately,
+// matching len(f.Preds()[b]) — without building the pred map.
+// predEdgeCount counts b's incoming CFG edges, with the same duplicate-
+// edge multiplicity as len(f.Preds()[b]) but no pred-map allocation.
+func predEdgeCount(f *ir.Function, b *ir.Block) int {
+	n := 0
+	for _, p := range f.Blocks {
+		t := p.Term()
+		if t == nil {
+			continue
+		}
+		for i, ns := 0, t.NumSuccessors(); i < ns; i++ {
+			if t.Successor(i) == b {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func uniquePredEdge(f *ir.Function, b *ir.Block) *ir.Block {
+	var src *ir.Block
+	for _, p := range f.Blocks {
+		t := p.Term()
+		if t == nil {
+			continue
+		}
+		for i, ns := 0, t.NumSuccessors(); i < ns; i++ {
+			if t.Successor(i) != b {
+				continue
+			}
+			if src != nil {
+				return nil // second incoming edge
+			}
+			src = p
+		}
+	}
+	return src
 }

@@ -1,8 +1,77 @@
 package passes
 
 import (
+	"sync"
+
 	"f3m/internal/ir"
 )
+
+// m2rScratch holds every map and slice Mem2Reg needs, pooled because
+// the merge pipeline runs the pass once per attempted merge. All
+// containers are cleared on release so pooled storage pins no IR.
+type m2rScratch struct {
+	cand      map[*ir.Instr]int
+	candList  []*ir.Instr
+	ok        []bool
+	defBlocks [][]*ir.Block
+	slotList  []*ir.Instr
+	slotDefs  [][]*ir.Block
+	slots     map[*ir.Instr]bool
+	slotIdx   map[*ir.Instr]int
+	phiFor    map[*ir.Instr]*ir.Instr
+	repl      map[ir.Value]ir.Value
+	seenDef   map[*ir.Block]bool
+	placed    map[*ir.Block]bool
+	work      []*ir.Block
+	kids      []*ir.Block
+	stk       [][]ir.Value
+	undo      []int
+}
+
+var m2rPool = sync.Pool{New: func() any {
+	return &m2rScratch{
+		cand:    make(map[*ir.Instr]int, 32),
+		slots:   make(map[*ir.Instr]bool, 32),
+		slotIdx: make(map[*ir.Instr]int, 32),
+		phiFor:  make(map[*ir.Instr]*ir.Instr, 32),
+		repl:    make(map[ir.Value]ir.Value, 64),
+		seenDef: make(map[*ir.Block]bool, 16),
+		placed:  make(map[*ir.Block]bool, 16),
+	}
+}}
+
+func (s *m2rScratch) release() {
+	clear(s.cand)
+	clear(s.slots)
+	clear(s.slotIdx)
+	clear(s.phiFor)
+	clear(s.repl)
+	clear(s.seenDef)
+	clear(s.placed)
+	s.candList = wipe(s.candList)
+	s.slotList = wipe(s.slotList)
+	s.slotDefs = wipe(s.slotDefs)
+	s.work = wipe(s.work)
+	s.kids = wipe(s.kids)
+	s.undo = s.undo[:0]
+	for i := range s.defBlocks {
+		s.defBlocks[i] = wipe(s.defBlocks[i])
+	}
+	for i := range s.stk {
+		s.stk[i] = wipe(s.stk[i])
+	}
+	m2rPool.Put(s)
+}
+
+// wipe zeroes a slice's elements (so recycled storage pins nothing) and
+// returns it truncated to zero length, capacity intact.
+func wipe[T any](s []T) []T {
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	return s[:0]
+}
 
 // Mem2Reg promotes entry-block stack slots whose only uses are
 // same-typed loads and stores back into SSA values, inserting phi nodes
@@ -10,24 +79,100 @@ import (
 // and the demotions performed by RepairSSA, recovering the code size
 // that memory round-trips would otherwise cost the merged function.
 // It returns the number of slots promoted.
-func Mem2Reg(f *ir.Function) int {
+func Mem2Reg(f *ir.Function) int { return Mem2RegIn(f, nil) }
+
+// Mem2RegIn is Mem2Reg drawing inserted phi instructions from ar
+// (which may be nil).
+func Mem2RegIn(f *ir.Function, ar *ir.CloneArena) int {
 	if len(f.Blocks) == 0 {
 		return 0
 	}
 	entry := f.Entry()
+	s := m2rPool.Get().(*m2rScratch)
+	defer s.release()
+
+	// Candidate slots in entry-block order. One pass over the function
+	// then settles promotability and collects def blocks for all of them
+	// at once, instead of re-scanning the function per slot.
+	cand := s.cand
+	candList := s.candList
+	for _, in := range entry.Instrs {
+		if in.Op == ir.OpAlloca && !in.AllocTy.IsAggregate() {
+			cand[in] = len(candList)
+			candList = append(candList, in)
+		}
+	}
+	s.candList = candList
+	if len(candList) == 0 {
+		return 0
+	}
+	for len(s.ok) < len(candList) {
+		s.ok = append(s.ok, false)
+	}
+	ok := s.ok[:len(candList)]
+	for i := range ok {
+		ok[i] = true
+	}
+	for len(s.defBlocks) < len(candList) {
+		s.defBlocks = append(s.defBlocks, nil)
+	}
+	defBlocks := s.defBlocks[:len(candList)]
+	for i := range defBlocks {
+		defBlocks[i] = defBlocks[i][:0]
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for oi, op := range in.Operands {
+				def, isInstr := op.(*ir.Instr)
+				if !isInstr {
+					continue
+				}
+				ci, isCand := cand[def]
+				if !isCand {
+					continue
+				}
+				// A use is fine only as a whole-slot load or a store
+				// *through* (not of) the slot; anything else (GEP, cast,
+				// call, escaping store) blocks promotion.
+				switch in.Op {
+				case ir.OpLoad:
+					if in.Ty != def.AllocTy {
+						ok[ci] = false
+					}
+				case ir.OpStore:
+					if in.Operands[0] == op || in.Operands[1] != op {
+						ok[ci] = false
+					} else if oi == 1 {
+						// All stores in block b are seen consecutively
+						// (the scan is block-major), so deduplication is
+						// a tail check.
+						if n := len(defBlocks[ci]); n == 0 || defBlocks[ci][n-1] != b {
+							defBlocks[ci] = append(defBlocks[ci], b)
+						}
+					}
+				default:
+					ok[ci] = false
+				}
+			}
+		}
+	}
 
 	// slotList keeps the entry-block order: phi placement iterates it so
 	// the phi run of any join block is ordered by slot, not by map
 	// iteration — checkers compare IR structurally and need the output
 	// to be a pure function of the input.
-	slots := make(map[*ir.Instr]bool)
-	var slotList []*ir.Instr
-	for _, in := range entry.Instrs {
-		if in.Op == ir.OpAlloca && promotable(f, in) {
-			slots[in] = true
-			slotList = append(slotList, in)
+	slots := s.slots
+	slotList := s.slotList
+	slotDefs := s.slotDefs
+	for i, in := range candList {
+		if !ok[i] {
+			continue
 		}
+		slots[in] = true
+		slotList = append(slotList, in)
+		slotDefs = append(slotDefs, defBlocks[i])
 	}
+	s.slotList, s.slotDefs = slotList, slotDefs
 	if len(slots) == 0 {
 		return 0
 	}
@@ -35,28 +180,19 @@ func Mem2Reg(f *ir.Function) int {
 	dt := ir.NewDomTree(f)
 	df := dt.Frontier()
 
-	// children of the dominator tree, for the rename walk.
-	children := make(map[*ir.Block][]*ir.Block)
-	for _, b := range f.Blocks {
-		if id := dt.IDom(b); id != nil {
-			children[id] = append(children[id], b)
-		}
-	}
-
 	// Phi placement. phiFor[phi] identifies which slot a synthetic phi
-	// belongs to during renaming.
-	phiFor := make(map[*ir.Instr]*ir.Instr)
-	for _, slot := range slotList {
-		var defBlocks []*ir.Block
-		seenDef := make(map[*ir.Block]bool)
-		f.Instructions(func(in *ir.Instr) {
-			if in.Op == ir.OpStore && in.Operands[1] == ir.Value(slot) && !seenDef[in.Parent] {
-				seenDef[in.Parent] = true
-				defBlocks = append(defBlocks, in.Parent)
-			}
-		})
-		placed := make(map[*ir.Block]bool)
-		work := append([]*ir.Block(nil), defBlocks...)
+	// belongs to during renaming. seenDef/placed are reused across
+	// slots, reseeded per slot.
+	phiFor := s.phiFor
+	for si, slot := range slotList {
+		seenDef := s.seenDef
+		clear(seenDef)
+		for _, b := range slotDefs[si] {
+			seenDef[b] = true
+		}
+		placed := s.placed
+		clear(placed)
+		work := append(s.work[:0], slotDefs[si]...)
 		for len(work) > 0 {
 			b := work[len(work)-1]
 			work = work[:len(work)-1]
@@ -65,7 +201,8 @@ func Mem2Reg(f *ir.Function) int {
 					continue
 				}
 				placed[fr] = true
-				phi := &ir.Instr{Op: ir.OpPhi, Ty: slot.AllocTy, Nam: f.FreshName(slot.Nam + ".phi")}
+				phi := newInstr(ar)
+				phi.Op, phi.Ty, phi.Nam = ir.OpPhi, slot.AllocTy, f.FreshName(slot.Nam+".phi")
 				fr.InsertAt(0, phi)
 				phiFor[phi] = slot
 				if !seenDef[fr] {
@@ -74,11 +211,12 @@ func Mem2Reg(f *ir.Function) int {
 				}
 			}
 		}
+		s.work = work
 	}
 
 	// repl maps eliminated loads to their replacement values; resolve
 	// follows chains lazily so elimination order does not matter.
-	repl := make(map[ir.Value]ir.Value)
+	repl := s.repl
 	var resolve func(v ir.Value) ir.Value
 	resolve = func(v ir.Value) ir.Value {
 		for {
@@ -90,30 +228,50 @@ func Mem2Reg(f *ir.Function) int {
 		}
 	}
 
-	// Rename walk over the dominator tree.
-	type state map[*ir.Instr]ir.Value // slot -> current value
-	var rename func(b *ir.Block, cur state)
-	rename = func(b *ir.Block, cur state) {
-		local := make(state, len(cur))
-		for k, v := range cur {
-			local[k] = v
+	// Rename walk over the dominator tree. Instead of copying a
+	// slot->value map into every block (the original formulation), each
+	// slot keeps a stack of definitions: the top is the value of the
+	// nearest dominating definition — identical semantics, since pushes
+	// made in a block stay visible exactly while its dominator subtree
+	// is being walked and are undone before a sibling starts.
+	slotIdx := s.slotIdx
+	for i, sl := range slotList {
+		slotIdx[sl] = i
+	}
+	for len(s.stk) < len(slotList) {
+		s.stk = append(s.stk, nil)
+	}
+	stk := s.stk[:len(slotList)]
+	for i := range stk {
+		stk[i] = stk[i][:0]
+	}
+	undo := s.undo[:0] // slot indices in push order, unwound per block
+	top := func(si int, slot *ir.Instr) ir.Value {
+		if n := len(stk[si]); n > 0 {
+			return stk[si][n-1]
 		}
+		return ir.ConstUndef(slot.AllocTy)
+	}
+	kids := s.kids[:0]
+	var rename func(b *ir.Block)
+	rename = func(b *ir.Block) {
+		mark := len(undo)
 		keep := b.Instrs[:0]
 		for _, in := range b.Instrs {
 			switch {
 			case in.Op == ir.OpPhi && phiFor[in] != nil:
-				local[phiFor[in]] = in
+				si := slotIdx[phiFor[in]]
+				stk[si] = append(stk[si], in)
+				undo = append(undo, si)
 				keep = append(keep, in)
 			case in.Op == ir.OpLoad && slotOf(in.Operands[0], slots) != nil:
 				slot := slotOf(in.Operands[0], slots)
-				v, ok := local[slot]
-				if !ok {
-					v = ir.ConstUndef(slot.AllocTy)
-				}
-				repl[in] = resolve(v)
+				repl[in] = resolve(top(slotIdx[slot], slot))
 				// dropped from keep: load eliminated
 			case in.Op == ir.OpStore && slotOf(in.Operands[1], slots) != nil:
-				local[slotOf(in.Operands[1], slots)] = resolve(in.Operands[0])
+				si := slotIdx[slotOf(in.Operands[1], slots)]
+				stk[si] = append(stk[si], resolve(in.Operands[0]))
+				undo = append(undo, si)
 				// dropped from keep: store eliminated
 			case in.Op == ir.OpAlloca && slots[in]:
 				// dropped: the slot itself disappears
@@ -125,24 +283,35 @@ func Mem2Reg(f *ir.Function) int {
 		b.Instrs = keep
 
 		// Feed phi nodes of CFG successors.
-		for _, s := range b.Succs() {
-			for _, phi := range s.Phis() {
-				slot := phiFor[phi]
-				if slot == nil {
-					continue
+		if term := b.Term(); term != nil {
+			for i, ns := 0, term.NumSuccessors(); i < ns; i++ {
+				for _, phi := range term.Successor(i).Phis() {
+					slot := phiFor[phi]
+					if slot == nil {
+						continue
+					}
+					phi.AddIncoming(resolve(top(slotIdx[slot], slot)), b)
 				}
-				v, ok := local[slot]
-				if !ok {
-					v = ir.ConstUndef(slot.AllocTy)
-				}
-				phi.AddIncoming(resolve(v), b)
 			}
 		}
-		for _, c := range children[b] {
-			rename(c, local)
+		// Recurse into the dominator-tree children, sharing one kid
+		// buffer: each frame appends its children, walks them, then
+		// truncates back.
+		base := len(kids)
+		kids = dt.Children(b, kids)
+		end := len(kids)
+		for i := base; i < end; i++ {
+			rename(kids[i])
+		}
+		kids = kids[:base]
+		for len(undo) > mark {
+			si := undo[len(undo)-1]
+			undo = undo[:len(undo)-1]
+			stk[si] = stk[si][:len(stk[si])-1]
 		}
 	}
-	rename(entry, make(state))
+	rename(entry)
+	s.undo, s.kids = undo, kids
 
 	// Unreachable blocks were never renamed; scrub residual slot uses.
 	for _, b := range f.Blocks {
@@ -172,6 +341,7 @@ func Mem2Reg(f *ir.Function) int {
 			in.Operands[i] = resolve(op)
 		}
 	})
+	dt.Release()
 	return len(slots)
 }
 
@@ -181,43 +351,6 @@ func clearTail(s []*ir.Instr, from int) {
 	for i := from; i < len(s); i++ {
 		s[i] = nil
 	}
-}
-
-// promotable reports whether a slot is used only by whole-slot loads
-// and stores (no GEPs, casts, calls or stores *of* the pointer).
-func promotable(f *ir.Function, slot *ir.Instr) bool {
-	if slot.AllocTy.IsAggregate() {
-		return false
-	}
-	ok := true
-	f.Instructions(func(in *ir.Instr) {
-		if !ok || in == slot {
-			return
-		}
-		uses := false
-		for _, op := range in.Operands {
-			if op == ir.Value(slot) {
-				uses = true
-			}
-		}
-		if !uses {
-			return
-		}
-		switch in.Op {
-		case ir.OpLoad:
-			if in.Ty != slot.AllocTy {
-				ok = false
-			}
-		case ir.OpStore:
-			// Must store *through* the slot, not store the pointer.
-			if in.Operands[0] == ir.Value(slot) || in.Operands[1] != ir.Value(slot) {
-				ok = false
-			}
-		default:
-			ok = false
-		}
-	})
-	return ok
 }
 
 // slotOf returns the promotable slot a pointer operand refers to, or

@@ -12,15 +12,34 @@
 package passes
 
 import (
+	"sync"
+
 	"f3m/internal/ir"
 )
+
+// scePool recycles the per-call pred-edge counter of
+// SplitCriticalEdges; the pass runs once per clone in the merge loop.
+var scePool = sync.Pool{New: func() any { return make(map[*ir.Block]int, 32) }}
 
 // SplitCriticalEdges splits every CFG edge whose source has multiple
 // successors and whose destination has multiple predecessors, inserting
 // a forwarding block. Phi incoming-block lists in destinations are
 // rewritten to the new blocks. Returns the number of edges split.
 func SplitCriticalEdges(f *ir.Function) int {
-	preds := f.Preds()
+	// Count incoming CFG edges (with duplicate-edge multiplicity, like
+	// len(f.Preds()[b])) without building predecessor lists.
+	npreds := scePool.Get().(map[*ir.Block]int)
+	defer scePool.Put(npreds)
+	clear(npreds)
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil {
+			continue
+		}
+		for i, ns := 0, t.NumSuccessors(); i < ns; i++ {
+			npreds[t.Successor(i)]++
+		}
+	}
 	split := 0
 	// Collect first: we mutate the block list while iterating.
 	type edge struct {
@@ -29,17 +48,20 @@ func SplitCriticalEdges(f *ir.Function) int {
 	}
 	var edges []edge
 	for _, b := range f.Blocks {
-		succs := b.Succs()
-		if len(succs) < 2 {
+		t := b.Term()
+		if t == nil || t.NumSuccessors() < 2 {
 			continue
 		}
-		for _, s := range succs {
-			if len(preds[s]) >= 2 {
+		for i, ns := 0, t.NumSuccessors(); i < ns; i++ {
+			if s := t.Successor(i); npreds[s] >= 2 {
 				edges = append(edges, edge{b, s})
 			}
 		}
 	}
-	done := make(map[edge]bool)
+	if len(edges) == 0 {
+		return 0
+	}
+	done := make(map[edge]bool, len(edges))
 	for _, e := range edges {
 		if done[e] {
 			continue // duplicate edge (e.g. condbr with same target twice)
@@ -61,11 +83,26 @@ func SplitCriticalEdges(f *ir.Function) int {
 	return split
 }
 
+// newInstr draws a zeroed instruction from ar, or the heap when ar is
+// nil. The merge pipeline passes its clone arena so the slots, stores
+// and loads these passes insert into short-lived clones recycle with
+// the clone instead of churning the allocator.
+func newInstr(ar *ir.CloneArena) *ir.Instr {
+	if ar != nil {
+		return ar.NewInstr()
+	}
+	return &ir.Instr{}
+}
+
 // RegToMem demotes every phi node of f to a stack slot: each incoming
 // edge stores its value at the end of the (possibly split) predecessor,
 // and the phi is replaced by a load. After RegToMem the function is
 // phi-free, the precondition of merge code generation.
-func RegToMem(f *ir.Function) int {
+func RegToMem(f *ir.Function) int { return RegToMemIn(f, nil) }
+
+// RegToMemIn is RegToMem drawing inserted instructions from ar (which
+// may be nil).
+func RegToMemIn(f *ir.Function, ar *ir.CloneArena) int {
 	// Splitting critical edges first guarantees each incoming edge has
 	// a predecessor block ending in an unconditional branch, so stores
 	// always have a legal insertion point after any terminator-defined
@@ -92,19 +129,25 @@ func RegToMem(f *ir.Function) int {
 			replaceAllUses(f, phi, phi.Operands[0])
 			continue
 		}
-		slot := &ir.Instr{Op: ir.OpAlloca, Ty: ctx.Pointer(phi.Ty), AllocTy: phi.Ty, Nam: f.FreshName(phi.Nam + ".slot")}
+		slot := newInstr(ar)
+		slot.Op, slot.Ty, slot.AllocTy = ir.OpAlloca, ctx.Pointer(phi.Ty), phi.Ty
+		slot.Nam = f.FreshName(phi.Nam + ".slot")
 		entry.InsertAt(0, slot)
 
 		for i, v := range phi.Operands {
 			pred := phi.IncomingBlocks[i]
-			st := &ir.Instr{Op: ir.OpStore, Ty: ctx.Void, Operands: []ir.Value{v, slot}}
+			st := newInstr(ar)
+			st.Op, st.Ty = ir.OpStore, ctx.Void
+			st.Operands = append(st.Operands[:0], v, slot)
 			insertStoreForEdge(pred, v, st)
 		}
 
 		// Replace the phi with a load at its position.
 		b := phi.Parent
 		idx := b.IndexOf(phi)
-		ld := &ir.Instr{Op: ir.OpLoad, Ty: phi.Ty, Nam: phi.Nam, Operands: []ir.Value{slot}}
+		ld := newInstr(ar)
+		ld.Op, ld.Ty, ld.Nam = ir.OpLoad, phi.Ty, phi.Nam
+		ld.Operands = append(ld.Operands[:0], slot)
 		ld.Parent = b
 		b.Instrs[idx] = ld
 		replaceAllUses(f, phi, ld)
@@ -165,6 +208,12 @@ func replaceAllUses(f *ir.Function, old, new ir.Value) {
 // Only the uses listed in `uses` are rewritten; pass nil to rewrite
 // every use in the function.
 func DemoteValue(f *ir.Function, def *ir.Instr, uses []*ir.Instr) *ir.Instr {
+	return DemoteValueIn(f, nil, def, uses)
+}
+
+// DemoteValueIn is DemoteValue drawing the slot, store and load
+// instructions from ar (which may be nil).
+func DemoteValueIn(f *ir.Function, ar *ir.CloneArena, def *ir.Instr, uses []*ir.Instr) *ir.Instr {
 	ctx := f.Parent.Ctx
 	if uses == nil {
 		f.Instructions(func(in *ir.Instr) {
@@ -210,9 +259,13 @@ func DemoteValue(f *ir.Function, def *ir.Instr, uses []*ir.Instr) *ir.Instr {
 		return nil
 	}
 
-	slot := &ir.Instr{Op: ir.OpAlloca, Ty: ctx.Pointer(def.Ty), AllocTy: def.Ty, Nam: f.FreshName(def.Nam + ".demoted")}
+	slot := newInstr(ar)
+	slot.Op, slot.Ty, slot.AllocTy = ir.OpAlloca, ctx.Pointer(def.Ty), def.Ty
+	slot.Nam = f.FreshName(def.Nam + ".demoted")
 	f.Entry().InsertAt(0, slot)
-	st := &ir.Instr{Op: ir.OpStore, Ty: ctx.Void, Operands: []ir.Value{def, slot}}
+	st := newInstr(ar)
+	st.Op, st.Ty = ir.OpStore, ctx.Void
+	st.Operands = append(st.Operands[:0], def, slot)
 
 	// Place the store at the first point dominated by the definition.
 	switch {
@@ -226,7 +279,7 @@ func DemoteValue(f *ir.Function, def *ir.Instr, uses []*ir.Instr) *ir.Instr {
 		// destination has other predecessors, storing there would use
 		// the result on paths where it does not exist; split the edge.
 		normal := def.Successors()[0]
-		if len(f.Preds()[normal]) > 1 {
+		if predEdgeCount(f, normal) > 1 {
 			mid := f.NewBlock(f.FreshName(def.Parent.Name() + ".store"))
 			bd := ir.NewBuilder(mid)
 			bd.Br(normal)
@@ -247,7 +300,9 @@ func DemoteValue(f *ir.Function, def *ir.Instr, uses []*ir.Instr) *ir.Instr {
 	}
 
 	for _, pl := range plans {
-		ld := &ir.Instr{Op: ir.OpLoad, Ty: def.Ty, Nam: f.FreshName(def.Nam + ".reload"), Operands: []ir.Value{slot}}
+		ld := newInstr(ar)
+		ld.Op, ld.Ty, ld.Nam = ir.OpLoad, def.Ty, f.FreshName(def.Nam+".reload")
+		ld.Operands = append(ld.Operands[:0], slot)
 		if pl.opIdx >= 0 {
 			at := len(pl.block.Instrs)
 			if t := pl.block.Term(); t != nil {
@@ -267,15 +322,19 @@ func DemoteValue(f *ir.Function, def *ir.Instr, uses []*ir.Instr) *ir.Instr {
 // demotes the offending values to memory. It returns the number of
 // values demoted. Merged-code generation relies on this as the final
 // legality net, exactly as HyFM does.
-func RepairSSA(f *ir.Function) int {
+func RepairSSA(f *ir.Function) int { return RepairSSAIn(f, nil) }
+
+// RepairSSAIn is RepairSSA drawing demotion instructions from ar (which
+// may be nil).
+func RepairSSAIn(f *ir.Function, ar *ir.CloneArena) int {
 	demoted := 0
 	for {
 		dt := ir.NewDomTree(f)
-		inFunc := make(map[*ir.Instr]bool)
-		f.Instructions(func(in *ir.Instr) { inFunc[in] = true })
+		gen := f.MarkInstrs()
 
-		// def -> offending uses
-		bad := make(map[*ir.Instr][]*ir.Instr)
+		// def -> offending uses; allocated lazily, since the common case
+		// (especially on re-check iterations) finds no violations.
+		var bad map[*ir.Instr][]*ir.Instr
 		var order []*ir.Instr
 		for _, b := range f.Blocks {
 			if !dt.Reachable(b) {
@@ -284,10 +343,13 @@ func RepairSSA(f *ir.Function) int {
 			for _, in := range b.Instrs {
 				for idx, op := range in.Operands {
 					def, ok := op.(*ir.Instr)
-					if !ok || !inFunc[def] {
+					if !ok || !def.Marked(gen) {
 						continue
 					}
 					if !dt.DominatesInstr(def, in, idx) {
+						if bad == nil {
+							bad = make(map[*ir.Instr][]*ir.Instr)
+						}
 						if _, seen := bad[def]; !seen {
 							order = append(order, def)
 						}
@@ -296,11 +358,12 @@ func RepairSSA(f *ir.Function) int {
 				}
 			}
 		}
+		dt.Release()
 		if len(bad) == 0 {
 			return demoted
 		}
 		for _, def := range order {
-			DemoteValue(f, def, bad[def])
+			DemoteValueIn(f, ar, def, bad[def])
 			demoted++
 		}
 		// Demotion inserts loads whose own placement could, in corner

@@ -9,11 +9,21 @@
 #
 #   BENCHTIME=5x scripts/bench.sh          # more iterations
 #   scripts/bench.sh out/bench.json        # alternate output file
+#
+# When BENCH_budget.json exists (override the path with ALLOC_BUDGET,
+# or set ALLOC_BUDGET=skip to bypass), the run also gates allocs/op
+# against the checked-in per-config ceilings and exits nonzero on a
+# regression. Allocation counts are schedule-stable — unlike ns/op on
+# a noisy box — which is what makes a hard gate feasible. The budget
+# only pins workers=1: with merge workers enabled the speculative
+# pool's allocation count depends on how many claims race ahead of the
+# committer, which varies with host CPU count.
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1x}"
 OUT="${1:-BENCH_merge.json}"
+ALLOC_BUDGET="${ALLOC_BUDGET:-BENCH_budget.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -44,3 +54,39 @@ END   { printf "\n]\n" }
 
 echo "== wrote $OUT"
 cat "$OUT"
+
+if [ "$ALLOC_BUDGET" != "skip" ] && [ -f "$ALLOC_BUDGET" ]; then
+    echo "== allocs/op gate ($ALLOC_BUDGET)"
+    # Join the fresh numbers against the budget by bench name; both
+    # files are the one-object-per-line JSON this script emits, so a
+    # line-oriented awk join is enough — no JSON tooling in the image.
+    awk '
+    function field(line, name,    re, s) {
+        re = "\"" name "\": *[0-9.]+"
+        if (match(line, re) == 0) return ""
+        s = substr(line, RSTART, RLENGTH)
+        sub(/^[^0-9]*/, "", s)
+        return s
+    }
+    function bench(line,    s) {
+        if (match(line, /"bench": *"[^"]*"/) == 0) return ""
+        s = substr(line, RSTART, RLENGTH)
+        sub(/^"bench": *"/, "", s)
+        sub(/"$/, "", s)
+        return s
+    }
+    FNR == NR { if (bench($0) != "") cap[bench($0)] = field($0, "max_allocs_per_op"); next }
+    {
+        b = bench($0)
+        if (b == "" || !(b in cap)) next
+        got = field($0, "allocs_per_op")
+        if (got + 0 > cap[b] + 0) {
+            printf "FAIL %s: allocs/op %s exceeds budget %s\n", b, got, cap[b]
+            bad = 1
+        } else {
+            printf "ok   %s: allocs/op %s within budget %s\n", b, got, cap[b]
+        }
+    }
+    END { exit bad }
+    ' "$ALLOC_BUDGET" "$OUT"
+fi

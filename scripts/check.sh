@@ -38,6 +38,15 @@ go run ./cmd/f3m -check=validate testdata/handlers.c >/dev/null
 go run ./cmd/f3m -check=validate -strategy hyfm testdata/handlers.c >/dev/null
 go run ./cmd/f3m -check=validate -gen 200 -seed 5 >/dev/null
 
+if [ "${BENCH_GATE:-}" = "1" ]; then
+    echo "== merge-stage allocs/op gate (BENCH_GATE=1)"
+    # Opt-in: runs the merge-stage benchmark and fails on any allocs/op
+    # regression against the checked-in BENCH_budget.json ceilings. Off
+    # by default because a benchmark run costs minutes; ns/op is NOT
+    # gated (too noisy on shared hosts), only allocation counts.
+    scripts/bench.sh "$(mktemp)"
+fi
+
 echo "== fuzz smoke (FUZZTIME=${FUZZTIME:-5s} per target)"
 # Short randomized runs of the three native fuzz targets; the full
 # checked-in corpora under testdata/fuzz (including past crash inputs)
