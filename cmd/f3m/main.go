@@ -2,9 +2,14 @@
 // result. Input is either a textual IR file (see internal/ir), one or
 // more mini-C source files, or a generated synthetic workload.
 //
+// The serve subcommand instead starts the long-lived merge-as-a-service
+// daemon (see SERVING.md for the HTTP API and `f3m serve -h` for its
+// flags).
+//
 // Usage:
 //
 //	f3m [flags] [file.ir | file.c ...]
+//	f3m serve [flags]
 //
 //	-strategy hyfm|f3m|f3m-adapt   ranking strategy (default f3m)
 //	-gen N                         generate a synthetic module with ~N functions
@@ -47,6 +52,9 @@ func main() {
 }
 
 func run(args []string, stdout io.Writer) error {
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(args[1:], stdout)
+	}
 	fs := flag.NewFlagSet("f3m", flag.ContinueOnError)
 	strategy := fs.String("strategy", "f3m", "ranking strategy: hyfm, f3m or f3m-adapt")
 	gen := fs.Int("gen", 0, "generate a synthetic module with ~N functions instead of reading files")

@@ -1,0 +1,138 @@
+// Service quickstart: start the merge-as-a-service daemon in-process,
+// stream two synthetic modules into it over real HTTP, query for
+// near-duplicates, trigger an incremental merge, and snapshot the
+// state — the whole SERVING.md walkthrough with no external tools.
+//
+// With -emit-module the program instead prints one synthetic module's
+// textual IR to stdout (handy as input for the curl walkthrough in
+// SERVING.md) and exits.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"f3m/internal/ir"
+	"f3m/internal/irgen"
+	"f3m/internal/obs"
+	"f3m/internal/serve"
+)
+
+// module renders a synthetic module whose function names carry prefix.
+func module(seed int64, prefix string) string {
+	cfg := irgen.DefaultConfig(seed)
+	cfg.Families = 2
+	cfg.FamilySizeMin, cfg.FamilySizeMax = 2, 3
+	cfg.Singletons = 2
+	cfg.Callers = 1
+	res := irgen.Generate(cfg)
+	for _, f := range res.Module.Funcs {
+		res.Module.RenameFunc(f, prefix+f.Name())
+	}
+	return ir.ModuleString(res.Module)
+}
+
+// post sends one JSON request and decodes the reply into out.
+func post(base, path string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("%s: %d %v", path, resp.StatusCode, e)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+func main() {
+	emit := flag.Bool("emit-module", false, "print one synthetic module's IR and exit")
+	flag.Parse()
+	if *emit {
+		fmt.Print(module(7, "a_"))
+		return
+	}
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "service example:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Boot the daemon on a loopback port, exactly as `f3m serve` does.
+	cfg := serve.DefaultConfig()
+	cfg.Metrics = obs.NewMetrics()
+	cfg.SnapshotPath = filepath.Join(os.TempDir(), "f3m-example.snap")
+	srv := serve.NewServer(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("daemon listening on", base)
+
+	// Stream two modules in.
+	var info serve.ModuleInfo
+	if err := post(base, "/v1/modules", map[string]string{"name": "a", "ir": module(7, "a_")}, &info); err != nil {
+		return err
+	}
+	fmt.Printf("submitted module a: %d mergeable functions indexed\n", len(info.Funcs))
+	if err := post(base, "/v1/modules", map[string]string{"name": "b", "ir": module(8, "b_")}, nil); err != nil {
+		return err
+	}
+	fmt.Println("submitted module b")
+
+	// Who looks like a's first function?
+	var q struct {
+		Matches []serve.Match `json:"matches"`
+	}
+	probe := map[string]any{"module": "a", "func": info.Funcs[0], "min_similarity": 0.3, "k": 3}
+	if err := post(base, "/v1/query", probe, &q); err != nil {
+		return err
+	}
+	fmt.Printf("near-duplicates of a.%s:\n", info.Funcs[0])
+	for _, m := range q.Matches {
+		fmt.Printf("  %s.%s  similarity %.2f\n", m.Module, m.Func, m.Similarity)
+	}
+
+	// Merge the live corpus.
+	var sum serve.MergeSummary
+	if err := post(base, "/v1/merge", map[string]any{}, &sum); err != nil {
+		return err
+	}
+	fmt.Printf("merge: %d attempts, %d merged, size %d -> %d (report key %s…)\n",
+		sum.Attempts, sum.Merges, sum.SizeBefore, sum.SizeAfter, sum.ReportKey[:12])
+
+	// Snapshot the state, then shut down cleanly.
+	var snap serve.SnapshotInfo
+	if err := post(base, "/v1/snapshot", map[string]any{}, &snap); err != nil {
+		return err
+	}
+	defer os.Remove(snap.Path)
+	fmt.Printf("snapshot: %d modules, %d bytes -> %s\n", snap.Modules, snap.Bytes, snap.Path)
+
+	if err := srv.Close(context.Background()); err != nil {
+		return err
+	}
+	fmt.Println("drained and shut down; see SERVING.md for the full API")
+	return nil
+}

@@ -12,6 +12,14 @@
 // plot (preprocessing, ranking, alignment and code generation, each
 // split by whether the attempted merge succeeded) plus the pair log the
 // distribution figures are built from.
+//
+// Run is the authoritative entry point for batch (one-shot) use and for
+// the merge-as-a-service daemon alike: internal/serve replays Run over
+// its live module set on every incremental re-merge, passing a
+// persistent alignment cache through Config.MergeOpts. Because the
+// cache is outcome-neutral and the Report is identical for every
+// Workers/MergeWorkers value, the daemon's reports stay byte-identical
+// to a one-shot run over the same modules (DESIGN.md, "Serving").
 package core
 
 import (

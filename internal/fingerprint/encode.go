@@ -11,6 +11,15 @@
 //     the per-seed minima form the fingerprint. Fingerprint equality
 //     rate estimates the Jaccard similarity of the functions' shingle
 //     sets.
+//
+// The encoding comes in two variants. EncodeInstr/EncodeFunc key type
+// codes on dense per-TypeContext IDs — cheap and collision-free inside
+// one pipeline run. EncodeInstrStable/EncodeFuncStable (stable.go)
+// replace the dense ID with a structural type hash, making the encoding
+// a pure function of the instruction so that fingerprints computed from
+// separately parsed modules — or restored from a snapshot by another
+// process — stay comparable; the serving layer (internal/serve) indexes
+// exclusively with the stable variant.
 package fingerprint
 
 import "f3m/internal/ir"

@@ -1,0 +1,108 @@
+package fingerprint
+
+// Context-independent instruction encoding for the serving layer.
+//
+// EncodeInstr keys its type codes on the dense per-TypeContext IDs the
+// IR interner assigns in interning order, which is the right choice
+// inside one pipeline run (cheap, collision-free) but meaningless
+// across separately parsed modules: the same structural type can carry
+// different IDs in different contexts, so fingerprints computed in two
+// contexts are not comparable. The serving daemon (internal/serve)
+// fingerprints modules as they arrive, each parsed standalone, and must
+// compare those fingerprints against everything submitted before — and
+// against fingerprints recorded in a snapshot taken by an earlier
+// process. The stable variants below therefore replace the dense ID
+// with a structural hash of the type itself, making the encoding a pure
+// function of the instruction and its types, independent of any
+// context's interning history.
+
+import "f3m/internal/ir"
+
+// stableTypeCode hashes a type structurally with FNV-1a: kind, bit
+// width, array length, element type and struct fields recursively, plus
+// the variadic flag for function types. Nil and void map to 0 (the "no
+// type" sentinel EncodeInstr also reserves); every other type maps to a
+// non-zero code, mirroring typeCode's contract.
+func stableTypeCode(t *ir.Type) uint32 {
+	if t == nil || t.IsVoid() {
+		return 0
+	}
+	h := stableTypeHash(t, uint32(fnvOffset32))
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// stableTypeHash folds one type (recursively) into running hash h.
+func stableTypeHash(t *ir.Type, h uint32) uint32 {
+	if t == nil {
+		return h ^ 0xa5a5a5a5
+	}
+	mix := func(v uint32) {
+		for i := 0; i < 4; i++ {
+			h ^= v & 0xff
+			h *= fnvPrime32
+			v >>= 8
+		}
+	}
+	mix(uint32(t.Kind))
+	mix(uint32(t.Bits))
+	mix(uint32(t.Len))
+	if t.Variadic {
+		mix(1)
+	}
+	if t.Elem != nil {
+		h = stableTypeHash(t.Elem, h)
+	}
+	for _, f := range t.Fields {
+		h = stableTypeHash(f, h)
+	}
+	return h
+}
+
+// EncodeInstrStable is EncodeInstr with context-independent type codes:
+// the packing (opcode, operand count, result type, operand-type
+// product, predicate and alloca folds) is identical, only typeCode is
+// replaced by the structural hash. Two structurally identical
+// instructions encode equally no matter which TypeContext their
+// modules were parsed into.
+func EncodeInstrStable(in *ir.Instr) Encoded {
+	op := uint32(in.Op) & (1<<opcodeBits - 1)
+	nops := uint32(len(in.Operands))
+	if nops > 1<<noperBits-1 {
+		nops = 1<<noperBits - 1
+	}
+	res := stableTypeCode(in.Ty) & (1<<resTypeBits - 1)
+
+	prod := uint32(1)
+	for _, v := range in.Operands {
+		if _, isBlock := v.(*ir.Block); isBlock {
+			continue // successor labels are structure, not data operands
+		}
+		code := stableTypeCode(v.Type())*4 + operandKind(v)
+		prod *= code*2654435761 | 1
+	}
+	if in.Op == ir.OpICmp || in.Op == ir.OpFCmp {
+		prod *= uint32(in.Predicate)*40503 | 1
+	}
+	if in.Op == ir.OpAlloca {
+		prod *= stableTypeCode(in.AllocTy)*2654435761 | 1
+	}
+	arg := prod & (1<<argTypeBits - 1)
+
+	return Encoded(op | nops<<noperShift | res<<resTypeShift | arg<<argTypeShift)
+}
+
+// EncodeFuncStable encodes every instruction of f in block order using
+// the context-independent encoding. This is the fingerprint input of
+// the serving layer; the in-process pipeline keeps using EncodeFunc.
+func EncodeFuncStable(f *ir.Function) []Encoded {
+	out := make([]Encoded, 0, f.NumInstrs())
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			out = append(out, EncodeInstrStable(in))
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package fingerprint_test
+
+import (
+	"f3m/internal/fingerprint"
+	"testing"
+
+	"f3m/internal/ir"
+	"f3m/internal/irgen"
+)
+
+// stableSrc is a module exercising structs, arrays, pointers, compares
+// and allocas — everything the stable type hash must cover.
+const stableSrc = `
+module "stable"
+
+define i32 @f(i32* %p, i32 %x) {
+entry:
+  %a = alloca [4 x i32]
+  %x64 = sext i32 %x to i64
+  %g = getelementptr i32* %p, i64 %x64
+  %v = load i32, i32* %g
+  %c = icmp sgt i32 %v, 7
+  br i1 %c, label %yes, label %no
+yes:
+  %s = add i32 %v, %x
+  br label %done
+no:
+  br label %done
+done:
+  %r = phi i32 [%s, %yes], [%v, %no]
+  ret i32 %r
+}
+`
+
+// pollute interns extra types into the module's context, shifting the
+// dense type IDs any later interning would receive.
+func pollute(m *ir.Module) {
+	c := m.Ctx
+	c.Struct(c.I64, c.I8, c.Pointer(c.I8))
+	c.Array(17, c.I1)
+	c.Func(c.I64, c.Pointer(c.I64), c.I64)
+}
+
+// TestStableEncodingContextIndependent is the serving layer's base
+// property: the stable encoding of a function is identical no matter
+// which TypeContext its module was parsed into or what else that
+// context interned, while staying instruction-sensitive.
+func TestStableEncodingContextIndependent(t *testing.T) {
+	m1, err := ir.ParseModule(stableSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second context with a very different interning history: pollute
+	// before parsing so every dense type ID differs from m1's.
+	m2, err := ir.ParseModule(stableSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pollute(m2)
+	m3, err := ir.ParseModule(ir.ModuleString(m2)) // reprint round-trip
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e1 := fingerprint.EncodeFuncStable(m1.Func("f"))
+	e3 := fingerprint.EncodeFuncStable(m3.Func("f"))
+	if len(e1) == 0 || len(e1) != len(e3) {
+		t.Fatalf("encoding lengths differ: %d vs %d", len(e1), len(e3))
+	}
+	for i := range e1 {
+		if e1[i] != e3[i] {
+			t.Fatalf("stable encodings diverge at instruction %d: %08x vs %08x", i, e1[i], e3[i])
+		}
+	}
+}
+
+// TestStableEncodingMatchesGeneratedCorpus cross-checks the stable and
+// dense encodings over a generated corpus: within one context both must
+// partition instructions identically (equal dense codes ⇔ equal stable
+// codes), since they pack the same features and differ only in the
+// type-code space.
+func TestStableEncodingMatchesGeneratedCorpus(t *testing.T) {
+	res := irgen.Generate(irgen.DefaultConfig(11))
+	for _, f := range res.Module.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		dense := fingerprint.EncodeFunc(f)
+		stable := fingerprint.EncodeFuncStable(f)
+		if len(dense) != len(stable) {
+			t.Fatalf("%s: length mismatch %d vs %d", f.Name(), len(dense), len(stable))
+		}
+		denseOf := map[fingerprint.Encoded]fingerprint.Encoded{}
+		stableOf := map[fingerprint.Encoded]fingerprint.Encoded{}
+		for i := range dense {
+			if prev, ok := denseOf[dense[i]]; ok && prev != stable[i] {
+				t.Fatalf("%s: equal dense codes map to distinct stable codes at %d", f.Name(), i)
+			}
+			denseOf[dense[i]] = stable[i]
+			if prev, ok := stableOf[stable[i]]; ok && prev != dense[i] {
+				// A stable-hash collision merging two dense classes is
+				// possible in principle (32-bit structural hash) but
+				// must not happen on the shipped corpus.
+				t.Fatalf("%s: equal stable codes map to distinct dense codes at %d", f.Name(), i)
+			}
+			stableOf[stable[i]] = dense[i]
+		}
+	}
+}

@@ -9,6 +9,14 @@
 // probability that two functions with MinHash similarity s share a
 // bucket is 1-(1-s^r)^b (Equation 2), an S-curve that filters out
 // dissimilar pairs without ever comparing them.
+//
+// An Index is single-writer: Insert and Remove must not run
+// concurrently with anything else, while PeekCandidates is read-only
+// and safe for any number of concurrent callers between mutations.
+// Both in-process consumers build on that split — the speculative
+// merge stage's read-only speculators (internal/core), and the serving
+// layer's sharded similarity store, which places one Index behind each
+// shard's RWMutex (internal/serve).
 package lsh
 
 import (

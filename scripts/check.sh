@@ -38,6 +38,13 @@ go run ./cmd/f3m -check=validate testdata/handlers.c >/dev/null
 go run ./cmd/f3m -check=validate -strategy hyfm testdata/handlers.c >/dev/null
 go run ./cmd/f3m -check=validate -gen 200 -seed 5 >/dev/null
 
+echo "== f3m serve self-check (API smoke + SERVING.md drift)"
+# The serving gate: boot a loopback daemon, drive every HTTP route
+# (submit, query, merge, snapshot -> mutate -> restore -> re-merge with
+# a byte-identical report key, graceful shutdown), and fail if any
+# registered route is missing from SERVING.md.
+go run ./cmd/f3m serve -selfcheck -serving-doc SERVING.md >/dev/null
+
 if [ "${BENCH_GATE:-}" = "1" ]; then
     echo "== merge-stage allocs/op gate (BENCH_GATE=1)"
     # Opt-in: runs the merge-stage benchmark and fails on any allocs/op
