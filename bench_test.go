@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"f3m/internal/align"
+	"f3m/internal/analysis/summary"
 	"f3m/internal/core"
 	"f3m/internal/experiments"
 	"f3m/internal/fingerprint"
@@ -278,6 +279,37 @@ func BenchmarkMergeStage(b *testing.B) {
 			}
 			b.ReportMetric(float64(merges), "merges")
 		})
+	}
+}
+
+// BenchmarkSummaryExtract measures the per-module half of the
+// cross-module workflow: reducing a module to its merge summaries plus
+// the versioned JSON encoding `f3m summary` writes. This is the work a
+// build system repeats per changed module, so throughput
+// (`summaries/s`) is the headline number and `bytes/func` tracks the
+// summary format's weight — the whole point of summaries is shipping
+// these bytes instead of IR. scripts/bench.sh records both in
+// BENCH_summary.json to track the trajectory across PRs.
+func BenchmarkSummaryExtract(b *testing.B) {
+	spec := irgen.SuiteSpec{Name: "sumbench", Funcs: 800, AvgInstrs: 22, CloneFraction: 0.45}
+	m := irgen.Generate(spec.Config(3)).Module
+	b.ReportAllocs()
+	b.ResetTimer()
+	funcs, bytes := 0, 0
+	for i := 0; i < b.N; i++ {
+		ms := summary.Extract(m, summary.Params{}, nil, nil)
+		enc, err := ms.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		funcs = ms.NumFuncs
+		bytes = len(enc)
+	}
+	if funcs > 0 {
+		if s := b.Elapsed().Seconds(); s > 0 {
+			b.ReportMetric(float64(funcs)*float64(b.N)/s, "summaries/s")
+		}
+		b.ReportMetric(float64(bytes)/float64(funcs), "bytes/func")
 	}
 }
 

@@ -4,12 +4,19 @@
 //
 // The serve subcommand instead starts the long-lived merge-as-a-service
 // daemon (see SERVING.md for the HTTP API and `f3m serve -h` for its
-// flags).
+// flags). The summary and merge subcommands drive the cross-module
+// workflow: summary extracts a module's per-function merge summaries
+// as a versioned .sum file, and merge -summaries links the summarized
+// modules and merges them optimistically along a plan computed from
+// the summaries alone, with every commit re-proved by the translation
+// validator (see DESIGN.md, "Cross-module merging").
 //
 // Usage:
 //
 //	f3m [flags] [file.ir | file.c ...]
 //	f3m serve [flags]
+//	f3m summary [-o FILE] [-source PATH] [-k K] [file.ir | -gen N]
+//	f3m merge -summaries [flags] a.sum b.sum ...
 //
 //	-strategy hyfm|f3m|f3m-adapt   ranking strategy (default f3m)
 //	-gen N                         generate a synthetic module with ~N functions
@@ -52,8 +59,15 @@ func main() {
 }
 
 func run(args []string, stdout io.Writer) error {
-	if len(args) > 0 && args[0] == "serve" {
-		return runServe(args[1:], stdout)
+	if len(args) > 0 {
+		switch args[0] {
+		case "serve":
+			return runServe(args[1:], stdout)
+		case "summary":
+			return runSummary(args[1:], stdout)
+		case "merge":
+			return runMergeSummaries(args[1:], stdout)
+		}
 	}
 	fs := flag.NewFlagSet("f3m", flag.ContinueOnError)
 	strategy := fs.String("strategy", "f3m", "ranking strategy: hyfm, f3m or f3m-adapt")

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestSummaryGolden pins the `f3m summary` output format on the
+// checked-in cross-module corpus: the stdout encoding must be
+// byte-identical to the checked-in .sum file, so any drift in the
+// summary format (field order, lane encoding, indentation) fails here
+// before it breaks consumers of stored summaries.
+func TestSummaryGolden(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"summary", "-source", "xmod_a.ir", filepath.Join("testdata", "xmod_a.ir")}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "xmod_a.sum"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != string(want) {
+		t.Errorf("summary output diverged from testdata/xmod_a.sum:\n--- got ---\n%s--- want ---\n%s", buf.String(), want)
+	}
+}
+
+// TestMergeSummariesGolden pins the `f3m merge -summaries` report on
+// the checked-in two-module corpus. All three planned pairs span the
+// module boundary, so the report doubles as a regression test for
+// cross-module accounting. The pass-time line is wall-clock and
+// elided.
+func TestMergeSummariesGolden(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"merge", "-summaries", "-v",
+		filepath.Join("testdata", "xmod_a.sum"), filepath.Join("testdata", "xmod_b.sum")}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	got := regexp.MustCompile(`(?m)^pass time:.*$`).ReplaceAllString(buf.String(), "pass time:     (elided)")
+	want, err := os.ReadFile(filepath.Join("testdata", "merge_summaries.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("output diverged from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestMergeSummariesEmit checks the emitted module: cross-module pairs
+// collapse into discriminator-parameterized merged functions (callers
+// are rewired, the originals dropped) while unmerged functions survive.
+func TestMergeSummariesEmit(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"merge", "-summaries", "-emit",
+		filepath.Join("testdata", "xmod_a.sum"), filepath.Join("testdata", "xmod_b.sum")}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, fn := range []string{"@merged.mix_a.mix_b", "@merged.fold_a.fold_b", "@caller_a", "@helper"} {
+		if !strings.Contains(out, fn) {
+			t.Errorf("emitted module missing %s", fn)
+		}
+	}
+}
+
+// TestMergeSummariesErrors covers the fail-fast paths: the -summaries
+// flag is mandatory, inputs are mandatory, and corrupt summary files
+// are rejected with the file named.
+func TestMergeSummariesErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"merge", "testdata/xmod_a.sum"}, &buf); err == nil {
+		t.Error("merge without -summaries accepted")
+	}
+	if err := run([]string{"merge", "-summaries"}, &buf); err == nil {
+		t.Error("merge with no inputs accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.sum")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"merge", "-summaries", bad}, &buf); err == nil {
+		t.Error("corrupt summary accepted")
+	}
+}
+
+// TestSummaryDistinctModuleNames verifies `f3m summary` derives module
+// names from filenames when the IR carries no module directive: two
+// files summarized separately must ingest into one index (colliding
+// names are rejected by Index.Add, which would make the checked-in
+// corpus unusable).
+func TestSummaryDistinctModuleNames(t *testing.T) {
+	for _, f := range []string{"xmod_a", "xmod_b"} {
+		var buf strings.Builder
+		err := run([]string{"summary", filepath.Join("testdata", f+".ir")}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), `"module": "`+f+`"`) {
+			t.Errorf("summary of %s.ir did not derive module name %q", f, f)
+		}
+	}
+}

@@ -61,6 +61,16 @@ func stableTypeHash(t *ir.Type, h uint32) uint32 {
 	return h
 }
 
+// StableTypeCode exposes the structural type hash: a context-independent
+// 32-bit code that is equal for structurally identical types from any
+// TypeContext, and 0 exactly for nil/void. The summary analysis
+// (internal/analysis/summary) records it as the signature hash of each
+// summarized function so separately-built modules can compare
+// signatures without sharing a type interner.
+func StableTypeCode(t *ir.Type) uint32 {
+	return stableTypeCode(t)
+}
+
 // EncodeInstrStable is EncodeInstr with context-independent type codes:
 // the packing (opcode, operand count, result type, operand-type
 // product, predicate and alloca folds) is identical, only typeCode is

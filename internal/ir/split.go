@@ -1,0 +1,57 @@
+package ir
+
+import "fmt"
+
+// SplitModule partitions a module into n translation units, each in
+// its own fresh TypeContext, as a whole-program workload would look if
+// it had been compiled as n separate files: partition i keeps the
+// bodies of every i-th function definition (round-robin over the
+// definition order) and demotes the rest to declarations, so every
+// cross-partition call resolves at link time. Globals are replicated
+// into every partition that could need them (the linker unifies by
+// name). LinkModules over the result reconstructs a module equivalent
+// to the input; the cross-module merge tests and the scripts/check.sh
+// corpus gate are the consumers.
+//
+// The input is not modified. n < 1 or a module with fewer definitions
+// than partitions is an error (an empty partition would be pointless
+// and masks miscounted test corpora).
+func SplitModule(m *Module, n int) ([]*Module, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("ir: split: %d partitions", n)
+	}
+	defs := 0
+	for _, f := range m.Funcs {
+		if !f.IsDecl() {
+			defs++
+		}
+	}
+	if defs < n {
+		return nil, fmt.Errorf("ir: split: %d definitions cannot fill %d partitions", defs, n)
+	}
+
+	text := ModuleString(m)
+	out := make([]*Module, n)
+	for i := 0; i < n; i++ {
+		part, err := ParseModule(text)
+		if err != nil {
+			return nil, fmt.Errorf("ir: split: round-trip: %w", err)
+		}
+		part.Name = fmt.Sprintf("%s.part%d", m.Name, i)
+		di := 0
+		for _, f := range part.Funcs {
+			if f.IsDecl() {
+				continue
+			}
+			if di%n != i {
+				f.Blocks = nil // demote to declaration
+			}
+			di++
+		}
+		if err := VerifyModule(part); err != nil {
+			return nil, fmt.Errorf("ir: split: partition %d: %w", i, err)
+		}
+		out[i] = part
+	}
+	return out, nil
+}

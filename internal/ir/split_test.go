@@ -1,0 +1,63 @@
+package ir_test
+
+import (
+	"testing"
+
+	"f3m/internal/ir"
+	"f3m/internal/irgen"
+)
+
+func TestSplitModuleRoundTrip(t *testing.T) {
+	m := irgen.Generate(irgen.DefaultConfig(5)).Module
+	want := ir.ModuleString(m)
+	for _, n := range []int{1, 2, 4, 8} {
+		parts, err := ir.SplitModule(m, n)
+		if err != nil {
+			t.Fatalf("split %d: %v", n, err)
+		}
+		if len(parts) != n {
+			t.Fatalf("split %d: got %d parts", n, len(parts))
+		}
+		defs := 0
+		for i, p := range parts {
+			if err := ir.VerifyModule(p); err != nil {
+				t.Fatalf("split %d: partition %d invalid: %v", n, i, err)
+			}
+			for _, f := range p.Funcs {
+				if !f.IsDecl() {
+					defs++
+				}
+			}
+		}
+		wantDefs := 0
+		for _, f := range m.Funcs {
+			if !f.IsDecl() {
+				wantDefs++
+			}
+		}
+		if defs != wantDefs {
+			t.Fatalf("split %d: %d definitions across parts, want %d", n, defs, wantDefs)
+		}
+		linked, err := ir.LinkModules(m.Name, parts...)
+		if err != nil {
+			t.Fatalf("split %d: relink: %v", n, err)
+		}
+		if got := ir.ModuleString(linked); got != want {
+			t.Fatalf("split %d: relinked module differs from the original", n)
+		}
+	}
+	// The input must be untouched.
+	if got := ir.ModuleString(m); got != want {
+		t.Fatal("SplitModule mutated its input")
+	}
+}
+
+func TestSplitModuleErrors(t *testing.T) {
+	m := irgen.Generate(irgen.DefaultConfig(5)).Module
+	if _, err := ir.SplitModule(m, 0); err == nil {
+		t.Error("0 partitions accepted")
+	}
+	if _, err := ir.SplitModule(m, len(m.Funcs)+1); err == nil {
+		t.Error("more partitions than definitions accepted")
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"f3m/internal/analysis/summary"
 )
 
 // Route describes one API endpoint: the smoke gate drives every route
@@ -32,6 +34,7 @@ func Routes() []Route {
 		{"POST", "/v1/modules", "modules.submit", "submit a module: {\"name\", \"ir\"}"},
 		{"GET", "/v1/modules/{name}", "modules.get", "one module's info"},
 		{"DELETE", "/v1/modules/{name}", "modules.remove", "remove a module and unindex its functions"},
+		{"GET", "/v1/summaries", "summaries", "per-function merge summaries of every live module (cross-module planning input)"},
 		{"POST", "/v1/query", "query", "find near-duplicates of a stored or inline function"},
 		{"POST", "/v1/merge", "merge", "incrementally re-merge the live corpus"},
 		{"GET", "/v1/report", "report", "last merge report (summary, pairs, diagnostics)"},
@@ -145,6 +148,7 @@ func (s *Server) Handler() http.Handler {
 		"modules.submit": s.handleModulesSubmit,
 		"modules.get":    s.handleModulesGet,
 		"modules.remove": s.handleModulesRemove,
+		"summaries":      s.handleSummaries,
 		"query":          s.handleQuery,
 		"merge":          s.handleMerge,
 		"report":         s.handleReport,
@@ -223,6 +227,24 @@ func (s *Server) handleModulesRemove(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"removed": name})
+}
+
+// handleSummaries serves GET /v1/summaries: the live corpus as
+// versioned per-function merge summaries, the planning input of the
+// cross-module workflow (see DESIGN.md, "Cross-module merging").
+func (s *Server) handleSummaries(w http.ResponseWriter, r *http.Request) {
+	sums, err := s.Summaries()
+	if err != nil {
+		s.fail(w, "summaries", err)
+		return
+	}
+	if sums == nil {
+		sums = []*summary.ModuleSummary{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":   s.Store().Epoch(),
+		"modules": sums,
+	})
 }
 
 // handleQuery serves POST /v1/query.

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"f3m/internal/analysis/summary"
 	"f3m/internal/ir"
 	"f3m/internal/irgen"
 	"f3m/internal/obs"
@@ -119,6 +120,27 @@ func SelfCheck(w io.Writer, servingDoc string) error {
 		return fmt.Errorf("selfcheck: inline self-query found no exact match: %+v", q.Matches)
 	}
 	fmt.Fprintf(w, "selfcheck: queries ok (%d matches for inline self-probe)\n", len(q.Matches))
+
+	// Summaries: the exported set must cover both modules and ingest
+	// cleanly into a cross-module planning index (version, params and
+	// one-definition checks all pass).
+	var sums struct {
+		Modules []*summary.ModuleSummary `json:"modules"`
+	}
+	if err := c.do("GET", "/v1/summaries", "summaries", nil, http.StatusOK, &sums); err != nil {
+		return err
+	}
+	if len(sums.Modules) != 2 {
+		return fmt.Errorf("selfcheck: want 2 module summaries, got %d", len(sums.Modules))
+	}
+	six := summary.NewIndex()
+	for _, ms := range sums.Modules {
+		if err := six.Add(ms); err != nil {
+			return fmt.Errorf("selfcheck: exported summaries do not ingest: %w", err)
+		}
+	}
+	fmt.Fprintf(w, "selfcheck: summaries ok (%d modules, %d funcs in %s)\n",
+		len(sums.Modules), len(sums.Modules[0].Funcs), sums.Modules[0].Module)
 
 	// Merge, report, merged IR.
 	var sum MergeSummary

@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"f3m/internal/analysis/summary"
+	"f3m/internal/ir"
+)
+
+// Summaries extracts the per-function merge summaries of every live
+// module, sorted by submission name — the serving side of the
+// cross-module workflow. A client can pull these instead of the module
+// texts, plan merges offline over the summaries alone (summary.Index),
+// and only fetch IR for the modules a plan actually links. Parameters
+// come from the store config, so exported summaries are comparable
+// with each other and with `f3m summary` output under the same
+// parameters; the summaries ingest cleanly into one summary.Index
+// because submission names are unique and module texts are verified on
+// submit.
+func (s *Server) Summaries() ([]*summary.ModuleSummary, error) {
+	type nameSrc struct{ name, src string }
+	s.mu.RLock()
+	mods := make([]nameSrc, 0, len(s.modules))
+	for _, e := range s.modules {
+		mods = append(mods, nameSrc{name: e.name, src: e.src})
+	}
+	s.mu.RUnlock()
+	sort.Slice(mods, func(i, j int) bool { return mods[i].name < mods[j].name })
+
+	sc := s.Store().Config()
+	params := summary.Params{
+		K:           sc.K,
+		ShingleSize: sc.ShingleSize,
+		Seed:        sc.Seed,
+		Rows:        sc.Rows,
+		Bands:       sc.Bands,
+		BucketCap:   sc.BucketCap,
+	}
+	out := make([]*summary.ModuleSummary, 0, len(mods))
+	for _, m := range mods {
+		// Entries hold canonical printed sources (SubmitModule pins
+		// them), so the re-parse cannot fail on live state; treat a
+		// failure as the internal error it would be.
+		mod, err := ir.ParseModule(m.src)
+		if err != nil {
+			return nil, fmt.Errorf("serve: reparse %s: %w", m.name, err)
+		}
+		ms := summary.Extract(mod, params, nil, s.mx)
+		// The registry name is the identity clients address modules by;
+		// the parsed module name is whatever the submitted text carried.
+		ms.Module = m.name
+		out = append(out, ms)
+	}
+	return out, nil
+}

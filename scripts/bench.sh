@@ -5,10 +5,13 @@
 # worker pool and pooled-DP alignment cache) and writes the numbers to
 # BENCH_merge.json so the perf trajectory — ns/op, allocs/op and the
 # committer's cache hit rate per -merge-workers setting — is tracked
-# across PRs. BENCHTIME and the output path are overridable:
+# across PRs. It also runs BenchmarkSummaryExtract (the per-module half
+# of the cross-module workflow) and writes summaries/sec plus bytes/func
+# to BENCH_summary.json. BENCHTIME and the output paths are overridable:
 #
 #   BENCHTIME=5x scripts/bench.sh          # more iterations
-#   scripts/bench.sh out/bench.json        # alternate output file
+#   scripts/bench.sh out/bench.json        # alternate merge output file
+#   SUMOUT=out/sum.json scripts/bench.sh   # alternate summary output file
 #
 # When BENCH_budget.json exists (override the path with ALLOC_BUDGET,
 # or set ALLOC_BUDGET=skip to bypass), the run also gates allocs/op
@@ -54,6 +57,29 @@ END   { printf "\n]\n" }
 
 echo "== wrote $OUT"
 cat "$OUT"
+
+SUMOUT="${SUMOUT:-BENCH_summary.json}"
+echo "== go test -bench BenchmarkSummaryExtract (benchtime $BENCHTIME)"
+go test -run '^$' -bench '^BenchmarkSummaryExtract$' -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+
+awk '
+/^BenchmarkSummaryExtract/ {
+    ns = ""; bytes = ""; allocs = ""; sps = ""; bpf = ""
+    for (i = 3; i < NF; i += 2) {
+        v = $i; u = $(i + 1)
+        if (u == "ns/op") ns = v
+        else if (u == "B/op") bytes = v
+        else if (u == "allocs/op") allocs = v
+        else if (u == "summaries/s") sps = v
+        else if (u == "bytes/func") bpf = v
+    }
+    printf "[\n  {\"bench\": \"SummaryExtract\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"summaries_per_sec\": %s, \"bytes_per_func\": %s}\n]\n", \
+        ns, bytes, allocs, (sps == "" ? "null" : sps), (bpf == "" ? "null" : bpf)
+}
+' "$RAW" >"$SUMOUT"
+
+echo "== wrote $SUMOUT"
+cat "$SUMOUT"
 
 if [ "$ALLOC_BUDGET" != "skip" ] && [ -f "$ALLOC_BUDGET" ]; then
     echo "== allocs/op gate ($ALLOC_BUDGET)"

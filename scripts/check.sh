@@ -38,6 +38,27 @@ go run ./cmd/f3m -check=validate testdata/handlers.c >/dev/null
 go run ./cmd/f3m -check=validate -strategy hyfm testdata/handlers.c >/dev/null
 go run ./cmd/f3m -check=validate -gen 200 -seed 5 >/dev/null
 
+echo "== f3m summary/merge cross-module gate"
+# The cross-module gate: summarize the two checked-in corpus modules,
+# merge them optimistically from the summaries under the translation
+# validator, and require (a) byte-identical reports at sequential vs
+# fully parallel settings and (b) zero misspeculated commits on clean
+# inputs. Summaries are regenerated into a temp dir so the gate also
+# proves `f3m summary` output still drives the merge (the golden test
+# separately pins the checked-in .sum files).
+XMOD="$(mktemp -d)"
+trap 'rm -rf "$XMOD"' EXIT
+go run ./cmd/f3m summary -source xmod_a.ir -o "$XMOD/xmod_a.sum" cmd/f3m/testdata/xmod_a.ir
+go run ./cmd/f3m summary -source xmod_b.ir -o "$XMOD/xmod_b.sum" cmd/f3m/testdata/xmod_b.ir
+cp cmd/f3m/testdata/xmod_a.ir cmd/f3m/testdata/xmod_b.ir "$XMOD/"
+go run ./cmd/f3m merge -summaries -check=validate -workers 1 -merge-workers 1 -v \
+    "$XMOD/xmod_a.sum" "$XMOD/xmod_b.sum" | sed 's/^pass time:.*$//' >"$XMOD/seq.txt"
+go run ./cmd/f3m merge -summaries -check=validate -workers 8 -merge-workers 8 -v \
+    "$XMOD/xmod_a.sum" "$XMOD/xmod_b.sum" | sed 's/^pass time:.*$//' >"$XMOD/par.txt"
+cmp "$XMOD/seq.txt" "$XMOD/par.txt"
+grep -q "0 misspeculated" "$XMOD/seq.txt"
+grep -q "cross-module)" "$XMOD/seq.txt"
+
 echo "== f3m serve self-check (API smoke + SERVING.md drift)"
 # The serving gate: boot a loopback daemon, drive every HTTP route
 # (submit, query, merge, snapshot -> mutate -> restore -> re-merge with
