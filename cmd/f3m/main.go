@@ -1,6 +1,9 @@
 // Command f3m applies function merging to a module and reports the
-// result. Input is either a textual IR file (see internal/ir), one or
-// more mini-C source files, or a generated synthetic workload.
+// result. Inputs are dispatched on file extension: .ir textual IR
+// files (see internal/ir), .c mini-C source files, .wat WebAssembly
+// text modules (see internal/wat), or a generated synthetic workload.
+// Mini-C files concatenate into one translation unit; IR and wat
+// files are linked LTO-style into one module.
 //
 // The serve subcommand instead starts the long-lived merge-as-a-service
 // daemon (see SERVING.md for the HTTP API and `f3m serve -h` for its
@@ -13,9 +16,9 @@
 //
 // Usage:
 //
-//	f3m [flags] [file.ir | file.c ...]
+//	f3m [flags] [file.ir | file.c | file.wat ...]
 //	f3m serve [flags]
-//	f3m summary [-o FILE] [-source PATH] [-k K] [file.ir | -gen N]
+//	f3m summary [-o FILE] [-source PATH] [-k K] [file.ir | file.c | file.wat | -gen N]
 //	f3m merge -summaries [flags] a.sum b.sum ...
 //
 //	-strategy hyfm|f3m|f3m-adapt   ranking strategy (default f3m)
@@ -49,6 +52,7 @@ import (
 	"f3m/internal/irgen"
 	"f3m/internal/minic"
 	"f3m/internal/obs"
+	"f3m/internal/wat"
 )
 
 func main() {
@@ -205,7 +209,55 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
+// frontendExt maps an input file name to its front end. Files with no
+// extension are treated as textual IR for backward compatibility with
+// piped temp files.
+func frontendExt(path string) (string, error) {
+	switch ext := filepath.Ext(path); ext {
+	case ".ir", "":
+		return ".ir", nil
+	case ".c":
+		return ".c", nil
+	case ".wat":
+		return ".wat", nil
+	default:
+		return "", fmt.Errorf("%s: unknown input extension %q (supported: .ir textual IR, .c mini-C, .wat WebAssembly text)", path, ext)
+	}
+}
+
+// loadFile runs one input file through its front end and returns a
+// verified module named after the file when the source does not name
+// itself (so cross-module summary accounting gets distinct names).
+func loadFile(path string) (*ir.Module, error) {
+	ext, err := frontendExt(path)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	base := filepath.Base(path)
+	switch ext {
+	case ".c":
+		return minic.Compile(base, string(data))
+	case ".wat":
+		return wat.Compile(strings.TrimSuffix(base, ".wat"), string(data))
+	default:
+		mod, err := ir.ParseModule(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if err := ir.VerifyModule(mod); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return mod, nil
+	}
+}
+
 // loadModule assembles the input module from files or the generator.
+// All files must use the same front end (mixing .c and .wat in one
+// invocation has no defined link semantics).
 func loadModule(files []string, gen int, seed int64) (*ir.Module, error) {
 	if gen > 0 {
 		spec := irgen.SuiteSpec{Name: "generated", Funcs: gen, AvgInstrs: 25, CloneFraction: 0.4}
@@ -214,9 +266,22 @@ func loadModule(files []string, gen int, seed int64) (*ir.Module, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("no input files (or use -gen N)")
 	}
-	// Mini-C inputs are concatenated into one translation unit; IR
-	// input must be a single file.
-	if strings.HasSuffix(files[0], ".c") {
+	ext, err := frontendExt(files[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range files[1:] {
+		e, err := frontendExt(f)
+		if err != nil {
+			return nil, err
+		}
+		if e != ext {
+			return nil, fmt.Errorf("%s: cannot mix %s and %s inputs in one invocation", f, ext, e)
+		}
+	}
+	// Mini-C inputs are concatenated into one translation unit, like a
+	// single-file amalgamation build.
+	if ext == ".c" {
 		var src strings.Builder
 		for _, f := range files {
 			data, err := os.ReadFile(f)
@@ -228,20 +293,13 @@ func loadModule(files []string, gen int, seed int64) (*ir.Module, error) {
 		}
 		return minic.Compile(filepath.Base(files[0]), src.String())
 	}
-	// Multiple IR files are linked LTO-style into one module, matching
+	// IR and wat units are linked LTO-style into one module, matching
 	// the paper's monolithic-bitcode setup.
 	var units []*ir.Module
 	for _, f := range files {
-		data, err := os.ReadFile(f)
+		mod, err := loadFile(f)
 		if err != nil {
 			return nil, err
-		}
-		mod, err := ir.ParseModule(string(data))
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", f, err)
-		}
-		if err := ir.VerifyModule(mod); err != nil {
-			return nil, fmt.Errorf("%s: %w", f, err)
 		}
 		units = append(units, mod)
 	}

@@ -111,16 +111,9 @@ func runMergeSummaries(args []string, stdout io.Writer) error {
 		if !filepath.IsAbs(src) {
 			src = filepath.Join(filepath.Dir(sumPath), src)
 		}
-		irText, err := os.ReadFile(src)
+		mod, err := loadFile(src)
 		if err != nil {
 			return fmt.Errorf("%s: loading module: %w", sumPath, err)
-		}
-		mod, err := ir.ParseModule(string(irText))
-		if err != nil {
-			return fmt.Errorf("%s: %w", src, err)
-		}
-		if err := ir.VerifyModule(mod); err != nil {
-			return fmt.Errorf("%s: %w", src, err)
 		}
 		if err := ix.Add(ms); err != nil {
 			return err

@@ -1,0 +1,145 @@
+;; Revision 1 of a tiny wat token scanner, modeled on the two
+;; wazero text-parser revisions in SNIPPETS.md: classification
+;; helpers, a rolling token hash, and a field dispatcher. Revision 2
+;; (scanner_v2.wat) carries the same helpers with small edits, giving
+;; the merger the near-duplicate cross-revision pairs the paper
+;; targets.
+(module $scanner_v1
+  (func $is_space_v1 (param $c i32) (result i32)
+    local.get $c
+    i32.const 32
+    i32.eq
+    local.get $c
+    i32.const 9
+    i32.eq
+    i32.or
+    local.get $c
+    i32.const 10
+    i32.eq
+    i32.or
+    local.get $c
+    i32.const 13
+    i32.eq
+    i32.or)
+
+  (func $is_idchar_v1 (param $c i32) (result i32)
+    local.get $c
+    i32.const 97
+    i32.ge_s
+    local.get $c
+    i32.const 122
+    i32.le_s
+    i32.and
+    local.get $c
+    i32.const 48
+    i32.ge_s
+    local.get $c
+    i32.const 57
+    i32.le_s
+    i32.and
+    i32.or
+    local.get $c
+    i32.const 46
+    i32.eq
+    i32.or
+    local.get $c
+    i32.const 95
+    i32.eq
+    i32.or)
+
+  (func $hash_token_v1 (param $h i32) (param $c i32) (result i32)
+    local.get $h
+    i32.const 31
+    i32.mul
+    local.get $c
+    i32.add
+    i32.const 16777215
+    i32.and)
+
+  (func $scan_ident_v1 (param $seed i32) (param $len i32) (result i32)
+    (local $i i32) (local $h i32)
+    local.get $seed
+    local.set $h
+    block $done
+      loop $head
+        local.get $i
+        local.get $len
+        i32.ge_s
+        br_if $done
+        local.get $h
+        local.get $seed
+        local.get $i
+        i32.add
+        call $hash_token_v1
+        local.set $h
+        local.get $i
+        i32.const 1
+        i32.add
+        local.set $i
+        br $head
+      end
+    end
+    local.get $h)
+
+  (func $field_kind_v1 (param $tok i32) (param $depth i32) (result i32)
+    local.get $tok
+    i32.const 1
+    i32.eq
+    if (result i32)
+      local.get $depth
+      i32.const 1
+      i32.add
+      i32.const 8
+      i32.shl
+      i32.const 1
+      i32.or
+    else
+      local.get $tok
+      i32.const 2
+      i32.eq
+      if (result i32)
+        local.get $depth
+        i32.const 8
+        i32.shl
+        i32.const 2
+        i32.or
+      else
+        local.get $tok
+        i32.const 3
+        i32.eq
+        if (result i32)
+          local.get $depth
+          i32.const 8
+          i32.shl
+          i32.const 3
+          i32.or
+        else
+          i32.const 0
+        end
+      end
+    end)
+
+  ;; Entry point: classify one character against the scanner state.
+  ;; Unlike the helpers it has no v2 near-duplicate (revision 2
+  ;; restructured its driver into a loop), so it survives merging with
+  ;; its call sites rewritten to the merged helpers — the function the
+  ;; differential test drives.
+  (func $next_token_v1 (param $state i32) (param $c i32) (result i32)
+    local.get $c
+    call $is_space_v1
+    if (result i32)
+      local.get $state
+    else
+      local.get $c
+      call $is_idchar_v1
+      if (result i32)
+        local.get $state
+        local.get $c
+        call $hash_token_v1
+      else
+        local.get $c
+        local.get $state
+        call $field_kind_v1
+      end
+    end)
+)

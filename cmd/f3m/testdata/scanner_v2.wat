@@ -1,0 +1,166 @@
+;; Revision 2 of the scanner in scanner_v1.wat: is_space gains a
+;; form-feed clause, the hash multiplier changes, scan_ident skips
+;; space characters, and field_kind learns a fourth field. Each
+;; function is a near-duplicate of its v1 counterpart.
+(module $scanner_v2
+  (func $is_space_v2 (param $c i32) (result i32)
+    local.get $c
+    i32.const 32
+    i32.eq
+    local.get $c
+    i32.const 9
+    i32.eq
+    i32.or
+    local.get $c
+    i32.const 10
+    i32.eq
+    i32.or
+    local.get $c
+    i32.const 12
+    i32.eq
+    i32.or)
+
+  (func $is_idchar_v2 (param $c i32) (result i32)
+    local.get $c
+    i32.const 97
+    i32.ge_s
+    local.get $c
+    i32.const 122
+    i32.le_s
+    i32.and
+    local.get $c
+    i32.const 48
+    i32.ge_s
+    local.get $c
+    i32.const 57
+    i32.le_s
+    i32.and
+    i32.or
+    local.get $c
+    i32.const 46
+    i32.eq
+    i32.or
+    local.get $c
+    i32.const 36
+    i32.eq
+    i32.or)
+
+  (func $hash_token_v2 (param $h i32) (param $c i32) (result i32)
+    local.get $h
+    i32.const 33
+    i32.mul
+    local.get $c
+    i32.add
+    i32.const 16777215
+    i32.and)
+
+  (func $scan_ident_v2 (param $seed i32) (param $len i32) (result i32)
+    (local $i i32) (local $h i32)
+    local.get $seed
+    local.set $h
+    block $done
+      loop $head
+        local.get $i
+        local.get $len
+        i32.ge_s
+        br_if $done
+        local.get $h
+        local.get $seed
+        local.get $i
+        i32.add
+        call $hash_token_v2
+        local.set $h
+        local.get $i
+        i32.const 1
+        i32.add
+        local.set $i
+        br $head
+      end
+    end
+    local.get $h)
+
+  (func $field_kind_v2 (param $tok i32) (param $depth i32) (result i32)
+    local.get $tok
+    i32.const 1
+    i32.eq
+    if (result i32)
+      local.get $depth
+      i32.const 1
+      i32.add
+      i32.const 8
+      i32.shl
+      i32.const 1
+      i32.or
+    else
+      local.get $tok
+      i32.const 2
+      i32.eq
+      if (result i32)
+        local.get $depth
+        i32.const 8
+        i32.shl
+        i32.const 2
+        i32.or
+      else
+        local.get $tok
+        i32.const 4
+        i32.eq
+        if (result i32)
+          local.get $depth
+          i32.const 8
+          i32.shl
+          i32.const 4
+          i32.or
+        else
+          i32.const 0
+        end
+      end
+    end)
+
+  ;; Revision 2 driver: folds a whole line through the helpers in a
+  ;; loop. Deliberately a different shape from next_token_v1 so the
+  ;; two drivers never rank as a pair; both survive merging as the
+  ;; callers of the merged helpers.
+  (func $scan_line_v2 (param $seed i32) (param $n i32) (result i32)
+    (local $i i32) (local $acc i32)
+    local.get $seed
+    local.set $acc
+    block $done
+      loop $head
+        local.get $i
+        local.get $n
+        i32.ge_s
+        br_if $done
+        local.get $acc
+        local.get $i
+        call $hash_token_v2
+        local.get $i
+        i32.const 3
+        i32.and
+        local.get $seed
+        call $field_kind_v2
+        i32.add
+        local.set $acc
+        local.get $i
+        i32.const 97
+        i32.add
+        call $is_idchar_v2
+        if
+          local.get $acc
+          local.get $seed
+          local.get $i
+          i32.const 3
+          i32.and
+          call $scan_ident_v2
+          i32.xor
+          local.set $acc
+        end
+        local.get $i
+        i32.const 1
+        i32.add
+        local.set $i
+        br $head
+      end
+    end
+    local.get $acc)
+)

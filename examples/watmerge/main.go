@@ -1,0 +1,143 @@
+// watmerge compiles two revisions of a WebAssembly text module — the
+// copy-evolved near-duplicate pattern function merging targets —
+// links them LTO-style, merges with F3M under the translation
+// validator, and verifies through the interpreter that the surviving
+// entry point behaves identically.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"f3m/internal/core"
+	"f3m/internal/interp"
+	"f3m/internal/ir"
+	"f3m/internal/wat"
+)
+
+// Revision 1: a pair of classification helpers and the entry point
+// that folds a character into a checksum state.
+const rev1 = `
+(module $csum_v1
+  (func $is_digit_v1 (param $c i32) (result i32)
+    local.get $c i32.const 48 i32.ge_s
+    local.get $c i32.const 57 i32.le_s
+    i32.and)
+  (func $mix_v1 (param $h i32) (param $c i32) (result i32)
+    local.get $h i32.const 31 i32.mul
+    local.get $c i32.add
+    i32.const 65535 i32.and)
+  (func $step_v1 (param $h i32) (param $c i32) (result i32)
+    local.get $c call $is_digit_v1
+    if (result i32)
+      local.get $h local.get $c call $mix_v1
+    else
+      local.get $h
+    end))
+`
+
+// Revision 2: the same helpers after a round of edits — a widened
+// digit test and a different multiplier. Each is a near-duplicate of
+// its v1 counterpart; the entry point changed shape (a loop) so it
+// stays unmerged and observable.
+const rev2 = `
+(module $csum_v2
+  (func $is_digit_v2 (param $c i32) (result i32)
+    local.get $c i32.const 48 i32.ge_s
+    local.get $c i32.const 70 i32.le_s
+    i32.and)
+  (func $mix_v2 (param $h i32) (param $c i32) (result i32)
+    local.get $h i32.const 33 i32.mul
+    local.get $c i32.add
+    i32.const 65535 i32.and)
+  (func $sum_v2 (param $seed i32) (param $n i32) (result i32)
+    (local $i i32) (local $h i32)
+    local.get $seed local.set $h
+    block $done
+      loop $head
+        local.get $i local.get $n i32.ge_s
+        br_if $done
+        local.get $i i32.const 48 i32.add call $is_digit_v2
+        if
+          local.get $h local.get $i call $mix_v2 local.set $h
+        end
+        local.get $i i32.const 1 i32.add local.set $i
+        br $head
+      end
+    end
+    local.get $h))
+`
+
+func main() {
+	build := func() *ir.Module {
+		m1 := wat.MustCompile("csum_v1", rev1)
+		m2 := wat.MustCompile("csum_v2", rev2)
+		m, err := ir.LinkModules("csum", m1, m2)
+		if err != nil {
+			panic(err)
+		}
+		return m
+	}
+
+	// Reference outputs before merging, through both entry points.
+	ref := build()
+	type key struct{ a, b int64 }
+	var inputs []key
+	for _, a := range []int64{0, 1, 7, 42, 255} {
+		for _, b := range []int64{0, 47, 48, 57, 58, 70, 9} {
+			inputs = append(inputs, key{a, b})
+		}
+	}
+	wantStep := map[key]int64{}
+	wantSum := map[key]int64{}
+	for _, in := range inputs {
+		wantStep[in] = call2(ref, "step_v1", in.a, in.b)
+		wantSum[in] = call2(ref, "sum_v2", in.a, in.b)
+	}
+
+	// Merge under the translation validator: every committed merge is
+	// re-proved behaviourally equivalent before it lands.
+	m := build()
+	cfg := core.DefaultConfig(core.F3MStatic)
+	cfg.Check = core.CheckValidate
+	rep, err := core.Run(m, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("functions merged: %d pairs of %d functions\n", rep.Merges, rep.NumFuncs)
+	fmt.Printf("size: %d -> %d (%.1f%% reduction)\n", rep.SizeBefore, rep.SizeAfter, 100*rep.Reduction())
+	fmt.Printf("validation: %d diagnostics\n", len(rep.Diagnostics))
+
+	for _, f := range m.Funcs {
+		if strings.HasPrefix(f.Name(), "merged.") {
+			fmt.Printf("\nmerged function:\n%s", ir.FuncString(f))
+		}
+	}
+
+	// Differential check through the surviving entry points.
+	bad := 0
+	for _, in := range inputs {
+		if got := call2(m, "step_v1", in.a, in.b); got != wantStep[in] {
+			fmt.Printf("MISMATCH step_v1(%d,%d) = %d, want %d\n", in.a, in.b, got, wantStep[in])
+			bad++
+		}
+		if got := call2(m, "sum_v2", in.a, in.b); got != wantSum[in] {
+			fmt.Printf("MISMATCH sum_v2(%d,%d) = %d, want %d\n", in.a, in.b, got, wantSum[in])
+			bad++
+		}
+	}
+	if bad == 0 {
+		fmt.Printf("\nverified: %d calls behave identically after merging\n", 2*len(inputs))
+	}
+}
+
+func call2(m *ir.Module, fn string, a, b int64) int64 {
+	f := m.Func(fn)
+	out, err := interp.NewMachine(m).Call(f,
+		interp.IntVal(m.Ctx.I32, a),
+		interp.IntVal(m.Ctx.I32, b))
+	if err != nil {
+		panic(err)
+	}
+	return out.I
+}

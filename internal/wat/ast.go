@@ -1,0 +1,88 @@
+package wat
+
+// ValType is a WebAssembly value type. The subset covers the four MVP
+// number types.
+type ValType uint8
+
+// The wat number types.
+const (
+	I32 ValType = iota
+	I64
+	F32
+	F64
+)
+
+// String returns the textual name of the value type.
+func (t ValType) String() string {
+	switch t {
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	case F32:
+		return "f32"
+	case F64:
+		return "f64"
+	}
+	return "valtype?"
+}
+
+// valTypeByName maps type names back to ValType for the parser.
+var valTypeByName = map[string]ValType{
+	"i32": I32, "i64": I64, "f32": F32, "f64": F64,
+}
+
+// Module is a parsed wat module: an optional $id and a function list.
+// The subset has no imports, tables, memories or globals; anything
+// else in the module field list is a parse error.
+type Module struct {
+	Name  string // $id without the sigil, or ""
+	Funcs []*Func
+}
+
+// Func is one (func …) definition.
+type Func struct {
+	Name    string // $id without the sigil, or ""
+	Params  []Local
+	Results []ValType
+	Locals  []Local
+	Body    []Instr
+	Pos     Pos
+}
+
+// Local is a parameter or local declaration: an optional name and a
+// value type.
+type Local struct {
+	Name string
+	Type ValType
+}
+
+// Instr is one body instruction in flat (linear) form. Folded
+// expressions are desugared by the parser, so the AST carries the
+// plain instruction sequence the wasm spec defines block/loop/if
+// nesting over.
+type Instr struct {
+	// Op is the mnemonic exactly as the grammar spells it, e.g.
+	// "i32.add", "local.get", "block", "else", "end".
+	Op string
+
+	// Sym is a symbolic immediate ($label, $local or $func reference,
+	// without the sigil). When empty and HasIdx is set, Idx carries the
+	// numeric form instead.
+	Sym    string
+	Idx    int
+	HasIdx bool
+
+	// IntVal holds the canonicalized immediate of i32.const/i64.const
+	// (sign-extended from the type's width); FloatVal that of
+	// f32.const/f64.const (already rounded to float32 for f32).
+	IntVal   int64
+	FloatVal float64
+
+	// Result is the block result type of block/loop/if when HasResult
+	// is set; the subset supports arity 0 or 1.
+	Result    ValType
+	HasResult bool
+
+	Pos Pos
+}

@@ -1,0 +1,61 @@
+package wat
+
+import (
+	"testing"
+
+	"f3m/internal/ir"
+)
+
+// FuzzWatParseRoundTrip feeds arbitrary text through the wat front
+// end. Three contracts hold under fuzzing: the parser and lowerer
+// never panic; any module that parses survives a print → reparse →
+// print round trip byte-identically (ModuleText is a fixpoint and the
+// canonical form loses nothing the parser cares about); and any
+// module the lowerer accepts passes the strict IR verifier.
+func FuzzWatParseRoundTrip(f *testing.F) {
+	f.Add(`(module $m (func $add (param $a i32) (param $b i32) (result i32)
+  local.get $a local.get $b i32.add))`)
+	f.Add(`(func $sum (param $n i32) (result i32) (local $i i32) (local $acc i32)
+  block $done
+    loop $head
+      local.get $i local.get $n i32.ge_s
+      br_if $done
+      local.get $acc local.get $i i32.add local.set $acc
+      local.get $i i32.const 1 i32.add local.set $i
+      br $head
+    end
+  end
+  local.get $acc)`)
+	f.Add(`(func $clamp (param $x i32) (result i32)
+  (if (result i32) (i32.gt_s (local.get $x) (i32.const 100))
+    (then (i32.const 100))
+    (else (local.get $x))))`)
+	f.Add(`(func (result f64) f64.const -2.5e3 f64.const nan:0x400 f64.mul)`)
+	f.Add(`(func i64.const -0x8000000000000000 i32.wrap_i64 drop)`)
+	f.Add(`(func block block br 2 end end) ;; br to the function label`)
+	f.Add(`(module (; nested (; comment ;) ;) (func $f unreachable))`)
+	f.Add(`(func (param i32) (result i32) local.get 0 if (result i32)`)
+	f.Add(`(func i32.add)`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are the bug
+		}
+		text := ModuleText(m)
+		m2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("printed form does not reparse: %v\nprinted:\n%s\nsource:\n%s", err, text, src)
+		}
+		if text2 := ModuleText(m2); text2 != text {
+			t.Fatalf("print is not a fixpoint:\n--- first ---\n%s--- second ---\n%s\nsource:\n%s", text, text2, src)
+		}
+		lowered, err := Lower("fuzz.wat", m)
+		if err != nil {
+			return // type errors are fine; panics and bad IR are the bug
+		}
+		if err := ir.VerifyModule(lowered); err != nil {
+			t.Fatalf("accepted source lowered to invalid IR: %v\nsource:\n%s", err, src)
+		}
+	})
+}

@@ -1,0 +1,767 @@
+package wat
+
+import (
+	"fmt"
+	"strconv"
+
+	"f3m/internal/ir"
+	"f3m/internal/passes"
+)
+
+// Lower translates a parsed wat module into an IR module. Every
+// function is fully validated during lowering — operand-stack typing,
+// label resolution, local and call signatures — so malformed input
+// yields a positioned error, never a panic, and every module produced
+// passes ir.VerifyModule.
+func Lower(name string, m *Module) (*ir.Module, error) {
+	if m.Name != "" {
+		name = m.Name
+	}
+	lw := &lowerer{
+		ast:     m,
+		mod:     ir.NewModule(name),
+		fnIndex: make(map[string]int, len(m.Funcs)),
+	}
+	return lw.lowerModule()
+}
+
+// lowerer carries the module- and function-level lowering state.
+type lowerer struct {
+	ast     *Module
+	mod     *ir.Module
+	irFuncs []*ir.Function
+	fnIndex map[string]int // $name -> function index
+
+	// Per-function state.
+	fn     *ir.Function
+	decl   *Func
+	bd     *ir.Builder
+	slots  []localSlot
+	locIdx map[string]int // $name -> slot index
+	stack  []ir.Value
+	frames []*frame
+}
+
+// localSlot binds a param or local to its stack slot.
+type localSlot struct {
+	ty   *ir.Type
+	addr ir.Value
+}
+
+// frame is one entry of the wasm control stack.
+type frame struct {
+	kind  byte   // 'F' function body, 'b' block, 'i' if, 'l' loop
+	label string // $label, or ""
+
+	// branchTarget is where br jumps: the end block for block/if/
+	// function frames, the loop header for loops.
+	branchTarget *ir.Block
+	end          *ir.Block
+	elseB        *ir.Block // if only
+	seenElse     bool
+
+	// resultSlot spills the single block result; branches store into
+	// it and the end block reloads it, so Mem2Reg turns the join into
+	// a phi.
+	resultSlot ir.Value
+	resultTy   *ir.Type // nil when the frame has no result
+
+	stackBase int
+	dead      bool // the current position is unreachable
+	deadNest  int  // nested block/loop/if depth inside skipped dead code
+}
+
+func (lw *lowerer) irType(t ValType) *ir.Type {
+	c := lw.mod.Ctx
+	switch t {
+	case I32:
+		return c.I32
+	case I64:
+		return c.I64
+	case F32:
+		return c.F32
+	}
+	return c.F64
+}
+
+func (lw *lowerer) lowerModule() (*ir.Module, error) {
+	// Declare every function first so calls resolve forward references.
+	for i, fn := range lw.ast.Funcs {
+		name := fn.Name
+		if name == "" {
+			name = "f" + strconv.Itoa(i)
+		}
+		if _, dup := lw.fnIndex[name]; dup || lw.mod.Func(name) != nil {
+			return nil, errf(fn.Pos, "duplicate function $%s", name)
+		}
+		if fn.Name != "" {
+			lw.fnIndex[fn.Name] = i
+		}
+		if len(fn.Results) > 1 {
+			return nil, errf(fn.Pos, "multi-value results unsupported (function has %d)", len(fn.Results))
+		}
+		ret := lw.mod.Ctx.Void
+		if len(fn.Results) == 1 {
+			ret = lw.irType(fn.Results[0])
+		}
+		ptys := make([]*ir.Type, len(fn.Params))
+		pnames := make([]string, len(fn.Params))
+		for pi, p := range fn.Params {
+			ptys[pi] = lw.irType(p.Type)
+			pnames[pi] = p.Name
+		}
+		lw.irFuncs = append(lw.irFuncs, lw.mod.NewFunc(name, lw.mod.Ctx.Func(ret, ptys...), pnames...))
+	}
+	for i, fn := range lw.ast.Funcs {
+		if err := lw.lowerFunc(lw.irFuncs[i], fn); err != nil {
+			return nil, err
+		}
+	}
+	if err := ir.VerifyModule(lw.mod); err != nil {
+		return nil, fmt.Errorf("wat: internal error: lowered module invalid: %w", err)
+	}
+	return lw.mod, nil
+}
+
+func (lw *lowerer) lowerFunc(f *ir.Function, decl *Func) error {
+	lw.fn, lw.decl = f, decl
+	entry := f.NewBlock("entry")
+	lw.bd = ir.NewBuilder(entry)
+	lw.slots = lw.slots[:0]
+	lw.locIdx = make(map[string]int, len(decl.Params)+len(decl.Locals))
+	lw.stack = lw.stack[:0]
+	lw.frames = lw.frames[:0]
+
+	// Params and locals live in stack slots (re-promoted by Mem2Reg);
+	// wasm zero-initializes locals.
+	for i, p := range decl.Params {
+		ty := lw.irType(p.Type)
+		slot := lw.bd.Alloca(ty)
+		lw.bd.Store(f.Params[i], slot)
+		if err := lw.bindLocal(p.Name, decl.Pos); err != nil {
+			return err
+		}
+		lw.slots = append(lw.slots, localSlot{ty: ty, addr: slot})
+	}
+	for _, l := range decl.Locals {
+		ty := lw.irType(l.Type)
+		slot := lw.bd.Alloca(ty)
+		lw.bd.Store(zeroOf(ty), slot)
+		if err := lw.bindLocal(l.Name, decl.Pos); err != nil {
+			return err
+		}
+		lw.slots = append(lw.slots, localSlot{ty: ty, addr: slot})
+	}
+
+	// The function body is itself a control frame: br to the outermost
+	// label returns, and fall-through at the end of the body yields the
+	// result.
+	ff := &frame{kind: 'F', end: f.NewBlock("")}
+	ff.branchTarget = ff.end
+	if len(decl.Results) == 1 {
+		ff.resultTy = lw.irType(decl.Results[0])
+		ff.resultSlot = lw.allocaEntry(ff.resultTy)
+	}
+	lw.frames = append(lw.frames, ff)
+
+	for i := range decl.Body {
+		if err := lw.lowerInstr(&decl.Body[i]); err != nil {
+			return err
+		}
+	}
+	if len(lw.frames) != 1 {
+		return errf(decl.Pos, "function body ends inside a %s (missing end)", kindName(lw.frames[len(lw.frames)-1].kind))
+	}
+	// Implicit end of the function frame.
+	if !ff.dead {
+		if ff.resultTy != nil {
+			v, err := lw.pop(decl.Pos, ff.resultTy, "function result")
+			if err != nil {
+				return err
+			}
+			lw.bd.Store(v, ff.resultSlot)
+		}
+		if len(lw.stack) != ff.stackBase {
+			return errf(decl.Pos, "%d values left on the stack at function end", len(lw.stack)-ff.stackBase)
+		}
+		lw.bd.Br(ff.end)
+	}
+	lw.bd.SetBlock(ff.end)
+	if ff.resultTy != nil {
+		lw.bd.Ret(lw.bd.Load(ff.resultSlot))
+	} else {
+		lw.bd.Ret(nil)
+	}
+
+	// Dangling blocks (e.g. the untaken arm of a dead if) terminate as
+	// unreachable before cleanup, as in the mini-C front end.
+	for _, b := range f.Blocks {
+		if b.Term() == nil {
+			ir.NewBuilder(b).Unreachable()
+		}
+	}
+	passes.Mem2Reg(f)
+	passes.ConstFold(f)
+	passes.SimplifyCFG(f)
+	passes.DCE(f)
+	if err := ir.VerifyFunc(f); err != nil {
+		return fmt.Errorf("wat: internal error: lowered @%s invalid: %w\n%s", f.Name(), err, ir.FuncString(f))
+	}
+	return nil
+}
+
+func (lw *lowerer) bindLocal(name string, pos Pos) error {
+	if name == "" {
+		return nil
+	}
+	if _, dup := lw.locIdx[name]; dup {
+		return errf(pos, "duplicate local $%s", name)
+	}
+	lw.locIdx[name] = len(lw.slots)
+	return nil
+}
+
+func zeroOf(t *ir.Type) ir.Value {
+	if t.IsFloat() {
+		return ir.ConstFloat(t, 0)
+	}
+	return ir.ConstInt(t, 0)
+}
+
+// allocaEntry places a result slot at the entry block head, the
+// canonical position Mem2Reg promotes from.
+func (lw *lowerer) allocaEntry(ty *ir.Type) ir.Value {
+	slot := &ir.Instr{
+		Op:      ir.OpAlloca,
+		Ty:      lw.mod.Ctx.Pointer(ty),
+		AllocTy: ty,
+		Nam:     lw.fn.FreshName("s"),
+	}
+	lw.fn.Entry().InsertAt(0, slot)
+	return slot
+}
+
+func kindName(k byte) string {
+	switch k {
+	case 'b':
+		return "block"
+	case 'l':
+		return "loop"
+	case 'i':
+		return "if"
+	}
+	return "function body"
+}
+
+// --- operand stack ---
+
+func (lw *lowerer) top() *frame { return lw.frames[len(lw.frames)-1] }
+
+func (lw *lowerer) popAny(pos Pos, ctx string) (ir.Value, error) {
+	if len(lw.stack) <= lw.top().stackBase {
+		return nil, errf(pos, "%s: operand stack underflow", ctx)
+	}
+	v := lw.stack[len(lw.stack)-1]
+	lw.stack = lw.stack[:len(lw.stack)-1]
+	return v, nil
+}
+
+func (lw *lowerer) pop(pos Pos, want *ir.Type, ctx string) (ir.Value, error) {
+	v, err := lw.popAny(pos, ctx)
+	if err != nil {
+		return nil, err
+	}
+	if v.Type() != want {
+		return nil, errf(pos, "%s: operand is %s, want %s", ctx, v.Type(), want)
+	}
+	return v, nil
+}
+
+func (lw *lowerer) push(v ir.Value) { lw.stack = append(lw.stack, v) }
+
+// condToBool pops a wasm i32 condition and materializes the i1 the IR
+// branch instructions take.
+func (lw *lowerer) condToBool(pos Pos, ctx string) (ir.Value, error) {
+	c, err := lw.pop(pos, lw.mod.Ctx.I32, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return lw.bd.ICmp(ir.PredNE, c, ir.ConstInt(lw.mod.Ctx.I32, 0)), nil
+}
+
+// markDead records that the instruction just lowered transferred
+// control unconditionally: the frame continues as skipped dead code.
+func (lw *lowerer) markDead() {
+	top := lw.top()
+	top.dead = true
+	lw.stack = lw.stack[:top.stackBase]
+}
+
+// --- label and index resolution ---
+
+// resolveLabel maps a br/br_if immediate to its target frame:
+// numeric immediates count outward from the innermost frame, symbolic
+// ones find the innermost frame carrying the label. The function
+// frame is addressable by depth only, like the spec's implicit
+// outermost label.
+func (lw *lowerer) resolveLabel(in *Instr) (*frame, error) {
+	if in.Sym != "" {
+		for i := len(lw.frames) - 1; i >= 1; i-- {
+			if lw.frames[i].label == in.Sym {
+				return lw.frames[i], nil
+			}
+		}
+		return nil, errf(in.Pos, "%s: unknown label $%s", in.Op, in.Sym)
+	}
+	if in.Idx >= len(lw.frames) {
+		return nil, errf(in.Pos, "%s: label depth %d exceeds nesting %d", in.Op, in.Idx, len(lw.frames)-1)
+	}
+	return lw.frames[len(lw.frames)-1-in.Idx], nil
+}
+
+func (lw *lowerer) resolveLocal(in *Instr) (localSlot, error) {
+	idx := in.Idx
+	if in.Sym != "" {
+		i, ok := lw.locIdx[in.Sym]
+		if !ok {
+			return localSlot{}, errf(in.Pos, "%s: unknown local $%s", in.Op, in.Sym)
+		}
+		idx = i
+	}
+	if idx >= len(lw.slots) {
+		return localSlot{}, errf(in.Pos, "%s: local index %d out of range (%d locals)", in.Op, idx, len(lw.slots))
+	}
+	return lw.slots[idx], nil
+}
+
+func (lw *lowerer) resolveFunc(in *Instr) (*ir.Function, *Func, error) {
+	idx := in.Idx
+	if in.Sym != "" {
+		i, ok := lw.fnIndex[in.Sym]
+		if !ok {
+			return nil, nil, errf(in.Pos, "call: unknown function $%s", in.Sym)
+		}
+		idx = i
+	}
+	if idx >= len(lw.irFuncs) {
+		return nil, nil, errf(in.Pos, "call: function index %d out of range (%d functions)", idx, len(lw.irFuncs))
+	}
+	return lw.irFuncs[idx], lw.ast.Funcs[idx], nil
+}
+
+// --- instruction lowering ---
+
+func (lw *lowerer) lowerInstr(in *Instr) error {
+	top := lw.top()
+	if top.dead {
+		return lw.lowerDead(in)
+	}
+	switch in.Op {
+	case "nop":
+		return nil
+	case "drop":
+		_, err := lw.popAny(in.Pos, "drop")
+		return err
+	case "unreachable":
+		lw.bd.Unreachable()
+		lw.markDead()
+		return nil
+	case "block", "loop":
+		fr := &frame{kind: 'b', label: in.Sym, stackBase: len(lw.stack)}
+		if in.Op == "loop" {
+			fr.kind = 'l'
+			head := lw.fn.NewBlock("")
+			lw.bd.Br(head)
+			lw.bd.SetBlock(head)
+			fr.branchTarget = head
+		}
+		fr.end = lw.fn.NewBlock("")
+		if fr.branchTarget == nil {
+			fr.branchTarget = fr.end
+		}
+		if in.HasResult {
+			fr.resultTy = lw.irType(in.Result)
+			fr.resultSlot = lw.allocaEntry(fr.resultTy)
+		}
+		lw.frames = append(lw.frames, fr)
+		return nil
+	case "if":
+		cond, err := lw.condToBool(in.Pos, "if condition")
+		if err != nil {
+			return err
+		}
+		fr := &frame{kind: 'i', label: in.Sym, stackBase: len(lw.stack)}
+		thenB := lw.fn.NewBlock("")
+		fr.elseB = lw.fn.NewBlock("")
+		fr.end = lw.fn.NewBlock("")
+		fr.branchTarget = fr.end
+		if in.HasResult {
+			fr.resultTy = lw.irType(in.Result)
+			fr.resultSlot = lw.allocaEntry(fr.resultTy)
+		}
+		lw.bd.CondBr(cond, thenB, fr.elseB)
+		lw.bd.SetBlock(thenB)
+		lw.frames = append(lw.frames, fr)
+		return nil
+	case "else":
+		return lw.lowerElse(in, false)
+	case "end":
+		return lw.lowerEnd(in, false)
+	case "br":
+		fr, err := lw.resolveLabel(in)
+		if err != nil {
+			return err
+		}
+		if err := lw.spillBranchResult(in, fr); err != nil {
+			return err
+		}
+		lw.bd.Br(fr.branchTarget)
+		lw.markDead()
+		return nil
+	case "br_if":
+		cond, err := lw.condToBool(in.Pos, "br_if condition")
+		if err != nil {
+			return err
+		}
+		fr, err := lw.resolveLabel(in)
+		if err != nil {
+			return err
+		}
+		cont := lw.fn.NewBlock("")
+		if fr.kind != 'l' && fr.resultTy != nil {
+			// The branch carries the frame result but the value stays
+			// on the stack for fall-through, so the spill happens on a
+			// little taken-edge trampoline.
+			if len(lw.stack) <= lw.top().stackBase {
+				return errf(in.Pos, "br_if: operand stack underflow")
+			}
+			v := lw.stack[len(lw.stack)-1]
+			if v.Type() != fr.resultTy {
+				return errf(in.Pos, "br_if: branch result is %s, want %s", v.Type(), fr.resultTy)
+			}
+			taken := lw.fn.NewBlock("")
+			lw.bd.CondBr(cond, taken, cont)
+			lw.bd.SetBlock(taken)
+			lw.bd.Store(v, fr.resultSlot)
+			lw.bd.Br(fr.branchTarget)
+		} else {
+			lw.bd.CondBr(cond, fr.branchTarget, cont)
+		}
+		lw.bd.SetBlock(cont)
+		return nil
+	case "return":
+		ret := lw.fn.ReturnType()
+		if ret.IsVoid() {
+			lw.bd.Ret(nil)
+		} else {
+			v, err := lw.pop(in.Pos, ret, "return")
+			if err != nil {
+				return err
+			}
+			lw.bd.Ret(v)
+		}
+		lw.markDead()
+		return nil
+	case "call":
+		callee, decl, err := lw.resolveFunc(in)
+		if err != nil {
+			return err
+		}
+		n := len(decl.Params)
+		args := make([]ir.Value, n)
+		for i := n - 1; i >= 0; i-- {
+			v, err := lw.pop(in.Pos, lw.irType(decl.Params[i].Type), "call argument")
+			if err != nil {
+				return err
+			}
+			args[i] = v
+		}
+		res := lw.bd.Call(callee, args...)
+		if !callee.ReturnType().IsVoid() {
+			lw.push(res)
+		}
+		return nil
+	case "local.get":
+		slot, err := lw.resolveLocal(in)
+		if err != nil {
+			return err
+		}
+		lw.push(lw.bd.Load(slot.addr))
+		return nil
+	case "local.set", "local.tee":
+		slot, err := lw.resolveLocal(in)
+		if err != nil {
+			return err
+		}
+		v, err := lw.pop(in.Pos, slot.ty, in.Op)
+		if err != nil {
+			return err
+		}
+		lw.bd.Store(v, slot.addr)
+		if in.Op == "local.tee" {
+			lw.push(v)
+		}
+		return nil
+	case "i32.const":
+		lw.push(ir.ConstInt(lw.mod.Ctx.I32, in.IntVal))
+		return nil
+	case "i64.const":
+		lw.push(ir.ConstInt(lw.mod.Ctx.I64, in.IntVal))
+		return nil
+	case "f32.const":
+		lw.push(ir.ConstFloat(lw.mod.Ctx.F32, in.FloatVal))
+		return nil
+	case "f64.const":
+		lw.push(ir.ConstFloat(lw.mod.Ctx.F64, in.FloatVal))
+		return nil
+	}
+	return lw.lowerOperator(in)
+}
+
+// spillBranchResult stores the branch-carried result value into the
+// target frame's slot (branches to loop headers carry nothing).
+func (lw *lowerer) spillBranchResult(in *Instr, fr *frame) error {
+	if fr.kind == 'l' || fr.resultTy == nil {
+		return nil
+	}
+	v, err := lw.pop(in.Pos, fr.resultTy, in.Op+" result")
+	if err != nil {
+		return err
+	}
+	lw.bd.Store(v, fr.resultSlot)
+	return nil
+}
+
+// lowerElse switches an if frame to its else arm. fromDead marks that
+// the then arm ended in dead code.
+func (lw *lowerer) lowerElse(in *Instr, fromDead bool) error {
+	fr := lw.top()
+	if fr.kind != 'i' || fr.seenElse {
+		return errf(in.Pos, "else without a matching if")
+	}
+	if in.Sym != "" && in.Sym != fr.label {
+		return errf(in.Pos, "else label $%s does not match if label", in.Sym)
+	}
+	if !fromDead {
+		if fr.resultTy != nil {
+			v, err := lw.pop(in.Pos, fr.resultTy, "if result")
+			if err != nil {
+				return err
+			}
+			lw.bd.Store(v, fr.resultSlot)
+		}
+		if len(lw.stack) != fr.stackBase {
+			return errf(in.Pos, "%d extra values on the stack at else", len(lw.stack)-fr.stackBase)
+		}
+		lw.bd.Br(fr.end)
+	}
+	lw.stack = lw.stack[:fr.stackBase]
+	lw.bd.SetBlock(fr.elseB)
+	fr.seenElse = true
+	fr.dead = false
+	return nil
+}
+
+// lowerEnd closes the innermost frame. fromDead marks that the frame
+// position was unreachable, so no fall-through edge is emitted.
+func (lw *lowerer) lowerEnd(in *Instr, fromDead bool) error {
+	if len(lw.frames) <= 1 {
+		return errf(in.Pos, "end without a matching block")
+	}
+	fr := lw.top()
+	if in.Sym != "" && in.Sym != fr.label {
+		return errf(in.Pos, "end label $%s does not match %s label", in.Sym, kindName(fr.kind))
+	}
+	if fr.kind == 'i' && !fr.seenElse {
+		if fr.resultTy != nil {
+			return errf(in.Pos, "if with a result requires an else arm")
+		}
+		// The empty else arm of a one-armed if just falls through.
+		ir.NewBuilder(fr.elseB).Br(fr.end)
+	}
+	if !fromDead {
+		if fr.resultTy != nil {
+			v, err := lw.pop(in.Pos, fr.resultTy, kindName(fr.kind)+" result")
+			if err != nil {
+				return err
+			}
+			lw.bd.Store(v, fr.resultSlot)
+		}
+		if len(lw.stack) != fr.stackBase {
+			return errf(in.Pos, "%d extra values on the stack at end", len(lw.stack)-fr.stackBase)
+		}
+		lw.bd.Br(fr.end)
+	}
+	lw.frames = lw.frames[:len(lw.frames)-1]
+	lw.stack = lw.stack[:fr.stackBase]
+	lw.bd.SetBlock(fr.end)
+	if fr.resultTy != nil {
+		lw.push(lw.bd.Load(fr.resultSlot))
+	}
+	return nil
+}
+
+// lowerDead skips instructions in unreachable positions, tracking
+// nesting so the matching else/end still close the frame. Skipped
+// code is not validated beyond structure, mirroring the spec's
+// stack-polymorphic typing of dead code.
+func (lw *lowerer) lowerDead(in *Instr) error {
+	top := lw.top()
+	switch in.Op {
+	case "block", "loop", "if":
+		top.deadNest++
+	case "else":
+		if top.deadNest == 0 {
+			return lw.lowerElse(in, true)
+		}
+	case "end":
+		if top.deadNest == 0 {
+			return lw.lowerEnd(in, true)
+		}
+		top.deadNest--
+	}
+	return nil
+}
+
+// --- operators ---
+
+// intBinOps maps iNN mnemonic suffixes to IR opcodes.
+var intBinOps = map[string]ir.Opcode{
+	"add": ir.OpAdd, "sub": ir.OpSub, "mul": ir.OpMul,
+	"div_s": ir.OpSDiv, "div_u": ir.OpUDiv,
+	"rem_s": ir.OpSRem, "rem_u": ir.OpURem,
+	"and": ir.OpAnd, "or": ir.OpOr, "xor": ir.OpXor,
+	"shl": ir.OpShl, "shr_s": ir.OpAShr, "shr_u": ir.OpLShr,
+}
+
+// floatBinOps maps fNN mnemonic suffixes to IR opcodes.
+var floatBinOps = map[string]ir.Opcode{
+	"add": ir.OpFAdd, "sub": ir.OpFSub, "mul": ir.OpFMul, "div": ir.OpFDiv,
+}
+
+// intCmpPreds maps iNN comparison suffixes to IR predicates.
+var intCmpPreds = map[string]ir.Pred{
+	"eq": ir.PredEQ, "ne": ir.PredNE,
+	"lt_s": ir.PredSLT, "lt_u": ir.PredULT,
+	"gt_s": ir.PredSGT, "gt_u": ir.PredUGT,
+	"le_s": ir.PredSLE, "le_u": ir.PredULE,
+	"ge_s": ir.PredSGE, "ge_u": ir.PredUGE,
+}
+
+// floatCmpPreds maps fNN comparison suffixes to IR predicates
+// (ordered comparisons, as in wasm).
+var floatCmpPreds = map[string]ir.Pred{
+	"eq": ir.PredOEQ, "ne": ir.PredONE,
+	"lt": ir.PredOLT, "gt": ir.PredOGT,
+	"le": ir.PredOLE, "ge": ir.PredOGE,
+}
+
+// convOps maps full conversion mnemonics to cast opcodes with their
+// operand and result types.
+var convOps = map[string]struct {
+	op       ir.Opcode
+	from, to ValType
+}{
+	"i32.wrap_i64":      {ir.OpTrunc, I64, I32},
+	"i64.extend_i32_s":  {ir.OpSExt, I32, I64},
+	"i64.extend_i32_u":  {ir.OpZExt, I32, I64},
+	"f32.convert_i32_s": {ir.OpSIToFP, I32, F32},
+	"f64.convert_i32_s": {ir.OpSIToFP, I32, F64},
+	"f64.convert_i64_s": {ir.OpSIToFP, I64, F64},
+	"i32.trunc_f32_s":   {ir.OpFPToSI, F32, I32},
+	"i32.trunc_f64_s":   {ir.OpFPToSI, F64, I32},
+	"i64.trunc_f64_s":   {ir.OpFPToSI, F64, I64},
+	"f32.demote_f64":    {ir.OpFPTrunc, F64, F32},
+	"f64.promote_f32":   {ir.OpFPExt, F32, F64},
+}
+
+// lowerOperator lowers the typed operator mnemonics: binary
+// arithmetic/logic, comparisons (materializing the wasm i32 boolean
+// with a zext), eqz and conversions.
+func (lw *lowerer) lowerOperator(in *Instr) error {
+	if cv, ok := convOps[in.Op]; ok {
+		v, err := lw.pop(in.Pos, lw.irType(cv.from), in.Op)
+		if err != nil {
+			return err
+		}
+		lw.push(lw.bd.Cast(cv.op, v, lw.irType(cv.to)))
+		return nil
+	}
+	dot := -1
+	for i := 0; i < len(in.Op); i++ {
+		if in.Op[i] == '.' {
+			dot = i
+			break
+		}
+	}
+	if dot < 0 {
+		return errf(in.Pos, "unsupported instruction %q", in.Op)
+	}
+	ty, ok := valTypeByName[in.Op[:dot]]
+	if !ok {
+		return errf(in.Pos, "unsupported instruction %q", in.Op)
+	}
+	irTy := lw.irType(ty)
+	suffix := in.Op[dot+1:]
+	isInt := ty == I32 || ty == I64
+
+	if suffix == "eqz" && isInt {
+		v, err := lw.pop(in.Pos, irTy, in.Op)
+		if err != nil {
+			return err
+		}
+		c := lw.bd.ICmp(ir.PredEQ, v, ir.ConstInt(irTy, 0))
+		lw.push(lw.bd.Cast(ir.OpZExt, c, lw.mod.Ctx.I32))
+		return nil
+	}
+	if op, ok := intBinOps[suffix]; ok && isInt {
+		r, err := lw.pop(in.Pos, irTy, in.Op)
+		if err != nil {
+			return err
+		}
+		l, err := lw.pop(in.Pos, irTy, in.Op)
+		if err != nil {
+			return err
+		}
+		lw.push(lw.bd.Binary(op, l, r))
+		return nil
+	}
+	if op, ok := floatBinOps[suffix]; ok && !isInt {
+		r, err := lw.pop(in.Pos, irTy, in.Op)
+		if err != nil {
+			return err
+		}
+		l, err := lw.pop(in.Pos, irTy, in.Op)
+		if err != nil {
+			return err
+		}
+		lw.push(lw.bd.Binary(op, l, r))
+		return nil
+	}
+	if p, ok := intCmpPreds[suffix]; ok && isInt {
+		return lw.lowerCmp(in, irTy, p, true)
+	}
+	if p, ok := floatCmpPreds[suffix]; ok && !isInt {
+		return lw.lowerCmp(in, irTy, p, false)
+	}
+	return errf(in.Pos, "unsupported instruction %q", in.Op)
+}
+
+func (lw *lowerer) lowerCmp(in *Instr, irTy *ir.Type, p ir.Pred, isInt bool) error {
+	r, err := lw.pop(in.Pos, irTy, in.Op)
+	if err != nil {
+		return err
+	}
+	l, err := lw.pop(in.Pos, irTy, in.Op)
+	if err != nil {
+		return err
+	}
+	var c ir.Value
+	if isInt {
+		c = lw.bd.ICmp(p, l, r)
+	} else {
+		c = lw.bd.FCmp(p, l, r)
+	}
+	lw.push(lw.bd.Cast(ir.OpZExt, c, lw.mod.Ctx.I32))
+	return nil
+}

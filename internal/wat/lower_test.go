@@ -1,0 +1,377 @@
+package wat
+
+import (
+	"strings"
+	"testing"
+
+	"f3m/internal/interp"
+	"f3m/internal/ir"
+)
+
+// run lowers src and interprets fn over int args, returning the
+// result value.
+func run(t *testing.T, src, fn string, args ...int64) interp.Val {
+	t.Helper()
+	m, err := Compile("test.wat", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	f := m.Func(fn)
+	if f == nil {
+		t.Fatalf("no function @%s", fn)
+	}
+	vals := make([]interp.Val, len(args))
+	for i, a := range args {
+		vals[i] = interp.IntVal(f.Params[i].Ty, a)
+	}
+	out, err := interp.NewMachine(m).Call(f, vals...)
+	if err != nil {
+		t.Fatalf("interp @%s: %v", fn, err)
+	}
+	return out
+}
+
+// TestLowerSemantics drives lowered functions through the interpreter
+// against fixed inputs — the executable definition of the subset.
+func TestLowerSemantics(t *testing.T) {
+	cases := []struct {
+		name, src, fn string
+		args          []int64
+		want          int64
+	}{
+		{"add", `(func $add (param i32 i32) (result i32) local.get 0 local.get 1 i32.add)`,
+			"add", []int64{2, 3}, 5},
+		{"arith chain", `(func $f (param $x i32) (result i32)
+			local.get $x i32.const 7 i32.mul
+			i32.const 3 i32.sub
+			i32.const 2 i32.div_s)`,
+			"f", []int64{10}, 33},
+		{"unsigned div", `(func $f (param i32) (result i32) local.get 0 i32.const 2 i32.div_u)`,
+			"f", []int64{-2}, 0x7fffffff},
+		{"bitops", `(func $f (param $x i32) (result i32)
+			local.get $x i32.const 12 i32.and
+			local.get $x i32.const 3 i32.shl i32.or
+			i32.const 255 i32.xor)`,
+			"f", []int64{6}, (6&12 | 6<<3) ^ 255},
+		{"shr_s vs shr_u", `(func $f (param i32) (result i32)
+			local.get 0 i32.const 1 i32.shr_s
+			local.get 0 i32.const 1 i32.shr_u
+			i32.sub)`,
+			"f", []int64{-8}, -4 - 0x7ffffffc},
+		{"eqz", `(func $f (param i32) (result i32) local.get 0 i32.eqz)`,
+			"f", []int64{0}, 1},
+		{"cmp", `(func $f (param i32 i32) (result i32)
+			local.get 0 local.get 1 i32.lt_s
+			local.get 0 local.get 1 i32.gt_u
+			i32.add)`,
+			"f", []int64{-1, 1}, 1 + 1}, // -1 < 1 signed; 0xffffffff > 1 unsigned
+		{"if else result", `(func $max (param $a i32) (param $b i32) (result i32)
+			local.get $a local.get $b i32.gt_s
+			if (result i32) local.get $a else local.get $b end)`,
+			"max", []int64{4, 9}, 9},
+		{"one armed if", `(func $f (param $x i32) (result i32) (local $r i32)
+			i32.const 1 local.set $r
+			local.get $x
+			if local.get $x local.set $r end
+			local.get $r)`,
+			"f", []int64{5}, 5},
+		{"block br result", `(func $f (param $x i32) (result i32)
+			block $out (result i32)
+				local.get $x
+				br $out
+			end)`,
+			"f", []int64{11}, 11},
+		{"br_if keeps value", `(func $f (param $p i32) (result i32)
+			block (result i32)
+				i32.const 1
+				local.get $p
+				br_if 0
+				drop
+				i32.const 2
+			end)`,
+			"f", []int64{0}, 2},
+		{"br_if taken", `(func $f (param $p i32) (result i32)
+			block (result i32)
+				i32.const 1
+				local.get $p
+				br_if 0
+				drop
+				i32.const 2
+			end)`,
+			"f", []int64{7}, 1},
+		{"loop sum", `(func $sum (param $n i32) (result i32) (local $i i32) (local $acc i32)
+			block $done
+				loop $head
+					local.get $i local.get $n i32.ge_s
+					br_if $done
+					local.get $acc local.get $i i32.add local.set $acc
+					local.get $i i32.const 1 i32.add local.set $i
+					br $head
+				end
+			end
+			local.get $acc)`,
+			"sum", []int64{5}, 10},
+		{"local tee", `(func $f (param $x i32) (result i32) (local $t i32)
+			local.get $x i32.const 2 i32.mul local.tee $t
+			local.get $t i32.add)`,
+			"f", []int64{3}, 12},
+		{"early return", `(func $f (param $x i32) (result i32)
+			local.get $x i32.eqz
+			if i32.const -1 return end
+			local.get $x)`,
+			"f", []int64{0}, -1},
+		{"dead code after br", `(func $f (result i32)
+			block (result i32)
+				i32.const 3
+				br 0
+				i32.const 4
+				i32.add
+				unreachable
+			end)`,
+			"f", nil, 3},
+		{"call", `(module
+			(func $twice (param $x i32) (result i32) local.get $x local.get $x i32.add)
+			(func $f (param $x i32) (result i32) local.get $x call $twice i32.const 1 i32.add))`,
+			"f", []int64{5}, 11},
+		{"call by index", `(module
+			(func (param i32) (result i32) local.get 0 i32.const 10 i32.mul)
+			(func $f (param i32) (result i32) local.get 0 call 0))`,
+			"f", []int64{4}, 40},
+		{"i64 ops", `(func $f (param $x i64) (result i64)
+			local.get $x i64.const 1000000000000 i64.add
+			i64.const 3 i64.rem_s)`,
+			"f", []int64{2}, (2 + 1000000000000) % 3},
+		{"wrap and extend", `(func $f (param $x i64) (result i32)
+			local.get $x i32.wrap_i64
+			i64.extend_i32_s
+			i64.const 1 i64.add
+			i32.wrap_i64)`,
+			"f", []int64{0x1_0000_0005}, 6},
+		{"nested blocks br", `(func $f (param $x i32) (result i32)
+			block $a (result i32)
+				block $b
+					local.get $x
+					br_if $b
+					i32.const 100
+					br $a
+				end
+				i32.const 200
+			end)`,
+			"f", []int64{1}, 200},
+		{"br to function label", `(func $f (param $x i32) (result i32)
+			block
+				local.get $x
+				br_if 0
+				i32.const 5
+				br 1
+			end
+			i32.const 6)`,
+			"f", []int64{0}, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := run(t, tc.src, tc.fn, tc.args...); got.I != tc.want {
+				t.Errorf("got %d, want %d", got.I, tc.want)
+			}
+		})
+	}
+}
+
+func TestLowerFloatSemantics(t *testing.T) {
+	src := `(module
+	  (func $fma (param $a f64) (param $b f64) (result f64)
+	    local.get $a local.get $b f64.mul
+	    local.get $a f64.add)
+	  (func $cvt (param $x i32) (result f64)
+	    local.get $x f64.convert_i32_s
+	    f64.const 0.5 f64.add)
+	  (func $cmp (param $a f32) (param $b f32) (result i32)
+	    local.get $a local.get $b f32.lt
+	    local.get $a local.get $b f32.ge
+	    i32.add))`
+	m, err := Compile("t.wat", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := interp.NewMachine(m)
+	out, err := mach.Call(m.Func("fma"), interp.FloatVal(m.Ctx.F64, 2.5), interp.FloatVal(m.Ctx.F64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.F != 2.5*4+2.5 {
+		t.Errorf("fma = %v", out.F)
+	}
+	out, err = mach.Call(m.Func("cvt"), interp.IntVal(m.Ctx.I32, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.F != 7.5 {
+		t.Errorf("cvt = %v", out.F)
+	}
+	out, err = mach.Call(m.Func("cmp"), interp.FloatVal(m.Ctx.F32, 1), interp.FloatVal(m.Ctx.F32, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.I != 1 {
+		t.Errorf("cmp = %v", out.I)
+	}
+}
+
+// TestLowerStackJoinPhi pins the central lowering mechanism: a block
+// result reached from two paths must become a phi at the join after
+// Mem2Reg, not a memory round-trip.
+func TestLowerStackJoinPhi(t *testing.T) {
+	m := MustCompile("t.wat", `(func $pick (param $p i32) (param $a i32) (param $b i32) (result i32)
+		local.get $p
+		if (result i32) local.get $a else local.get $b end
+		i32.const 1
+		i32.add)`)
+	f := m.Func("pick")
+	phis, allocas := 0, 0
+	f.Instructions(func(in *ir.Instr) {
+		switch in.Op {
+		case ir.OpPhi:
+			phis++
+		case ir.OpAlloca:
+			allocas++
+		}
+	})
+	if phis != 1 {
+		t.Errorf("%d phis, want exactly 1 (the if/else join)\n%s", phis, ir.FuncString(f))
+	}
+	if allocas != 0 {
+		t.Errorf("%d allocas survived Mem2Reg\n%s", allocas, ir.FuncString(f))
+	}
+}
+
+// TestLowerBrIfTargets checks branch wiring: the br_if lowers to a
+// condbr whose taken edge reaches the loop header (a backedge) and
+// whose other edge falls through.
+func TestLowerBrIfTargets(t *testing.T) {
+	m := MustCompile("t.wat", `(func $spin (param $n i32) (local $i i32)
+		loop $head
+			local.get $i i32.const 1 i32.add local.tee $i
+			local.get $n i32.lt_s
+			br_if $head
+		end)`)
+	f := m.Func("spin")
+	idx := make(map[*ir.Block]int, len(f.Blocks))
+	for i, b := range f.Blocks {
+		idx[b] = i
+	}
+	// The loop header is the phi-bearing block; the br_if taken edge
+	// must be the lone backedge into it.
+	backedges := 0
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			if len(s.Phis()) > 0 && idx[s] <= idx[b] {
+				backedges++
+			}
+		}
+	}
+	if backedges != 1 {
+		t.Errorf("%d backedges into the loop header, want 1 (br_if to loop head)\n%s", backedges, ir.FuncString(f))
+	}
+}
+
+// TestLowerIfElseReconverge checks that both arms of an if/else
+// reconverge on a single join block that dominates the return.
+func TestLowerIfElseReconverge(t *testing.T) {
+	m := MustCompile("t.wat", `(func $f (param $p i32) (param $a i32) (result i32)
+		local.get $p
+		if (result i32)
+			local.get $a i32.const 3 i32.mul
+		else
+			local.get $a i32.const 5 i32.add
+		end)`)
+	f := m.Func("f")
+	preds := f.Preds()
+	joins := 0
+	for _, b := range f.Blocks {
+		if len(preds[b]) == 2 && len(b.Phis()) == 1 {
+			joins++
+		}
+	}
+	if joins != 1 {
+		t.Errorf("%d two-way phi joins, want 1\n%s", joins, ir.FuncString(f))
+	}
+}
+
+// TestLowerVerifies runs every lowering output through the strict
+// module verifier (Compile already does; this pins it for a corpus of
+// shapes including degenerate ones).
+func TestLowerVerifies(t *testing.T) {
+	srcs := []string{
+		`(func)`,
+		`(func (result i32) i32.const 0)`,
+		`(func unreachable)`,
+		`(func (result i32) i32.const 1 return i32.const 2 i32.add)`,
+		`(func block block block br 2 end end end)`,
+		`(func loop end)`,
+		`(func (param i32) local.get 0 if nop else nop end)`,
+		`(func (result f32) f32.const nan)`,
+	}
+	for _, src := range srcs {
+		m, err := Compile("v.wat", src)
+		if err != nil {
+			t.Errorf("compile %q: %v", src, err)
+			continue
+		}
+		if err := ir.VerifyModule(m); err != nil {
+			t.Errorf("verify %q: %v", src, err)
+		}
+	}
+}
+
+func TestLowerErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"stack underflow", `(func i32.add drop)`, "underflow"},
+		{"type mismatch", `(func (result i32) i32.const 1 i64.const 2 i32.add)`, "want"},
+		{"wrong result type", `(func (result i64) i32.const 1)`, "function result"},
+		{"leftover values", `(func i32.const 1)`, "left on the stack"},
+		{"missing end", `(func block)`, "missing end"},
+		{"stray end", `(func end)`, "end without a matching block"},
+		{"stray else", `(func else end)`, "else without a matching if"},
+		{"unknown label", `(func br $nope)`, "unknown label"},
+		{"label depth", `(func br 3)`, "exceeds nesting"},
+		{"unknown local", `(func local.get $x drop)`, "unknown local"},
+		{"local index", `(func local.get 2 drop)`, "out of range"},
+		{"unknown func", `(func call $g)`, "unknown function"},
+		{"func index", `(func call 9)`, "out of range"},
+		{"unknown op", `(func i32.popcnt drop)`, "unsupported instruction"},
+		{"bare word", `(func frobnicate)`, "unsupported instruction"},
+		{"multi result", `(func (result i32 i32) i32.const 1 i32.const 2)`, "multi-value"},
+		{"if result no else", `(func (param i32) (result i32) local.get 0 if (result i32) i32.const 1 end)`, "requires an else"},
+		{"duplicate local", `(func (param $x i32) (local $x i32))`, "duplicate local"},
+		{"duplicate func", `(module (func $f) (func $f))`, "duplicate function"},
+		{"float into int op", `(func f64.const 1.0 f64.const 2.0 i32.add drop)`, "operand is"},
+		{"end label mismatch", `(func block $a end $b)`, "does not match"},
+		{"extra at else", `(func (param i32) local.get 0 if i32.const 1 else end)`, "extra values"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile("e.wat", tc.src)
+			if err == nil {
+				t.Fatalf("accepted %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestModuleNaming pins the naming contract the CLI relies on: the
+// module $id wins, the caller-provided fallback otherwise.
+func TestModuleNaming(t *testing.T) {
+	m := MustCompile("file", `(module $named (func))`)
+	if m.Name != "named" {
+		t.Errorf("module name %q, want named", m.Name)
+	}
+	m = MustCompile("file", `(module (func))`)
+	if m.Name != "file" {
+		t.Errorf("module name %q, want file", m.Name)
+	}
+}

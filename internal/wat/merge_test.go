@@ -1,0 +1,117 @@
+package wat
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"f3m/internal/core"
+	"f3m/internal/interp"
+	"f3m/internal/ir"
+)
+
+// loadScannerCorpus compiles and links the checked-in two-revision
+// scanner corpus the CLI golden tests run over, so the differential
+// test exercises the exact module that merges in cmd/f3m.
+func loadScannerCorpus(t *testing.T) *ir.Module {
+	t.Helper()
+	var units []*ir.Module
+	for _, name := range []string{"scanner_v1.wat", "scanner_v2.wat"} {
+		src, err := os.ReadFile(filepath.Join("..", "..", "cmd", "f3m", "testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Compile(name, string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		units = append(units, m)
+	}
+	linked, err := ir.LinkModules("scanner", units...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return linked
+}
+
+// TestMergeDifferential is the end-to-end semantic gate for the wat
+// front end: every function in the linked scanner corpus must compute
+// the same results before and after F3M merging under full
+// translation validation, observed through the interpreter.
+func TestMergeDifferential(t *testing.T) {
+	ref := loadScannerCorpus(t)
+
+	// Two-i32-argument functions only in this corpus; probe a grid that
+	// hits every branch arm (token kinds 0..5, spaces, id chars, loop
+	// trip counts 0..4).
+	args := [][2]int64{}
+	for _, a := range []int64{0, 1, 2, 3, 4, 5, 9, 10, 12, 13, 32, 36, 46, 95, 97, 122, 999, -7} {
+		for _, b := range []int64{0, 1, 2, 3, 4, 64, -1} {
+			args = append(args, [2]int64{a, b})
+		}
+	}
+	type key struct {
+		fn   string
+		a, b int64
+	}
+	// Merged helpers are deleted at commit (their call sites are
+	// rewritten), so the observable API is the two revision drivers —
+	// each calls every helper of its revision.
+	drivers := []string{"next_token_v1", "scan_line_v2"}
+	eval := func(m *ir.Module) map[key]int64 {
+		t.Helper()
+		mach := interp.NewMachine(m)
+		out := map[key]int64{}
+		for _, name := range drivers {
+			f := m.Func(name)
+			if f == nil {
+				t.Fatalf("driver @%s missing", name)
+			}
+			for _, in := range args {
+				vals := []interp.Val{
+					interp.IntVal(f.Params[0].Ty, in[0]),
+					interp.IntVal(f.Params[1].Ty, in[1]),
+				}
+				got, err := mach.Call(f, vals...)
+				if err != nil {
+					t.Fatalf("interp @%s(%d, %d): %v", f.Nam, in[0], in[1], err)
+				}
+				out[key{f.Nam, in[0], in[1]}] = got.I
+			}
+		}
+		return out
+	}
+	want := eval(ref)
+	if len(want) == 0 {
+		t.Fatal("corpus produced no evaluable functions")
+	}
+
+	merged := loadScannerCorpus(t)
+	cfg := core.DefaultConfig(core.F3MStatic)
+	cfg.Check = core.CheckValidate
+	rep, err := core.Run(merged, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Merges == 0 {
+		t.Fatal("corpus produced no merges; the differential test needs merged thunks to exercise")
+	}
+	for _, d := range rep.Diagnostics {
+		t.Logf("diagnostic: %+v", d)
+	}
+
+	got := eval(merged)
+	mismatches := 0
+	for k, w := range want {
+		if g, ok := got[k]; !ok {
+			t.Errorf("@%s missing after merge", k.fn)
+			mismatches++
+		} else if g != w {
+			t.Errorf("@%s(%d, %d) = %d after merge, want %d", k.fn, k.a, k.b, g, w)
+			mismatches++
+		}
+		if mismatches > 10 {
+			t.Fatal("too many mismatches, stopping")
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package wat
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ModuleText renders the module in canonical flat form: one
+// instruction per line, folded expressions already desugared,
+// numeric immediates in canonical decimal. Parse(ModuleText(m)) is
+// the identity on the AST — the round-trip fuzzer holds the printer
+// and parser to that contract.
+func ModuleText(m *Module) string {
+	var b strings.Builder
+	b.WriteString("(module")
+	if m.Name != "" {
+		b.WriteString(" $")
+		b.WriteString(m.Name)
+	}
+	b.WriteByte('\n')
+	for _, fn := range m.Funcs {
+		writeFunc(&b, fn)
+	}
+	b.WriteString(")\n")
+	return b.String()
+}
+
+func writeFunc(b *strings.Builder, fn *Func) {
+	b.WriteString("  (func")
+	if fn.Name != "" {
+		b.WriteString(" $")
+		b.WriteString(fn.Name)
+	}
+	for _, p := range fn.Params {
+		writeLocal(b, "param", p)
+	}
+	if len(fn.Results) > 0 {
+		b.WriteString(" (result")
+		for _, r := range fn.Results {
+			b.WriteByte(' ')
+			b.WriteString(r.String())
+		}
+		b.WriteByte(')')
+	}
+	for _, l := range fn.Locals {
+		writeLocal(b, "local", l)
+	}
+	b.WriteByte('\n')
+	depth := 2
+	for _, in := range fn.Body {
+		switch in.Op {
+		case "end":
+			if depth > 2 {
+				depth--
+			}
+		case "else":
+			if depth > 2 {
+				b.WriteString(strings.Repeat("  ", depth))
+				writeInstr(b, in)
+				continue
+			}
+		}
+		b.WriteString(strings.Repeat("  ", depth+1))
+		writeInstr(b, in)
+		switch in.Op {
+		case "block", "loop", "if":
+			depth++
+		case "else":
+			depth++
+		}
+	}
+	b.WriteString("  )\n")
+}
+
+func writeLocal(b *strings.Builder, kw string, l Local) {
+	b.WriteString(" (")
+	b.WriteString(kw)
+	if l.Name != "" {
+		b.WriteString(" $")
+		b.WriteString(l.Name)
+	}
+	b.WriteByte(' ')
+	b.WriteString(l.Type.String())
+	b.WriteByte(')')
+}
+
+func writeInstr(b *strings.Builder, in Instr) {
+	b.WriteString(in.Op)
+	switch in.Op {
+	case "block", "loop", "if":
+		if in.Sym != "" {
+			b.WriteString(" $")
+			b.WriteString(in.Sym)
+		}
+		if in.HasResult {
+			b.WriteString(" (result ")
+			b.WriteString(in.Result.String())
+			b.WriteByte(')')
+		}
+	case "else", "end":
+		if in.Sym != "" {
+			b.WriteString(" $")
+			b.WriteString(in.Sym)
+		}
+	case "br", "br_if", "call", "local.get", "local.set", "local.tee":
+		b.WriteByte(' ')
+		if in.Sym != "" {
+			b.WriteByte('$')
+			b.WriteString(in.Sym)
+		} else {
+			b.WriteString(strconv.Itoa(in.Idx))
+		}
+	case "i32.const", "i64.const":
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatInt(in.IntVal, 10))
+	case "f32.const", "f64.const":
+		b.WriteByte(' ')
+		b.WriteString(formatFloat(in.FloatVal, in.Op == "f32.const"))
+	}
+	b.WriteByte('\n')
+}
+
+// formatFloat renders a float immediate in the shortest decimal form
+// that reparses to the same value, with the wat spellings for the
+// non-finite values.
+func formatFloat(v float64, f32 bool) string {
+	switch {
+	case math.IsNaN(v):
+		return "nan"
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	}
+	bits := 64
+	if f32 {
+		bits = 32
+	}
+	s := strconv.FormatFloat(v, 'g', -1, bits)
+	// The wat grammar requires a fraction or exponent to distinguish a
+	// float literal; plain "1" is also fine for fNN.const, but keep the
+	// canonical form self-describing.
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}

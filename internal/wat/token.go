@@ -1,0 +1,228 @@
+package wat
+
+import "fmt"
+
+// Pos is a line/column source position (1-based), carried on tokens,
+// AST nodes and errors.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// errf builds a positioned front-end error.
+func errf(p Pos, format string, args ...any) error {
+	return fmt.Errorf("wat:%s: %s", p, fmt.Sprintf(format, args...))
+}
+
+// tokKind discriminates lexical token classes. The lexer is
+// deliberately coarse: every non-paren, non-id word — keywords,
+// mnemonics, integers, floats — lexes as one tokAtom and is
+// interpreted by the parser, mirroring how the wat grammar treats
+// numbers as reserved words.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokLParen
+	tokRParen
+	tokAtom   // keyword, mnemonic or number: idchar run
+	tokID     // $name (Text holds the name without the sigil)
+	tokString // "…" (lexed for error quality; the subset rejects it)
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokAtom:
+		return "atom"
+	case tokID:
+		return "identifier"
+	case tokString:
+		return "string"
+	}
+	return "token"
+}
+
+// token is one lexical element.
+type token struct {
+	Kind tokKind
+	Text string
+	Pos  Pos
+}
+
+// lexer scans wat source into tokens, handling line comments (;; …),
+// nested block comments ((; … ;)) and whitespace.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *lexer) pos() Pos { return Pos{lx.line, lx.col} }
+
+func (lx *lexer) peekByte() (byte, bool) {
+	if lx.off >= len(lx.src) {
+		return 0, false
+	}
+	return lx.src[lx.off], true
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+// isIDChar reports whether c may appear in a wat identifier or
+// reserved word. This is the spec's idchar set.
+func isIDChar(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	}
+	switch c {
+	case '!', '#', '$', '%', '&', '\'', '*', '+', '-', '.', '/',
+		':', '<', '=', '>', '?', '@', '\\', '^', '_', '`', '|', '~':
+		return true
+	}
+	return false
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+// skipTrivia consumes whitespace and comments. It returns an error on
+// an unterminated block comment.
+func (lx *lexer) skipTrivia() error {
+	for {
+		c, ok := lx.peekByte()
+		if !ok {
+			return nil
+		}
+		switch {
+		case isSpace(c):
+			lx.advance()
+		case c == ';' && lx.off+1 < len(lx.src) && lx.src[lx.off+1] == ';':
+			for {
+				c, ok := lx.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				lx.advance()
+			}
+		case c == '(' && lx.off+1 < len(lx.src) && lx.src[lx.off+1] == ';':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			depth := 1
+			for depth > 0 {
+				c, ok := lx.peekByte()
+				if !ok {
+					return errf(start, "unterminated block comment")
+				}
+				if c == '(' && lx.off+1 < len(lx.src) && lx.src[lx.off+1] == ';' {
+					lx.advance()
+					lx.advance()
+					depth++
+					continue
+				}
+				if c == ';' && lx.off+1 < len(lx.src) && lx.src[lx.off+1] == ')' {
+					lx.advance()
+					lx.advance()
+					depth--
+					continue
+				}
+				lx.advance()
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// next scans the next token.
+func (lx *lexer) next() (token, error) {
+	if err := lx.skipTrivia(); err != nil {
+		return token{}, err
+	}
+	p := lx.pos()
+	c, ok := lx.peekByte()
+	if !ok {
+		return token{Kind: tokEOF, Pos: p}, nil
+	}
+	switch {
+	case c == '(':
+		lx.advance()
+		return token{Kind: tokLParen, Text: "(", Pos: p}, nil
+	case c == ')':
+		lx.advance()
+		return token{Kind: tokRParen, Text: ")", Pos: p}, nil
+	case c == '"':
+		lx.advance()
+		start := lx.off
+		for {
+			c, ok := lx.peekByte()
+			if !ok || c == '\n' {
+				return token{}, errf(p, "unterminated string")
+			}
+			if c == '\\' {
+				lx.advance()
+				if _, ok := lx.peekByte(); !ok {
+					return token{}, errf(p, "unterminated string")
+				}
+				lx.advance()
+				continue
+			}
+			if c == '"' {
+				text := lx.src[start:lx.off]
+				lx.advance()
+				return token{Kind: tokString, Text: text, Pos: p}, nil
+			}
+			lx.advance()
+		}
+	case c == '$':
+		lx.advance()
+		start := lx.off
+		for {
+			c, ok := lx.peekByte()
+			if !ok || !isIDChar(c) {
+				break
+			}
+			lx.advance()
+		}
+		if lx.off == start {
+			return token{}, errf(p, "empty identifier")
+		}
+		return token{Kind: tokID, Text: lx.src[start:lx.off], Pos: p}, nil
+	case isIDChar(c):
+		start := lx.off
+		for {
+			c, ok := lx.peekByte()
+			if !ok || !isIDChar(c) {
+				break
+			}
+			lx.advance()
+		}
+		return token{Kind: tokAtom, Text: lx.src[start:lx.off], Pos: p}, nil
+	}
+	return token{}, errf(p, "unexpected character %q", string(c))
+}

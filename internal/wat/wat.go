@@ -1,0 +1,43 @@
+// Package wat is a front end for a useful subset of the WebAssembly
+// text format, lowering real wasm-shaped modules onto the internal/ir
+// SSA form the merging pipeline operates on.
+//
+// The subset covers plain function modules: module/func/param/result/
+// local declarations; i32/i64/f32/f64 arithmetic, logic and comparison
+// operators plus a family of conversions; structured control flow
+// (block, loop, if..else..end) with br/br_if to labels; direct call;
+// local.get/set/tee; iNN/fNN const; drop, nop, return and unreachable.
+// Both the flat and the folded instruction notations parse; the
+// canonical printer (ModuleText) emits flat form.
+//
+// Lowering simulates the wasm operand stack per basic block: locals
+// and block results become entry-block stack slots (alloca), branches
+// store into their target's result slot, and Mem2Reg then re-promotes
+// every slot so block-argument joins become phi nodes placed by the
+// usual dominance-frontier machinery. The result goes through the same
+// cleanup pipeline as the mini-C front end (ConstFold, SimplifyCFG,
+// DCE), approximating the -Os shape the merging paper targets.
+package wat
+
+import "f3m/internal/ir"
+
+// Compile parses and lowers wat source into a verified IR module in
+// SSA form. The name argument is the module name to use when the
+// source has no $id on its module (the CLI passes the file name, so
+// cross-module summary naming works like the other front ends).
+func Compile(name, src string) (*ir.Module, error) {
+	m, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(name, m)
+}
+
+// MustCompile is Compile panicking on error, for tests and examples.
+func MustCompile(name, src string) *ir.Module {
+	m, err := Compile(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

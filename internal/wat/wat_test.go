@@ -1,0 +1,190 @@
+package wat
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBasic(t *testing.T) {
+	m, err := Parse(`
+(module $demo
+  (func $add (param $a i32) (param $b i32) (result i32)
+    local.get $a
+    local.get $b
+    i32.add)
+  (func (param i64 i64) (local $tmp f64))
+)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "demo" {
+		t.Errorf("module name %q, want demo", m.Name)
+	}
+	if len(m.Funcs) != 2 {
+		t.Fatalf("%d funcs, want 2", len(m.Funcs))
+	}
+	f := m.Funcs[0]
+	if f.Name != "add" || len(f.Params) != 2 || f.Params[0].Name != "a" || f.Params[1].Type != I32 {
+		t.Errorf("bad first func header: %+v", f)
+	}
+	if len(f.Results) != 1 || f.Results[0] != I32 {
+		t.Errorf("bad results: %v", f.Results)
+	}
+	if len(f.Body) != 3 || f.Body[2].Op != "i32.add" {
+		t.Errorf("bad body: %+v", f.Body)
+	}
+	g := m.Funcs[1]
+	if g.Name != "" || len(g.Params) != 2 || g.Params[0].Type != I64 ||
+		len(g.Locals) != 1 || g.Locals[0].Name != "tmp" || g.Locals[0].Type != F64 {
+		t.Errorf("bad second func header: %+v", g)
+	}
+}
+
+func TestParseWrapperlessModule(t *testing.T) {
+	m, err := Parse(`(func $f (result i32) i32.const 3)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Funcs) != 1 || m.Funcs[0].Name != "f" {
+		t.Fatalf("bad module: %+v", m)
+	}
+}
+
+// TestParseFoldedDesugar checks that the folded s-expression notation
+// parses to the same flat instruction sequence as the handwritten
+// flat form, including folded if/then/else and nested operands.
+func TestParseFoldedDesugar(t *testing.T) {
+	folded := `
+(module
+  (func $clamp (param $x i32) (result i32)
+    (if (result i32) (i32.gt_s (local.get $x) (i32.const 100))
+      (then (i32.const 100))
+      (else (local.get $x)))))
+`
+	flat := `
+(module
+  (func $clamp (param $x i32) (result i32)
+    local.get $x
+    i32.const 100
+    i32.gt_s
+    if (result i32)
+      i32.const 100
+    else
+      local.get $x
+    end))
+`
+	fm, err := Parse(folded)
+	if err != nil {
+		t.Fatalf("folded: %v", err)
+	}
+	lm, err := Parse(flat)
+	if err != nil {
+		t.Fatalf("flat: %v", err)
+	}
+	if got, want := ModuleText(fm), ModuleText(lm); got != want {
+		t.Errorf("folded and flat disagree:\n--- folded ---\n%s--- flat ---\n%s", got, want)
+	}
+}
+
+func TestParseNumericImmediates(t *testing.T) {
+	m, err := Parse(`
+(func
+  i32.const -2147483648
+  i32.const 4294967295
+  i32.const 0x7fff_ffff
+  i64.const -0x8000000000000000
+  f32.const 1.5
+  f64.const -2.5e3
+  f64.const inf
+  f64.const nan:0x400
+  drop drop drop drop drop drop drop drop)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := m.Funcs[0].Body
+	wantInts := []int64{-2147483648, -1, 0x7fffffff, -0x8000000000000000}
+	for i, w := range wantInts {
+		if b[i].IntVal != w {
+			t.Errorf("const %d = %d, want %d", i, b[i].IntVal, w)
+		}
+	}
+	if b[4].FloatVal != 1.5 || b[5].FloatVal != -2500 {
+		t.Errorf("float consts: %v %v", b[4].FloatVal, b[5].FloatVal)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	_, err := Parse(`
+;; line comment
+(module (; inner (; nested ;) block ;)
+  (func) ;; trailing
+)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unclosed module", `(module (func)`, "unclosed"},
+		{"bad field", `(module (memory 1))`, "unsupported module field"},
+		{"bad type", `(func (param intt))`, "unknown value type"},
+		{"param after result", `(func (result i32) (param i32))`, "must precede"},
+		{"param after local", `(func (local i32) (param i32))`, "must precede"},
+		{"multi result blocktype", `(func block (result i32 i32) end)`, "arity"},
+		{"int range", `(func i32.const 4294967296 drop)`, "out of i32 range"},
+		{"bad int", `(func i32.const 12x drop)`, "invalid integer"},
+		{"bad float", `(func f64.const 1..5 drop)`, "invalid float"},
+		{"folded if no then", `(func (if (i32.const 1) (i32.const 2)))`, "(then"},
+		{"folded end", `(func (end))`, "cannot be folded"},
+		{"stray rparen", `(module ))`, "trailing input"},
+		{"unterminated comment", `(module (; oops`, "unterminated block comment"},
+		{"unterminated string", `(module "oops`, "unterminated string"},
+		{"stray char", "(module \x01)", "unexpected character"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("accepted %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestPrintRoundTrip pins the printer/parser fixpoint on handwritten
+// sources: print(parse(src)) must reparse, and printing again must be
+// byte-identical.
+func TestPrintRoundTrip(t *testing.T) {
+	srcs := []string{
+		`(module $m (func $f (param $x i32) (result i32) local.get $x))`,
+		`(func (local i64) block $out (result i32) i32.const 1 br $out end drop)`,
+		`(func loop $l block i32.const 0 br_if 1 end br $l end)`,
+		`(func (result f64) f64.const -0.0)`,
+		`(func (result f32) f32.const 3.4028235e38)`,
+		`(func (result f64) f64.const nan)`,
+		`(func i64.const -9223372036854775808 drop)`,
+		`(func (if (then nop) (else unreachable)))`,
+	}
+	for _, src := range srcs {
+		m, err := Parse(src)
+		if err != nil {
+			t.Errorf("parse %q: %v", src, err)
+			continue
+		}
+		text := ModuleText(m)
+		m2, err := Parse(text)
+		if err != nil {
+			t.Errorf("reparse of printed form failed: %v\n%s", err, text)
+			continue
+		}
+		if text2 := ModuleText(m2); text2 != text {
+			t.Errorf("print not a fixpoint:\n--- first ---\n%s--- second ---\n%s", text, text2)
+		}
+	}
+}

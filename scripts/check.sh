@@ -59,6 +59,26 @@ cmp "$XMOD/seq.txt" "$XMOD/par.txt"
 grep -q "0 misspeculated" "$XMOD/seq.txt"
 grep -q "cross-module)" "$XMOD/seq.txt"
 
+echo "== f3m wat front-end gate"
+# The wat gate: the checked-in two-revision scanner corpus must lower,
+# link and merge cleanly under both strict checks and full translation
+# validation, with byte-identical reports at sequential vs fully
+# parallel settings, zero diagnostics, and at least one committed
+# merge (the report line is "attempts: N ranked pairs, M merged").
+WAT="$(mktemp -d)"
+trap 'rm -rf "$XMOD" "$WAT"' EXIT
+go run ./cmd/f3m -check=strict \
+    cmd/f3m/testdata/scanner_v1.wat cmd/f3m/testdata/scanner_v2.wat >/dev/null
+go run ./cmd/f3m -check=validate -workers 1 -merge-workers 1 -v \
+    cmd/f3m/testdata/scanner_v1.wat cmd/f3m/testdata/scanner_v2.wat \
+    | sed 's/^pass time:.*$//' >"$WAT/seq.txt"
+go run ./cmd/f3m -check=validate -workers 8 -merge-workers 8 -v \
+    cmd/f3m/testdata/scanner_v1.wat cmd/f3m/testdata/scanner_v2.wat \
+    | sed 's/^pass time:.*$//' >"$WAT/par.txt"
+cmp "$WAT/seq.txt" "$WAT/par.txt"
+grep -q "0 diagnostics (0 errors)" "$WAT/seq.txt"
+grep -q "ranked pairs, [1-9]" "$WAT/seq.txt"
+
 echo "== f3m serve self-check (API smoke + SERVING.md drift)"
 # The serving gate: boot a loopback daemon, drive every HTTP route
 # (submit, query, merge, snapshot -> mutate -> restore -> re-merge with
@@ -76,12 +96,13 @@ if [ "${BENCH_GATE:-}" = "1" ]; then
 fi
 
 echo "== fuzz smoke (FUZZTIME=${FUZZTIME:-5s} per target)"
-# Short randomized runs of the three native fuzz targets; the full
+# Short randomized runs of the native fuzz targets; the full
 # checked-in corpora under testdata/fuzz (including past crash inputs)
 # already ran as regression seeds during `go test` above. Crank
 # FUZZTIME up for a real fuzzing session.
 go test -run '^$' -fuzz '^FuzzIRParseRoundTrip$' -fuzztime "${FUZZTIME:-5s}" ./internal/ir
 go test -run '^$' -fuzz '^FuzzMinicParser$' -fuzztime "${FUZZTIME:-5s}" ./internal/minic
 go test -run '^$' -fuzz '^FuzzFingerprintEncode$' -fuzztime "${FUZZTIME:-5s}" ./internal/fingerprint
+go test -run '^$' -fuzz '^FuzzWatParseRoundTrip$' -fuzztime "${FUZZTIME:-5s}" ./internal/wat
 
 echo "ok"
