@@ -282,6 +282,74 @@ func BenchmarkMergeStage(b *testing.B) {
 	}
 }
 
+// BenchmarkAlignStrategies compares the sequence pipeline against the
+// CFG-aware one on a population dense with block-permuted semantic
+// twins — the adversarial input the canonical dominator-tree order was
+// built for. Both runs use -check=validate so ns/op is apples to
+// apples (f3m-cfg forces it). `align-score` is the mean alignment
+// score over attempted pairs: the sequence aligner mis-pairs shuffled
+// blocks and scores low, the canonical aligner recovers the original
+// order and scores high, and `merges` shows what that buys at commit
+// time. `block-moves` (cfg only) is the mean number of reordered block
+// pairs per attempt. scripts/bench.sh records all of it in
+// BENCH_align.json to track the trajectory across PRs.
+func BenchmarkAlignStrategies(b *testing.B) {
+	gcfg := irgen.Config{
+		Seed: 3, Families: 60, FamilySizeMin: 2, FamilySizeMax: 3,
+		Singletons: 30, BlocksMin: 8, BlocksMax: 14, InstrsMin: 2, InstrsMax: 4,
+		MutationMin: 0, MutationMax: 0.3, Callers: 10, PermutedFraction: 1.0,
+	}
+	for _, tc := range []struct {
+		name  string
+		strat core.Strategy
+	}{
+		{"sequence", core.F3MStatic},
+		{"cfg", core.F3MCFG},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var scoreSum, moveSum float64
+			var scoreN, moveN int64
+			merges := 0
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m := irgen.Generate(gcfg).Module
+				cfg := core.DefaultConfig(tc.strat)
+				// High-precision regime: at this threshold ranking only
+				// surfaces near-identical pairs, so the twins' fate is
+				// decided by fingerprint order — the axis under test.
+				cfg.Threshold = 0.9
+				cfg.Check = core.CheckValidate
+				cfg.Metrics = obs.NewMetrics()
+				runtime.GC()
+				b.StartTimer()
+				rep, err := core.Run(m, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				merges = rep.Merges
+				if h := rep.Metrics.Histogram("align.score", nil); h.Count() > 0 {
+					scoreSum += h.Sum()
+					scoreN += h.Count()
+				}
+				if h := rep.Metrics.Histogram("align.cfg.block_moves", nil); h.Count() > 0 {
+					moveSum += h.Sum()
+					moveN += h.Count()
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(merges), "merges")
+			if scoreN > 0 {
+				b.ReportMetric(scoreSum/float64(scoreN), "align-score")
+			}
+			if moveN > 0 {
+				b.ReportMetric(moveSum/float64(moveN), "block-moves")
+			}
+		})
+	}
+}
+
 // BenchmarkSummaryExtract measures the per-module half of the
 // cross-module workflow: reducing a module to its merge summaries plus
 // the versioned JSON encoding `f3m summary` writes. This is the work a

@@ -21,7 +21,10 @@
 //	f3m summary [-o FILE] [-source PATH] [-k K] [file.ir | file.c | file.wat | -gen N]
 //	f3m merge -summaries [flags] a.sum b.sum ...
 //
-//	-strategy hyfm|f3m|f3m-adapt   ranking strategy (default f3m)
+//	-strategy hyfm|f3m|f3m-adapt|f3m-cfg   ranking strategy (default f3m; f3m-cfg
+//	                               fingerprints and aligns in canonical dominator-tree
+//	                               block order, merging block-reordered twins, and
+//	                               forces -check=validate)
 //	-gen N                         generate a synthetic module with ~N functions
 //	-seed S                        generation seed
 //	-threshold T                   similarity threshold (-1 = strategy default)
@@ -74,7 +77,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	fs := flag.NewFlagSet("f3m", flag.ContinueOnError)
-	strategy := fs.String("strategy", "f3m", "ranking strategy: hyfm, f3m or f3m-adapt")
+	strategy := fs.String("strategy", "f3m", "ranking strategy: "+strings.Join(core.StrategyNames(), ", "))
 	gen := fs.Int("gen", 0, "generate a synthetic module with ~N functions instead of reading files")
 	seed := fs.Int64("seed", 1, "synthetic generation seed")
 	threshold := fs.Float64("threshold", -1, "similarity threshold (-1 = strategy default)")
@@ -92,16 +95,9 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	var strat core.Strategy
-	switch *strategy {
-	case "hyfm":
-		strat = core.HyFM
-	case "f3m":
-		strat = core.F3MStatic
-	case "f3m-adapt":
-		strat = core.F3MAdaptive
-	default:
-		return fmt.Errorf("unknown strategy %q", *strategy)
+	strat, err := core.ParseStrategy(*strategy)
+	if err != nil {
+		return err
 	}
 
 	mod, err := loadModule(fs.Args(), *gen, *seed)

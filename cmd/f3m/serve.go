@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -25,7 +26,7 @@ func runServe(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("f3m serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7333", "listen address")
 	shards := fs.Int("shards", 0, "similarity store shards (0 = default)")
-	strategy := fs.String("strategy", "f3m", "ranking strategy: hyfm, f3m or f3m-adapt")
+	strategy := fs.String("strategy", "f3m", "ranking strategy: "+strings.Join(core.StrategyNames(), ", "))
 	threshold := fs.Float64("threshold", -1, "similarity threshold (-1 = strategy default)")
 	k := fs.Int("k", 0, "MinHash fingerprint size (0 = default)")
 	workers := fs.Int("workers", 0, "preprocess/rank parallelism per merge (0 = GOMAXPROCS)")
@@ -49,16 +50,9 @@ func runServe(args []string, stdout io.Writer) error {
 		return serve.SelfCheck(stdout, *servingDoc)
 	}
 
-	var strat core.Strategy
-	switch *strategy {
-	case "hyfm":
-		strat = core.HyFM
-	case "f3m":
-		strat = core.F3MStatic
-	case "f3m-adapt":
-		strat = core.F3MAdaptive
-	default:
-		return fmt.Errorf("unknown strategy %q", *strategy)
+	strat, err := core.ParseStrategy(*strategy)
+	if err != nil {
+		return err
 	}
 	checkMode, err := core.ParseCheckMode(*check)
 	if err != nil {

@@ -437,20 +437,30 @@ func MatchBlocks(f1, f2 *ir.Function, minRatio float64) (pairs []BlockPair, unA,
 // cached and uncached invocations freely. Per-block fingerprints and
 // encodings are computed once up front, not once per candidate pair.
 func MatchBlocksCached(f1, f2 *ir.Function, minRatio float64, cch *Cache) (pairs []BlockPair, unA, unB []*ir.Block) {
-	nA, nB := len(f1.Blocks), len(f2.Blocks)
+	return greedyMatch(f1.Blocks, f2.Blocks, minRatio, cch, nil)
+}
+
+// greedyMatch is the HyFM-style greedy pairing over two block slices:
+// candidates ranked by frequency-fingerprint distance, verified by
+// block alignment, accepted at minRatio. It appends to pairs (the
+// CFG-aware matcher seeds it with the exact matches it already
+// accepted) and returns the blocks of each side left unpaired, in
+// slice order.
+func greedyMatch(blocksA, blocksB []*ir.Block, minRatio float64, cch *Cache, pairs []BlockPair) (outPairs []BlockPair, unA, unB []*ir.Block) {
+	nA, nB := len(blocksA), len(blocksB)
 	s := matchPool.Get().(*matchScratch)
 	defer s.release()
 	fpA := growZero(&s.fpA, nA)
-	for i, b := range f1.Blocks {
+	for i, b := range blocksA {
 		fingerprint.FreqBlockInto(b, &fpA[i])
 	}
 	fpB := growZero(&s.fpB, nB)
-	for i, b := range f2.Blocks {
+	for i, b := range blocksB {
 		fingerprint.FreqBlockInto(b, &fpB[i])
 	}
 	cands := s.cands[:0]
-	for i := range f1.Blocks {
-		for j := range f2.Blocks {
+	for i := range blocksA {
+		for j := range blocksB {
 			cands = append(cands, matchCand{i, j, fpA[i].Distance(&fpB[j])})
 		}
 	}
@@ -466,10 +476,10 @@ func MatchBlocksCached(f1, f2 *ir.Function, minRatio float64, cch *Cache) (pairs
 			continue
 		}
 		if encA[c.a] == nil {
-			encA[c.a] = fingerprint.EncodeBlock(f1.Blocks[c.a])
+			encA[c.a] = fingerprint.EncodeBlock(blocksA[c.a])
 		}
 		if encB[c.b] == nil {
-			encB[c.b] = fingerprint.EncodeBlock(f2.Blocks[c.b])
+			encB[c.b] = fingerprint.EncodeBlock(blocksB[c.b])
 		}
 		ea, eb := encA[c.a], encB[c.b]
 		var r float64
@@ -482,14 +492,14 @@ func MatchBlocksCached(f1, f2 *ir.Function, minRatio float64, cch *Cache) (pairs
 			continue
 		}
 		takenA[c.a], takenB[c.b] = true, true
-		pairs = append(pairs, BlockPair{A: f1.Blocks[c.a], B: f2.Blocks[c.b], Ratio: r})
+		pairs = append(pairs, BlockPair{A: blocksA[c.a], B: blocksB[c.b], Ratio: r})
 	}
-	for i, b := range f1.Blocks {
+	for i, b := range blocksA {
 		if !takenA[i] {
 			unA = append(unA, b)
 		}
 	}
-	for i, b := range f2.Blocks {
+	for i, b := range blocksB {
 		if !takenB[i] {
 			unB = append(unB, b)
 		}

@@ -1,0 +1,187 @@
+package align
+
+import (
+	"slices"
+
+	"f3m/internal/fingerprint"
+	"f3m/internal/ir"
+)
+
+// CanonOrder is the canonical block order of a function: a
+// linearization that depends only on the CFG shape and the blocks'
+// instruction content, never on the layout order of Function.Blocks or
+// on label names. Two functions that differ only by a block-layout
+// permutation — or by the order a conditional branch lists its arms —
+// canonicalize to the same block sequence, which is what makes
+// reorder-tolerant fingerprinting and block matching possible (see
+// MatchBlocksCFG and DESIGN.md, "CFG-aware alignment"). Content
+// changes are reflected, not hidden: negating a compare predicate
+// changes that block's fingerprint and hence its canonical position,
+// exactly as it changes the instruction stream.
+type CanonOrder struct {
+	// Blocks is the canonical sequence: a preorder walk of the
+	// dominator tree with children visited in canonical-key order,
+	// followed by any unreachable blocks in layout order.
+	Blocks []*ir.Block
+
+	// Fps holds, aligned with Blocks, each block's 32-bit content
+	// fingerprint: a hash of its instruction encodings and successor
+	// count. Equal fingerprints mark blocks the block-level aligner may
+	// pair exactly.
+	Fps []fingerprint.Encoded
+}
+
+// canonNode is the per-block state of one canonicalization: the content
+// fingerprint, the dominator-subtree fingerprint/size the child sort
+// keys on, and the layout index used as the final deterministic
+// tie-break.
+type canonNode struct {
+	fp   uint64 // content fingerprint of the block alone
+	sub  uint64 // fingerprint of the whole dominator subtree
+	size int32  // block count of the dominator subtree
+	idx  int32  // layout index (last-resort tie-break)
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// mix folds one word into an FNV-1a style running hash.
+func mix(h, w uint64) uint64 {
+	return (h ^ w) * fnvPrime
+}
+
+// blockFp hashes a block's merge-relevant content: every instruction's
+// 32-bit encoding in order, plus the successor count. Successor
+// *identity* is deliberately excluded — it is label-dependent — but the
+// terminator's own encoding (opcode, condition type, negated-or-not
+// predicate) is included via EncodeInstr, so e.g. `br` and `condbr`
+// blocks never collide.
+func blockFp(b *ir.Block) uint64 {
+	h := uint64(fnvOffset)
+	for _, in := range b.Instrs {
+		h = mix(h, uint64(fingerprint.EncodeInstr(in)))
+	}
+	if term := b.Term(); term != nil {
+		h = mix(h, uint64(term.NumSuccessors())+0x9e3779b9)
+	}
+	return h
+}
+
+// Canonicalize computes the canonical block order of f. When dom is nil
+// a transient dominator tree is built (and released); callers that
+// already hold one — the analysis manager caches them — pass it in.
+//
+// The order is a preorder walk of the dominator tree in which each
+// node's children are sorted by (subtree fingerprint, subtree size,
+// block fingerprint, layout index). The first three keys are invariant
+// under block-layout permutation and under conditional-branch arm swaps
+// (the arms are dominator-tree siblings whose content differs, so the
+// sort ignores which arm the branch lists first); the layout index only
+// decides between structurally identical subtrees, whose relative order
+// cannot change the canonical instruction sequence. Unreachable blocks
+// carry no dominator information and are appended in layout order.
+func Canonicalize(f *ir.Function, dom *ir.DomTree) *CanonOrder {
+	nb := len(f.Blocks)
+	out := &CanonOrder{
+		Blocks: make([]*ir.Block, 0, nb),
+		Fps:    make([]fingerprint.Encoded, 0, nb),
+	}
+	if nb == 0 {
+		return out
+	}
+	if dom == nil {
+		dom = ir.NewDomTree(f)
+		defer dom.Release()
+	}
+
+	nodes := make(map[*ir.Block]*canonNode, nb)
+	for i, b := range f.Blocks {
+		nodes[b] = &canonNode{fp: blockFp(b), idx: int32(i)}
+	}
+
+	// Children in canonical-key order; the sort is stable over the
+	// tree's deterministic reverse-postorder child lists, so fully tied
+	// (structurally identical) subtrees keep a deterministic order too.
+	sortedKids := func(b *ir.Block, buf []*ir.Block) []*ir.Block {
+		kids := dom.Children(b, buf)
+		slices.SortStableFunc(kids, func(x, y *ir.Block) int {
+			nx, ny := nodes[x], nodes[y]
+			switch {
+			case nx.sub != ny.sub:
+				if nx.sub < ny.sub {
+					return -1
+				}
+				return 1
+			case nx.size != ny.size:
+				return int(nx.size - ny.size)
+			case nx.fp != ny.fp:
+				if nx.fp < ny.fp {
+					return -1
+				}
+				return 1
+			default:
+				return int(nx.idx - ny.idx)
+			}
+		})
+		return kids
+	}
+
+	// Bottom-up pass: subtree fingerprints and sizes. The explicit
+	// stack carries (block, children-expanded) frames; children are
+	// resolved unsorted here — the combine below re-sorts them, and by
+	// then their own subtree keys are final.
+	entry := f.Entry()
+	type frame struct {
+		b        *ir.Block
+		expanded bool
+	}
+	stack := []frame{{b: entry}}
+	kidbuf := make([]*ir.Block, 0, 8)
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		if !fr.expanded {
+			fr.expanded = true
+			for _, c := range dom.Children(fr.b, kidbuf[:0]) {
+				stack = append(stack, frame{b: c})
+			}
+			continue
+		}
+		n := nodes[fr.b]
+		n.sub = mix(fnvOffset, n.fp)
+		n.size = 1
+		for _, c := range sortedKids(fr.b, kidbuf[:0]) {
+			cn := nodes[c]
+			n.sub = mix(n.sub, cn.sub)
+			n.size += cn.size
+		}
+		stack = stack[:len(stack)-1]
+	}
+
+	// Preorder emit. Children are pushed in reverse canonical order so
+	// the stack pops them in canonical order.
+	emit := func(b *ir.Block) {
+		n := nodes[b]
+		out.Blocks = append(out.Blocks, b)
+		// Fold 64 -> 32 bits; the 64-bit fp only disambiguates the sort.
+		out.Fps = append(out.Fps, fingerprint.Encoded(n.fp^n.fp>>32))
+	}
+	walk := []*ir.Block{entry}
+	for len(walk) > 0 {
+		b := walk[len(walk)-1]
+		walk = walk[:len(walk)-1]
+		emit(b)
+		kids := sortedKids(b, kidbuf[:0])
+		for i := len(kids) - 1; i >= 0; i-- {
+			walk = append(walk, kids[i])
+		}
+		kidbuf = kids[:0]
+	}
+	for _, b := range f.Blocks {
+		if !dom.Reachable(b) {
+			emit(b)
+		}
+	}
+	return out
+}

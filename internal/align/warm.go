@@ -33,6 +33,22 @@ func EncodeBody(b *ir.Block) []fingerprint.Encoded {
 // go into the cache.
 func WarmPair(c *Cache, f1, f2 *ir.Function, minRatio float64) {
 	pairs, _, _ := MatchBlocksCached(f1, f2, minRatio, c)
+	warmBodies(c, pairs)
+}
+
+// WarmPairCFG is WarmPair for the CFG-aware strategy: it replays
+// MatchBlocksCFG — the canonical block-fingerprint alignment, the body
+// verifications and the greedy residue pass — against the cache, then
+// warms the paired-body alignments, so a committer attempt under
+// Options.CFGAlign hits on every DP.
+func WarmPairCFG(c *Cache, f1, f2 *ir.Function, minRatio float64) {
+	pairs, _, _, _ := MatchBlocksCFG(f1, f2, minRatio, c)
+	warmBodies(c, pairs)
+}
+
+// warmBodies pre-aligns the body (terminator-stripped) sequences of
+// every accepted pair, the DPs the paired-block code generator runs.
+func warmBodies(c *Cache, pairs []BlockPair) {
 	for _, p := range pairs {
 		encA, encB := EncodeBody(p.A), EncodeBody(p.B)
 		if len(encA) == 0 && len(encB) == 0 {

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"f3m/internal/align"
 	"f3m/internal/analysis/dataflow"
 	"f3m/internal/ir"
 )
@@ -34,6 +35,10 @@ type FuncFacts struct {
 	reach    *dataflow.ReachResult
 	slotLive *dataflow.SlotLivenessResult
 	sccp     *dataflow.SCCPResult
+
+	// canon is the lazily computed canonical block order behind
+	// Manager.Canon.
+	canon *align.CanonOrder
 }
 
 // CallGraph is the module's direct-call structure plus address-taken
@@ -109,6 +114,18 @@ func (mgr *Manager) SCCP(f *ir.Function) *dataflow.SCCPResult {
 		ff.sccp = dataflow.SCCP(f, nil)
 	}
 	return ff.sccp
+}
+
+// Canon returns the cached canonical block order of f (see
+// align.Canonicalize), computed on first use from the cached dominator
+// tree so CFG-aware fingerprinting and the post-commit checkers share
+// one tree per function. Invalidate drops it with the other facts.
+func (mgr *Manager) Canon(f *ir.Function) *align.CanonOrder {
+	ff := mgr.Facts(f)
+	if ff.canon == nil {
+		ff.canon = align.Canonicalize(f, ff.Dom)
+	}
+	return ff.canon
 }
 
 // Invalidate drops the cached facts of f (call after mutating it).

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"sort"
 
 	"f3m/internal/ir"
 )
@@ -24,8 +25,15 @@ func StrictVerify(mgr *Manager, m *ir.Module) Diagnostics {
 	for _, f := range m.Funcs {
 		seen[f.Name()]++
 	}
-	for name, n := range seen {
-		if n > 1 {
+	// Sorted emission: diagnostics join the rendered report, which must
+	// be byte-identical across runs.
+	names := make([]string, 0, len(seen))
+	for name := range seen { // lintmap:ignore keys are sorted before emission
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if n := seen[name]; n > 1 {
 			ds = append(ds, Diagnostic{
 				Checker: CheckerStrictVerify, Sev: Error, Func: name,
 				Msg: fmt.Sprintf("function defined %d times in the module", n),

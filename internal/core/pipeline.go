@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"time"
 
 	"f3m/internal/align"
@@ -49,6 +50,15 @@ const (
 	// F3MAdaptive: MinHash + LSH with Equations 3 and 4 choosing the
 	// threshold, band count and fingerprint size.
 	F3MAdaptive
+	// F3MCFG: F3M static parameters with CFG-aware alignment: MinHash
+	// fingerprints are computed over the canonical dominator-tree block
+	// order (align.Canonicalize) instead of the layout order, and the
+	// merger pairs blocks with the reorder-tolerant canonical matcher
+	// (align.MatchBlocksCFG). Block-permuted semantic twins, which the
+	// sequence strategies rank near zero, rank at their true similarity.
+	// Every commit is gated through the translation validator: the run
+	// forces at least CheckValidate.
+	F3MCFG
 )
 
 // String names the strategy as in the paper's legends.
@@ -60,8 +70,32 @@ func (s Strategy) String() string {
 		return "F3M"
 	case F3MAdaptive:
 		return "F3M-adapt"
+	case F3MCFG:
+		return "F3M-cfg"
 	}
 	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// StrategyNames lists the accepted -strategy spellings, in menu order.
+func StrategyNames() []string {
+	return []string{"hyfm", "f3m", "f3m-adapt", "f3m-cfg"}
+}
+
+// ParseStrategy maps a CLI -strategy spelling to its Strategy value;
+// the error enumerates the supported spellings.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "hyfm":
+		return HyFM, nil
+	case "f3m":
+		return F3MStatic, nil
+	case "f3m-adapt":
+		return F3MAdaptive, nil
+	case "f3m-cfg":
+		return F3MCFG, nil
+	}
+	return 0, fmt.Errorf("unknown strategy %q (supported: %s)",
+		name, strings.Join(StrategyNames(), ", "))
 }
 
 // Config parameterizes a pass run.
@@ -269,7 +303,7 @@ func Run(m *ir.Module, cfg Config) (*Report, error) {
 	switch cfg.Strategy {
 	case HyFM:
 		return runHyFM(m, cfg)
-	case F3MStatic, F3MAdaptive:
+	case F3MStatic, F3MAdaptive, F3MCFG:
 		return runF3M(m, cfg)
 	}
 	return nil, fmt.Errorf("core: unknown strategy %d", cfg.Strategy)
@@ -312,6 +346,7 @@ var (
 	decileBounds     = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
 	savingBounds     = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 	encodedLenBounds = []float64{4, 8, 16, 32, 64, 128, 256, 512}
+	blockMoveBounds  = []float64{0, 1, 2, 4, 8, 16, 32}
 )
 
 // attemptMerge runs align+codegen+profitability for one ranked pair and
@@ -367,6 +402,14 @@ func attemptMerge(m *ir.Module, fa, fb *ir.Function, cfg Config, rep *Report, en
 	outcome.MergeDur = res.AlignDur + res.CodegenDur
 	mx.Counter(obs.FunnelAligned).Inc()
 	mx.Histogram("align.score", decileBounds).Observe(res.AlignScore)
+	if res.BlockMoves >= 0 {
+		// CFG-aware attempt: record how much block reordering the
+		// canonical matcher absorbed and the score it reached. Both are
+		// observed only from the sequential committer, so the histograms
+		// stay deterministic for every Workers/MergeWorkers setting.
+		mx.Histogram("align.cfg.block_moves", blockMoveBounds).Observe(float64(res.BlockMoves))
+		mx.Histogram("align.cfg.score", decileBounds).Observe(res.AlignScore)
+	}
 	if res.Profitable {
 		// Re-validate before committing: if anything consumed an
 		// operand between alignment and commit (a misbehaving merge
@@ -508,10 +551,22 @@ func runHyFM(m *ir.Module, cfg Config) (*Report, error) {
 	return rep, nil
 }
 
-// runF3M ranks with MinHash + LSH, with static or adaptive parameters.
+// runF3M ranks with MinHash + LSH, with static or adaptive parameters;
+// F3MCFG additionally canonicalizes block order before fingerprinting
+// and merges with the reorder-tolerant block matcher.
 func runF3M(m *ir.Module, cfg Config) (*Report, error) {
 	rep := &Report{Strategy: cfg.Strategy}
 	rep.SizeBefore = ModuleCost(m)
+	if cfg.Strategy == F3MCFG {
+		// CFG-aware merging commits pairs the sequence pipeline never
+		// sees (reordered twins), so every commit is proven by the
+		// translation validator; a caller asking for a weaker check mode
+		// is upgraded, mirroring RunSummaryMerge.
+		cfg.MergeOpts.CFGAlign = true
+		if cfg.Check < CheckValidate {
+			cfg.Check = CheckValidate
+		}
+	}
 	cfg = withCallIndex(m, cfg)
 	if cfg.MergeOpts.AlignCache == nil {
 		cfg.MergeOpts.AlignCache = align.NewCache(0)
@@ -569,10 +624,35 @@ func runF3M(m *ir.Module, cfg Config) (*Report, error) {
 	workers := resolveWorkers(cfg.Workers)
 	mhCfg := (&fingerprint.Config{K: k, ShingleSize: 2, Seed: cfg.Seed}).Prepare()
 	sigs := make([]fingerprint.MinHash, len(funcs))
+
+	// Under F3MCFG the MinHash input is the canonical dominator-tree
+	// block order, so reordered twins produce (near-)identical shingle
+	// sets and rank at their true similarity. The orders are computed
+	// sequentially through the analysis manager — the engine's cache, so
+	// the post-commit checkers reuse the same dominator trees — before
+	// the parallel encode fan-out (the manager is not concurrency-safe).
+	var canonOrd []*align.CanonOrder
+	if cfg.Strategy == F3MCFG {
+		cn := pre.Child("canonicalize")
+		canonOrd = make([]*align.CanonOrder, len(funcs))
+		for i, f := range funcs {
+			if eng != nil {
+				canonOrd[i] = eng.Manager().Canon(f)
+			} else {
+				canonOrd[i] = align.Canonicalize(f, nil)
+			}
+		}
+		cn.End()
+	}
 	fp := pre.Child("fingerprint")
 	encLen := mx.Histogram("fingerprint.encoded_len", encodedLenBounds)
 	poolRun(len(funcs), workers, mx, "fingerprint", func(i int) {
-		enc := fingerprint.EncodeFunc(funcs[i])
+		var enc []fingerprint.Encoded
+		if canonOrd != nil {
+			enc = fingerprint.EncodeBlocks(canonOrd[i].Blocks)
+		} else {
+			enc = fingerprint.EncodeFunc(funcs[i])
+		}
 		encLen.Observe(float64(len(enc)))
 		sigs[i] = mhCfg.New(enc)
 	})
@@ -613,7 +693,7 @@ func runF3M(m *ir.Module, cfg Config) (*Report, error) {
 	var spec *specEngine
 	if mergeWorkers > 1 && cfg.Hotness == nil && cfg.MergeOpts.Index != nil && len(funcs) > 1 {
 		spec = newSpecEngine(m, funcs, sigs, ix, cfg.MergeOpts.AlignCache,
-			cfg.MergeOpts.MinBlockRatio, threshold, mergeWorkers-1, mx)
+			cfg.MergeOpts.MinBlockRatio, threshold, cfg.MergeOpts.CFGAlign, mergeWorkers-1, mx)
 	}
 	defer spec.stop()
 

@@ -85,6 +85,11 @@ type specEngine struct {
 	minRatio  float64
 	threshold float64
 
+	// cfgAlign mirrors Options.CFGAlign: workers must warm the cache
+	// with the same matcher the committer's attempts will run, or the
+	// canonical block-fingerprint alignments would all miss.
+	cfgAlign bool
+
 	// mu orders module/index mutation (committer, write side) against
 	// peek+clone (workers, read side).
 	mu sync.RWMutex
@@ -135,7 +140,7 @@ type specTask struct {
 
 // newSpecEngine starts workers speculative goroutines over the ranked
 // function set and returns the engine the committer coordinates with.
-func newSpecEngine(m *ir.Module, funcs []*ir.Function, sigs []fingerprint.MinHash, ix *lsh.Index, cache *align.Cache, minRatio, threshold float64, workers int, mx *obs.Metrics) *specEngine {
+func newSpecEngine(m *ir.Module, funcs []*ir.Function, sigs []fingerprint.MinHash, ix *lsh.Index, cache *align.Cache, minRatio, threshold float64, cfgAlign bool, workers int, mx *obs.Metrics) *specEngine {
 	e := &specEngine{
 		funcs:     funcs,
 		sigs:      sigs,
@@ -145,6 +150,7 @@ func newSpecEngine(m *ir.Module, funcs []*ir.Function, sigs []fingerprint.MinHas
 		ctx:       m.Ctx,
 		minRatio:  minRatio,
 		threshold: threshold,
+		cfgAlign:  cfgAlign,
 		merged:    make([]atomic.Bool, len(funcs)),
 		specCand:  make([]atomic.Int32, len(funcs)),
 		gen:       make([]atomic.Uint32, len(funcs)),
@@ -357,7 +363,11 @@ func (e *specEngine) speculate(scratch *ir.Module, arena *ir.CloneArena, task sp
 	passes.RegToMemIn(cv, arena)
 	for _, cc := range ccs {
 		passes.RegToMemIn(cc, arena)
-		align.WarmPair(e.cache, cv, cc, e.minRatio)
+		if e.cfgAlign {
+			align.WarmPairCFG(e.cache, cv, cc, e.minRatio)
+		} else {
+			align.WarmPair(e.cache, cv, cc, e.minRatio)
+		}
 		scratch.RemoveFunc(cc)
 		arena.Recycle(cc)
 		e.speculated.Inc()

@@ -317,7 +317,7 @@ func TestSpecInvalidationRequeue(t *testing.T) {
 	if len(funcs) < 6 {
 		t.Fatalf("fixture too small: %d candidates", len(funcs))
 	}
-	e := newSpecEngine(m, funcs, nil, nil, nil, 0.5, 0, 0, nil)
+	e := newSpecEngine(m, funcs, nil, nil, nil, 0.5, 0, false, 0, nil)
 	defer e.stop()
 
 	// Victim 3 speculated against candidate 1; victims 4 and 5 against
@@ -473,7 +473,7 @@ func TestSpeculationWarmsCache(t *testing.T) {
 func TestSpeculateStaleSkip(t *testing.T) {
 	m, fa, fb := staleFixture(t)
 	mx := obs.NewMetrics()
-	e := newSpecEngine(m, []*ir.Function{fa, fb}, nil, nil, nil, 0, 0.5, 0, mx)
+	e := newSpecEngine(m, []*ir.Function{fa, fb}, nil, nil, nil, 0, 0.5, false, 0, mx)
 	defer e.stop()
 
 	scratch := ir.NewModuleInCtx("spec.test", m.Ctx)

@@ -120,6 +120,25 @@ func EncodeFunc(f *ir.Function) []Encoded {
 	return out
 }
 
+// EncodeBlocks encodes every instruction of the given blocks, in the
+// given block order. EncodeFunc is EncodeBlocks over the layout order;
+// the CFG-aware strategy calls this with a canonical block order
+// instead, making the MinHash fingerprint invariant under block-layout
+// permutation (see align.Canonicalize).
+func EncodeBlocks(blocks []*ir.Block) []Encoded {
+	n := 0
+	for _, b := range blocks {
+		n += len(b.Instrs)
+	}
+	out := make([]Encoded, 0, n)
+	for _, b := range blocks {
+		for _, in := range b.Instrs {
+			out = append(out, EncodeInstr(in))
+		}
+	}
+	return out
+}
+
 // EncodeBlock encodes the instructions of a single basic block.
 func EncodeBlock(b *ir.Block) []Encoded {
 	out := make([]Encoded, len(b.Instrs))

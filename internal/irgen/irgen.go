@@ -56,6 +56,14 @@ type Config struct {
 	// scrambled structure (see genConfuser). These are the adversarial
 	// inputs that expose the weakness of opcode-frequency ranking.
 	ConfuserFraction float64
+
+	// PermutedFraction is the probability that a family also plants a
+	// block-permuted semantic twin of its seed: same CFG, same dataflow,
+	// same instructions, shuffled block layout (see genPermuted). These
+	// are the ground truth for CFG-aware alignment: layout-order
+	// fingerprints see them as dissimilar, canonical-order fingerprints
+	// see them as identical.
+	PermutedFraction float64
 }
 
 // DefaultConfig returns a medium-sized population with the mix used by
@@ -92,6 +100,10 @@ type FuncInfo struct {
 	// Confuser marks frequency twins: same opcode histogram as the
 	// family seed but scrambled structure.
 	Confuser bool
+
+	// Permuted marks block-permuted semantic twins of the family seed:
+	// identical instructions and behavior, shuffled block layout.
+	Permuted bool
 }
 
 // Result is a generated module plus its ground truth.
@@ -242,6 +254,11 @@ func (g *generator) run() {
 			name := fmt.Sprintf("fam%d_t0", fam)
 			g.genConfuser(seed, name)
 			g.info = append(g.info, FuncInfo{Name: name, Family: fam, Confuser: true})
+		}
+		if g.rng.Float64() < cfg.PermutedFraction {
+			name := fmt.Sprintf("fam%d_p0", fam)
+			g.genPermuted(seed, name)
+			g.info = append(g.info, FuncInfo{Name: name, Family: fam, Permuted: true})
 		}
 	}
 	for s := 0; s < cfg.Singletons; s++ {

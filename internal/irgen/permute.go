@@ -1,0 +1,50 @@
+package irgen
+
+import (
+	"fmt"
+
+	"f3m/internal/ir"
+)
+
+// genPermuted plants a block-reordered semantic twin of seed: a clone
+// whose non-entry blocks are shuffled in the layout list. Layout order
+// carries no semantics — the verifier and every pass resolve control
+// flow through edges — so the twin behaves identically to the seed,
+// but the linearized instruction stream the sequence strategies
+// fingerprint and align is scrambled. These twins are the ground truth
+// for the CFG-aware strategy: a reorder-tolerant pipeline must rank
+// and merge them like the identical copies they semantically are.
+//
+// The shuffle deliberately leaves instruction content untouched (no
+// branch-arm inversion: negating a compare predicate changes that
+// instruction's encoding, which would make the twin genuinely
+// different under any order-canonical fingerprint, blurring the
+// ground truth).
+func (g *generator) genPermuted(seed *ir.Function, name string) *ir.Function {
+	f := ir.CloneFunc(g.mod, seed, name)
+
+	// Entry must stay first; everything else is order-free. Re-shuffle
+	// until the permutation is not the identity, so every planted twin
+	// actually exercises reorder tolerance.
+	rest := f.Blocks[1:]
+	orig := append([]*ir.Block(nil), rest...)
+	same := func() bool {
+		for i := range rest {
+			if rest[i] != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for tries := 0; tries < 32; tries++ {
+		g.rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+		if len(rest) < 2 || !same() {
+			break
+		}
+	}
+
+	if err := ir.VerifyFunc(f); err != nil {
+		panic(fmt.Sprintf("irgen: invalid permuted twin %s: %v\n%s", name, err, ir.FuncString(f)))
+	}
+	return f
+}

@@ -48,6 +48,10 @@ type mergeGen struct {
 	// alignScore is the instruction-weighted matched ratio of the
 	// accepted block pairs (see Result.AlignScore).
 	alignScore float64
+
+	// blockMoves is the reorder count of the CFG-aware block pairing,
+	// -1 under the sequence matcher (see Result.BlockMoves).
+	blockMoves int
 }
 
 // pendInstr links an emitted instruction to its originals; origB is nil
@@ -76,6 +80,7 @@ func newMergeGen(m *ir.Module, ca, cb *ir.Function, ar *ir.CloneArena, opts Opti
 	g.paramMapA = make(map[int]int)
 	g.paramMapB = make(map[int]int)
 	g.alignDur, g.codegenDur, g.alignScore = 0, 0, 0
+	g.blockMoves = -1
 	return g
 }
 
@@ -168,7 +173,13 @@ func (g *mergeGen) run(name string) (*ir.Function, error) {
 	// Pair blocks and pre-create every merged head so terminators can
 	// resolve successors in one pass.
 	alignStart := time.Now()
-	pairs, unA, unB := align.MatchBlocksCached(g.ca, g.cb, g.opts.MinBlockRatio, g.opts.AlignCache)
+	var pairs []align.BlockPair
+	var unA, unB []*ir.Block
+	if g.opts.CFGAlign {
+		pairs, unA, unB, g.blockMoves = align.MatchBlocksCFG(g.ca, g.cb, g.opts.MinBlockRatio, g.opts.AlignCache)
+	} else {
+		pairs, unA, unB = align.MatchBlocksCached(g.ca, g.cb, g.opts.MinBlockRatio, g.opts.AlignCache)
+	}
 	g.alignScore = alignScoreOf(pairs, g.ca, g.cb)
 	g.alignDur = time.Since(alignStart)
 	codegenStart := time.Now()

@@ -70,6 +70,14 @@ type Options struct {
 	// translation validator needs the original semantics to compare
 	// against after the originals have been thunked or deleted.
 	SnapshotOriginals bool
+
+	// CFGAlign switches block pairing from the greedy sequence matcher
+	// to the CFG-aware canonical-order matcher (align.MatchBlocksCFG),
+	// which tolerates block-layout permutation and swapped branch arms
+	// between the two functions. Result.BlockMoves then reports how
+	// much reordering the pairing absorbed. Set by the f3m-cfg pipeline
+	// strategy.
+	CFGAlign bool
 }
 
 // DefaultOptions mirror the defaults used by the pipeline.
@@ -100,6 +108,13 @@ type Result struct {
 	// AlignDur and CodegenDur break the merge attempt into the two
 	// stages the paper's Figures 3 and 13 report.
 	AlignDur, CodegenDur time.Duration
+
+	// BlockMoves is the number of accepted block pairs whose two blocks
+	// sit at different layout positions — the reordering the CFG-aware
+	// matcher absorbed. It is -1 when the sequence matcher ran
+	// (Options.CFGAlign off), so the pipeline can publish CFG histograms
+	// only for CFG-aligned attempts.
+	BlockMoves int
 
 	// AlignScore is the block-level alignment quality of the pair: the
 	// fraction of instructions (of both functions) landing in matched
@@ -196,6 +211,7 @@ func Pair(m *ir.Module, fa, fb *ir.Function, opts Options) (*Result, error) {
 		AlignDur:   g.alignDur,
 		CodegenDur: g.codegenDur,
 		AlignScore: g.alignScore,
+		BlockMoves: g.blockMoves,
 	}
 	countSites := opts.CallSiteCount
 	if opts.Index != nil {

@@ -345,7 +345,7 @@ func (s *Server) publishFuncGauge() {
 func (s *Server) Modules() []ModuleInfo {
 	s.mu.RLock()
 	out := make([]ModuleInfo, 0, len(s.modules))
-	for _, e := range s.modules {
+	for _, e := range s.modules { // lintmap:ignore collected then sorted by name below
 		out = append(out, s.infoLocked(e))
 	}
 	s.mu.RUnlock()
@@ -447,7 +447,7 @@ func (s *Server) Merge() (MergeSummary, error) {
 	s.mu.RLock()
 	epoch := s.Store().Epoch()
 	names := make([]string, 0, len(s.modules))
-	for n := range s.modules {
+	for n := range s.modules { // lintmap:ignore collected then sorted just below
 		names = append(names, n)
 	}
 	sort.Strings(names)

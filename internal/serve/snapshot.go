@@ -157,7 +157,7 @@ func (s *Server) Snapshot(path string) (SnapshotInfo, error) {
 	s.mu.RLock()
 	epoch := st.Epoch()
 	entries := make([]*moduleEntry, 0, len(s.modules))
-	for _, e := range s.modules {
+	for _, e := range s.modules { // lintmap:ignore collected then sorted by name below
 		entries = append(entries, e)
 	}
 	s.mu.RUnlock()

@@ -22,7 +22,7 @@ func (s *Server) Summaries() ([]*summary.ModuleSummary, error) {
 	type nameSrc struct{ name, src string }
 	s.mu.RLock()
 	mods := make([]nameSrc, 0, len(s.modules))
-	for _, e := range s.modules {
+	for _, e := range s.modules { // lintmap:ignore collected then sorted by name below
 		mods = append(mods, nameSrc{name: e.name, src: e.src})
 	}
 	s.mu.RUnlock()

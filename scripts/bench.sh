@@ -7,11 +7,16 @@
 # committer's cache hit rate per -merge-workers setting — is tracked
 # across PRs. It also runs BenchmarkSummaryExtract (the per-module half
 # of the cross-module workflow) and writes summaries/sec plus bytes/func
-# to BENCH_summary.json. BENCHTIME and the output paths are overridable:
+# to BENCH_summary.json, and BenchmarkAlignStrategies (sequence vs
+# CFG-aware pipeline on block-permuted twin populations) and writes
+# ns/op, mean alignment score, mean block moves and committed merges
+# per strategy to BENCH_align.json. BENCHTIME and the output paths are
+# overridable:
 #
 #   BENCHTIME=5x scripts/bench.sh          # more iterations
 #   scripts/bench.sh out/bench.json        # alternate merge output file
 #   SUMOUT=out/sum.json scripts/bench.sh   # alternate summary output file
+#   ALIGNOUT=out/align.json scripts/bench.sh  # alternate align output file
 #
 # When BENCH_budget.json exists (override the path with ALLOC_BUDGET,
 # or set ALLOC_BUDGET=skip to bypass), the run also gates allocs/op
@@ -80,6 +85,36 @@ awk '
 
 echo "== wrote $SUMOUT"
 cat "$SUMOUT"
+
+ALIGNOUT="${ALIGNOUT:-BENCH_align.json}"
+echo "== go test -bench BenchmarkAlignStrategies (benchtime $BENCHTIME)"
+go test -run '^$' -bench '^BenchmarkAlignStrategies$' -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+
+awk '
+/^BenchmarkAlignStrategies\// {
+    name = $1
+    sub(/-[0-9]+$/, "", name)          # strip the GOMAXPROCS suffix
+    sub(/^BenchmarkAlignStrategies\//, "", name)
+    ns = ""; bytes = ""; allocs = ""; score = ""; moves = ""; merges = ""
+    for (i = 3; i < NF; i += 2) {
+        v = $i; u = $(i + 1)
+        if (u == "ns/op") ns = v
+        else if (u == "B/op") bytes = v
+        else if (u == "allocs/op") allocs = v
+        else if (u == "align-score") score = v
+        else if (u == "block-moves") moves = v
+        else if (u == "merges") merges = v
+    }
+    if (n++) printf ",\n"
+    printf "  {\"bench\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"align_score\": %s, \"block_moves\": %s, \"merges\": %s}", \
+        name, ns, bytes, allocs, (score == "" ? "null" : score), (moves == "" ? "null" : moves), (merges == "" ? "null" : merges)
+}
+BEGIN { printf "[\n" }
+END   { printf "\n]\n" }
+' "$RAW" >"$ALIGNOUT"
+
+echo "== wrote $ALIGNOUT"
+cat "$ALIGNOUT"
 
 if [ "$ALLOC_BUDGET" != "skip" ] && [ -f "$ALLOC_BUDGET" ]; then
     echo "== allocs/op gate ($ALLOC_BUDGET)"

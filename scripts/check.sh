@@ -14,7 +14,13 @@ echo "== go vet ./..."
 go vet ./...
 
 echo "== lintdoc (exported-comment lint)"
-go run ./scripts/lintdoc ./internal/* ./cmd/* ./scripts/lintdoc
+go run ./scripts/lintdoc ./internal/* ./cmd/* ./scripts/lintdoc ./scripts/lintmap
+
+echo "== lintmap (unsorted map iteration lint)"
+# The determinism lint: the deterministic packages (report-producing
+# pipeline, analysis, serving, alignment) may not range over maps
+# without either sorting or a reviewed `lintmap:ignore` annotation.
+go run ./scripts/lintmap ./internal/core ./internal/analysis ./internal/serve ./internal/align
 
 echo "== go build ./..."
 go build ./...
@@ -78,6 +84,30 @@ go run ./cmd/f3m -check=validate -workers 8 -merge-workers 8 -v \
 cmp "$WAT/seq.txt" "$WAT/par.txt"
 grep -q "0 diagnostics (0 errors)" "$WAT/seq.txt"
 grep -q "ranked pairs, [1-9]" "$WAT/seq.txt"
+
+echo "== f3m -strategy=f3m-cfg corpus gate"
+# The CFG-alignment gate: both checked-in front-end corpora must merge
+# under the reorder-tolerant strategy with every commit re-proved by
+# the translation validator, and the report must stay byte-identical
+# between the sequential and fully parallel settings.
+CFG="$(mktemp -d)"
+trap 'rm -rf "$XMOD" "$WAT" "$CFG"' EXIT
+go run ./cmd/f3m -strategy=f3m-cfg -check=validate -workers 1 -merge-workers 1 -v \
+    cmd/f3m/testdata/scanner_v1.wat cmd/f3m/testdata/scanner_v2.wat \
+    | sed 's/^pass time:.*$//' >"$CFG/wat_seq.txt"
+go run ./cmd/f3m -strategy=f3m-cfg -check=validate -workers 8 -merge-workers 8 -v \
+    cmd/f3m/testdata/scanner_v1.wat cmd/f3m/testdata/scanner_v2.wat \
+    | sed 's/^pass time:.*$//' >"$CFG/wat_par.txt"
+cmp "$CFG/wat_seq.txt" "$CFG/wat_par.txt"
+grep -q "0 diagnostics (0 errors)" "$CFG/wat_seq.txt"
+grep -q "ranked pairs, [1-9]" "$CFG/wat_seq.txt"
+go run ./cmd/f3m -strategy=f3m-cfg -check=validate -workers 1 -merge-workers 1 -v \
+    testdata/handlers.c | sed 's/^pass time:.*$//' >"$CFG/minic_seq.txt"
+go run ./cmd/f3m -strategy=f3m-cfg -check=validate -workers 8 -merge-workers 8 -v \
+    testdata/handlers.c | sed 's/^pass time:.*$//' >"$CFG/minic_par.txt"
+cmp "$CFG/minic_seq.txt" "$CFG/minic_par.txt"
+grep -q "0 diagnostics (0 errors)" "$CFG/minic_seq.txt"
+grep -q "ranked pairs, [1-9]" "$CFG/minic_seq.txt"
 
 echo "== f3m serve self-check (API smoke + SERVING.md drift)"
 # The serving gate: boot a loopback daemon, drive every HTTP route

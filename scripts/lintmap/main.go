@@ -1,0 +1,164 @@
+// Command lintmap is the repository's determinism lint for map
+// iteration, in the spirit of `go vet` but dependency-free. The
+// pipeline's contract is byte-identical reports at every worker count,
+// and Go randomizes map iteration order, so every `for range` over a
+// map in the deterministic packages is a potential nondeterminism bug.
+// The lint flags each one; sites that are genuinely order-independent
+// (or sort before emitting) carry a `// lintmap:ignore <why>` comment
+// on the range line or the line above, which records the review and
+// silences the finding.
+//
+// Usage:
+//
+//	go run ./scripts/lintmap ./internal/core ./internal/align ...
+//
+// Arguments are directories (one package per directory,
+// non-recursive). Test files are skipped: tests may iterate maps
+// freely because t.Errorf output order does not feed any report.
+//
+// Each package is type-checked with stub (empty) imports, which is
+// enough to type locally declared maps — including maps whose key or
+// element types come from other packages (`map[*ir.Block]int` is still
+// a map type when `ir.Block` cannot be resolved). Expressions whose
+// type depends entirely on an imported symbol (for example, ranging
+// over a value returned by an imported function) cannot be classified
+// and are skipped; the lint is a reviewed floor, not a proof.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: lintmap <package-dir> ...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		n, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lintmap: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		bad += n
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "lintmap: %d unreviewed map iteration(s); sort the keys or annotate with `lintmap:ignore <why>`\n", bad)
+		os.Exit(1)
+	}
+}
+
+// stubImporter satisfies every import with an empty package, so
+// type-checking proceeds far enough to classify locally declared
+// types. References into the stubs produce type errors, which the
+// checker is configured to swallow.
+type stubImporter struct {
+	cache map[string]*types.Package
+}
+
+// Import returns a cached empty package for the path.
+func (s stubImporter) Import(path string) (*types.Package, error) {
+	if p, ok := s.cache[path]; ok {
+		return p, nil
+	}
+	name := path
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		name = path[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	s.cache[path] = p
+	return p, nil
+}
+
+// lintDir type-checks one package directory and reports each
+// unannotated range over a map-typed expression, returning the count.
+func lintDir(dir string) (int, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+	bad := 0
+	for _, name := range sortedKeys(pkgs) {
+		pkg := pkgs[name]
+		if strings.HasSuffix(pkg.Name, "_test") {
+			continue
+		}
+		var files []*ast.File
+		for _, fname := range sortedKeys(pkg.Files) {
+			files = append(files, pkg.Files[fname])
+		}
+		conf := types.Config{
+			Importer: stubImporter{cache: map[string]*types.Package{}},
+			Error:    func(error) {}, // stub imports guarantee errors; type info still fills in
+		}
+		info := &types.Info{Types: map[ast.Expr]types.TypeAndValue{}}
+		// The returned error is expected (stub imports); partial type
+		// info is still recorded for everything locally resolvable.
+		tpkg, _ := conf.Check(pkg.Name, fset, files, info)
+		qual := types.RelativeTo(tpkg)
+
+		for _, f := range files {
+			ignored := ignoreLines(fset, f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := info.Types[rs.X]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				pos := fset.Position(rs.Pos())
+				if ignored[pos.Line] || ignored[pos.Line-1] {
+					return true
+				}
+				fmt.Printf("%s:%d: range over map %s (iteration order is random; sort keys or annotate `lintmap:ignore <why>`)\n",
+					filepath.ToSlash(pos.Filename), pos.Line, types.TypeString(tv.Type, qual))
+				bad++
+				return true
+			})
+		}
+	}
+	return bad, nil
+}
+
+// ignoreLines collects the line numbers carrying a lintmap:ignore
+// marker; a marker suppresses findings on its own line and the next.
+func ignoreLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	out := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "lintmap:ignore") {
+				out[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return out
+}
+
+// sortedKeys returns the map's keys in sorted order — this lint had
+// better not iterate maps nondeterministically itself.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // lintmap:ignore keys are sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
